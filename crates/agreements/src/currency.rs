@@ -1,0 +1,81 @@
+//! Currencies: per-principal denominations whose real value floats with the
+//! physical resources (and inbound tickets) backing them.
+
+use serde::{Deserialize, Serialize};
+
+/// A principal's currency.
+///
+/// The *face value* is an arbitrary denomination (the paper uses 100 so that
+/// ticket faces read as percentages); inflating or deflating the face value
+/// is how agreements are renegotiated without rewriting tickets. The *real
+/// value* is determined by physical resources plus inbound ticket flows and
+/// is computed by [`crate::FlowMatrices`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Currency {
+    /// Owning principal.
+    pub owner: usize,
+    /// Denomination used for ticket face values.
+    pub face_value: f64,
+}
+
+impl Currency {
+    /// A currency with the paper's conventional face value of 100.
+    pub fn with_default_face(owner: usize) -> Self {
+        Currency { owner, face_value: 100.0 }
+    }
+
+    /// Converts a ticket face value (in this currency's units) to the
+    /// fraction of the currency it represents.
+    #[inline]
+    pub fn fraction_of(&self, face: f64) -> f64 {
+        face / self.face_value
+    }
+}
+
+/// The real (mandatory, optional) value of a currency after accounting for
+/// all inbound and outbound ticket flows.
+///
+/// For a principal `i` this is the pair `(MC_i, OC_i)` of the paper: the
+/// mandatory amount guarantees `i` service even under global overload; the
+/// optional amount is additionally available when other principals leave
+/// their reservations idle.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CurrencyValue {
+    /// Guaranteed (mandatory) resource units per second.
+    pub mandatory: f64,
+    /// Best-effort (optional) resource units per second, beyond mandatory.
+    pub optional: f64,
+}
+
+impl CurrencyValue {
+    /// Total resource visibility: mandatory plus optional.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.mandatory + self.optional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_of_uses_face_value() {
+        let c = Currency { owner: 0, face_value: 250.0 };
+        assert!((c.fraction_of(50.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_face_is_100() {
+        let c = Currency::with_default_face(9);
+        assert_eq!(c.owner, 9);
+        assert_eq!(c.face_value, 100.0);
+        assert!((c.fraction_of(40.0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn currency_value_total() {
+        let v = CurrencyValue { mandatory: 760.0, optional: 1340.0 };
+        assert!((v.total() - 2100.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for agreement-graph construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating an [`crate::AgreementGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgreementError {
+    /// An agreement bound was outside `[0, 1]` or `lb > ub`.
+    InvalidBounds {
+        /// Lower bound supplied.
+        lb: f64,
+        /// Upper bound supplied.
+        ub: f64,
+    },
+    /// A principal issued mandatory tickets summing to more than its whole
+    /// currency (`Σ_k lb_ik > 1`), which would let it guarantee away more
+    /// resource than it has.
+    OverCommitted {
+        /// Index of the over-committed issuer.
+        issuer: usize,
+        /// Total of mandatory fractions issued.
+        total_lb: f64,
+    },
+    /// An agreement referenced a principal id not present in the graph.
+    UnknownPrincipal(usize),
+    /// A self-agreement (`i` with `i`) was supplied; ownership of one's own
+    /// resources is implicit and must not be expressed as an agreement.
+    SelfAgreement(usize),
+    /// A duplicate agreement between the same ordered pair was supplied.
+    DuplicateAgreement {
+        /// Issuer index.
+        issuer: usize,
+        /// Holder index.
+        holder: usize,
+    },
+    /// A physical capacity was negative or non-finite.
+    InvalidCapacity(f64),
+}
+
+impl fmt::Display for AgreementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgreementError::InvalidBounds { lb, ub } => {
+                write!(f, "invalid agreement bounds [lb={lb}, ub={ub}]; need 0 <= lb <= ub <= 1")
+            }
+            AgreementError::OverCommitted { issuer, total_lb } => write!(
+                f,
+                "principal {issuer} issues mandatory tickets totalling {total_lb} > 1.0 of its currency"
+            ),
+            AgreementError::UnknownPrincipal(id) => write!(f, "unknown principal id {id}"),
+            AgreementError::SelfAgreement(id) => {
+                write!(f, "principal {id} cannot hold an agreement with itself")
+            }
+            AgreementError::DuplicateAgreement { issuer, holder } => {
+                write!(f, "duplicate agreement from {issuer} to {holder}")
+            }
+            AgreementError::InvalidCapacity(v) => {
+                write!(f, "capacity must be finite and non-negative, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AgreementError {}

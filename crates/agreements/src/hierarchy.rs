@@ -1,0 +1,235 @@
+//! Hierarchical agreement structures (§2.1: "When a sub-ASP resells ASP
+//! services to its own customers, hierarchical agreement structures
+//! emerge").
+//!
+//! Hierarchies need no new enforcement machinery — transitive ticket flow
+//! already carries resources down a resale chain — but they benefit from a
+//! dedicated construction API that captures the *shape* (who resells whose
+//! capacity to whom) and answers the questions a reseller actually asks:
+//!
+//! * what effective `[lb, ub]` SLA does a leaf customer end up with,
+//!   relative to the root provider's physical capacity?
+//! * is a reseller *solvent* — has it guaranteed its customers no more than
+//!   its own guaranteed inflow?
+//! * what does the flattened [`AgreementGraph`] look like, for enforcement?
+
+use crate::{AgreementError, AgreementGraph, PrincipalId};
+
+/// A node's role in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Owns physical capacity (the root ASP, or any capacity contributor).
+    Provider,
+    /// Buys capacity from a parent and resells it downward.
+    Reseller,
+    /// Buys capacity for its own clients; a leaf.
+    Customer,
+}
+
+/// Builder for resale hierarchies on top of [`AgreementGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct Hierarchy {
+    graph: AgreementGraph,
+    roles: Vec<Role>,
+    parent: Vec<Option<PrincipalId>>,
+}
+
+impl Hierarchy {
+    /// Empty hierarchy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a root provider with physical capacity.
+    pub fn provider(&mut self, name: impl Into<String>, capacity: f64) -> PrincipalId {
+        let id = self.graph.add_principal(name, capacity);
+        self.roles.push(Role::Provider);
+        self.parent.push(None);
+        id
+    }
+
+    /// Adds a reseller buying `[lb, ub]` of `parent`'s currency.
+    pub fn reseller(
+        &mut self,
+        name: impl Into<String>,
+        parent: PrincipalId,
+        lb: f64,
+        ub: f64,
+    ) -> Result<PrincipalId, AgreementError> {
+        let id = self.graph.add_principal(name, 0.0);
+        self.graph.add_agreement(parent, id, lb, ub)?;
+        self.roles.push(Role::Reseller);
+        self.parent.push(Some(parent));
+        Ok(id)
+    }
+
+    /// Adds a leaf customer buying `[lb, ub]` of `parent`'s currency.
+    pub fn customer(
+        &mut self,
+        name: impl Into<String>,
+        parent: PrincipalId,
+        lb: f64,
+        ub: f64,
+    ) -> Result<PrincipalId, AgreementError> {
+        let id = self.graph.add_principal(name, 0.0);
+        self.graph.add_agreement(parent, id, lb, ub)?;
+        self.roles.push(Role::Customer);
+        self.parent.push(Some(parent));
+        Ok(id)
+    }
+
+    /// The flattened agreement graph (what the schedulers consume).
+    pub fn graph(&self) -> &AgreementGraph {
+        &self.graph
+    }
+
+    /// A node's role.
+    pub fn role(&self, id: PrincipalId) -> Role {
+        self.roles[id.0]
+    }
+
+    /// A node's parent in the resale tree.
+    pub fn parent(&self, id: PrincipalId) -> Option<PrincipalId> {
+        self.parent[id.0]
+    }
+
+    /// Depth of a node (providers are at depth 0).
+    pub fn depth(&self, id: PrincipalId) -> usize {
+        let mut d = 0;
+        let mut at = id;
+        while let Some(p) = self.parent[at.0] {
+            d += 1;
+            at = p;
+        }
+        d
+    }
+
+    /// The effective end-to-end SLA of `id` against the *root's physical
+    /// capacity*: the chain product of lower bounds (guaranteed) and upper
+    /// bounds (ceiling) along the resale path. For `[0.4,0.6]` resold as
+    /// `[0.5,0.8]`, the leaf's effective SLA is `[0.20, 0.48]`.
+    pub fn effective_sla(&self, id: PrincipalId) -> (f64, f64) {
+        let mut lb = 1.0;
+        let mut ub = 1.0;
+        let mut at = id;
+        while let Some(p) = self.parent[at.0] {
+            let a = self
+                .graph
+                .agreement_between(p, at)
+                .expect("hierarchy edges are agreements");
+            lb *= a.lb.get();
+            ub *= a.ub.get();
+            at = p;
+        }
+        (lb, ub)
+    }
+
+    /// The root provider above `id`.
+    pub fn root_of(&self, id: PrincipalId) -> PrincipalId {
+        let mut at = id;
+        while let Some(p) = self.parent[at.0] {
+            at = p;
+        }
+        at
+    }
+
+    /// Guaranteed units/second a node is entitled to, end to end.
+    pub fn guaranteed_rate(&self, id: PrincipalId) -> f64 {
+        let root = self.root_of(id);
+        let (lb, _) = self.effective_sla(id);
+        lb * self.graph.principal(root).capacity
+    }
+
+    /// Checks reseller solvency: every non-leaf node must not have promised
+    /// (as mandatory) more of its currency than it holds — which the
+    /// per-issuer `Σ lb ≤ 1` rule already enforces structurally — *and*
+    /// every node's guaranteed inflow must be positive if it has guaranteed
+    /// anything downstream. Returns the first insolvent node, if any.
+    pub fn check_solvency(&self) -> Result<(), PrincipalId> {
+        for i in 0..self.graph.len() {
+            let id = PrincipalId(i);
+            let promised: f64 = self.graph.mandatory_out_fraction(id);
+            if promised > 0.0 && self.roles[i] != Role::Provider {
+                let (lb, _) = self.effective_sla(id);
+                let root_cap = self.graph.principal(self.root_of(id)).capacity;
+                if lb * root_cap <= 0.0 {
+                    return Err(id);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ASP (1000 u/s) → sub-ASP [0.4, 0.6] → customer [0.5, 0.8].
+    fn chain() -> (Hierarchy, PrincipalId, PrincipalId, PrincipalId) {
+        let mut h = Hierarchy::new();
+        let asp = h.provider("asp", 1000.0);
+        let sub = h.reseller("sub-asp", asp, 0.4, 0.6).unwrap();
+        let cust = h.customer("customer", sub, 0.5, 0.8).unwrap();
+        (h, asp, sub, cust)
+    }
+
+    #[test]
+    fn roles_and_structure() {
+        let (h, asp, sub, cust) = chain();
+        assert_eq!(h.role(asp), Role::Provider);
+        assert_eq!(h.role(sub), Role::Reseller);
+        assert_eq!(h.role(cust), Role::Customer);
+        assert_eq!(h.parent(cust), Some(sub));
+        assert_eq!(h.root_of(cust), asp);
+        assert_eq!(h.depth(asp), 0);
+        assert_eq!(h.depth(cust), 2);
+    }
+
+    #[test]
+    fn effective_sla_is_chain_product() {
+        let (h, _asp, sub, cust) = chain();
+        let (lb, ub) = h.effective_sla(cust);
+        assert!((lb - 0.2).abs() < 1e-12);
+        assert!((ub - 0.48).abs() < 1e-12);
+        let (lb, ub) = h.effective_sla(sub);
+        assert!((lb - 0.4).abs() < 1e-12);
+        assert!((ub - 0.6).abs() < 1e-12);
+        assert!((h.guaranteed_rate(cust) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flattened_graph_agrees_with_flow_computation() {
+        // The hierarchy's effective guarantee must equal the generic
+        // transitive-flow mandatory entitlement.
+        let (h, _asp, _sub, cust) = chain();
+        let lv = h.graph().access_levels();
+        assert!((lv.mandatory(cust) - h.guaranteed_rate(cust)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_level_fan_out() {
+        let mut h = Hierarchy::new();
+        let asp = h.provider("asp", 800.0);
+        let r1 = h.reseller("r1", asp, 0.5, 0.7).unwrap();
+        let r2 = h.reseller("r2", asp, 0.3, 0.5).unwrap();
+        let c1 = h.customer("c1", r1, 0.6, 1.0).unwrap();
+        let c2 = h.customer("c2", r2, 1.0, 1.0).unwrap();
+        assert!((h.guaranteed_rate(c1) - 0.5 * 0.6 * 800.0).abs() < 1e-9);
+        assert!((h.guaranteed_rate(c2) - 0.3 * 800.0).abs() < 1e-9);
+        h.check_solvency().unwrap();
+        // Enforcement view: all guarantees simultaneously satisfiable.
+        h.graph().access_levels().check_mandatory_feasible(1e-9).unwrap();
+    }
+
+    #[test]
+    fn over_resale_rejected_by_budget_rule() {
+        let mut h = Hierarchy::new();
+        let asp = h.provider("asp", 100.0);
+        let sub = h.reseller("sub", asp, 0.5, 0.5).unwrap();
+        h.customer("c1", sub, 0.7, 0.9).unwrap();
+        // Sub has 0.3 of its currency left to promise; 0.4 more must fail.
+        let err = h.customer("c2", sub, 0.4, 0.5);
+        assert!(matches!(err, Err(AgreementError::OverCommitted { .. })));
+    }
+}

@@ -1,0 +1,318 @@
+//! Multiple resource types (§3.1.1: "In case of multiple resource types,
+//! above quantities should be represented as vectors").
+//!
+//! A [`MultiAgreementGraph`] tracks one capacity entry per principal per
+//! *resource kind* (CPU share, network bandwidth, transaction rate, …) and
+//! per-kind `[lb, ub]` bounds on each agreement. Internally it is a bundle
+//! of per-kind [`AgreementGraph`]s over one shared principal set; the flow
+//! computation runs independently per kind, because tickets denominate
+//! fractions of a currency and each kind has its own currency backing.
+//!
+//! The scheduler-facing output is a [`MultiAccessLevels`]: one
+//! [`AccessLevels`] table per kind, plus helpers that translate a request's
+//! *cost vector* (how much of each resource one request consumes) into the
+//! binding entitlement across kinds.
+
+use crate::{AccessLevels, AgreementError, AgreementGraph, PrincipalId};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a resource kind within one [`MultiAgreementGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResourceKind(pub usize);
+
+/// Per-kind quantities (capacities, costs, entitlements).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceVector(pub Vec<f64>);
+
+impl ResourceVector {
+    /// A uniform vector.
+    pub fn uniform(value: f64, kinds: usize) -> Self {
+        ResourceVector(vec![value; kinds])
+    }
+
+    /// Number of kinds.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// An agreement graph over several resource kinds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MultiAgreementGraph {
+    kind_names: Vec<String>,
+    /// One single-resource graph per kind, over the same principal ids.
+    graphs: Vec<AgreementGraph>,
+    n_principals: usize,
+}
+
+impl MultiAgreementGraph {
+    /// Creates a graph over the named resource kinds.
+    pub fn new(kinds: &[&str]) -> Self {
+        assert!(!kinds.is_empty(), "need at least one resource kind");
+        MultiAgreementGraph {
+            kind_names: kinds.iter().map(|s| s.to_string()).collect(),
+            graphs: kinds.iter().map(|_| AgreementGraph::new()).collect(),
+            n_principals: 0,
+        }
+    }
+
+    /// Number of resource kinds.
+    pub fn n_kinds(&self) -> usize {
+        self.kind_names.len()
+    }
+
+    /// Kind names in id order.
+    pub fn kind_names(&self) -> &[String] {
+        &self.kind_names
+    }
+
+    /// Number of principals.
+    pub fn len(&self) -> usize {
+        self.n_principals
+    }
+
+    /// True when no principals exist.
+    pub fn is_empty(&self) -> bool {
+        self.n_principals == 0
+    }
+
+    /// Adds a principal with a capacity per kind.
+    pub fn add_principal(
+        &mut self,
+        name: impl Into<String>,
+        capacities: ResourceVector,
+    ) -> PrincipalId {
+        assert_eq!(
+            capacities.len(),
+            self.n_kinds(),
+            "capacity vector must cover every resource kind"
+        );
+        let name = name.into();
+        let mut id = PrincipalId(0);
+        for (g, &cap) in self.graphs.iter_mut().zip(&capacities.0) {
+            id = g.add_principal(name.clone(), cap);
+        }
+        self.n_principals += 1;
+        id
+    }
+
+    /// Adds an agreement with uniform `[lb, ub]` across every kind (the
+    /// common case: "40–60% of my resources").
+    pub fn add_agreement(
+        &mut self,
+        issuer: PrincipalId,
+        holder: PrincipalId,
+        lb: f64,
+        ub: f64,
+    ) -> Result<(), AgreementError> {
+        for g in &mut self.graphs {
+            g.add_agreement(issuer, holder, lb, ub)?;
+        }
+        Ok(())
+    }
+
+    /// Adds an agreement with distinct bounds per kind (e.g. generous CPU,
+    /// scarce bandwidth).
+    pub fn add_agreement_per_kind(
+        &mut self,
+        issuer: PrincipalId,
+        holder: PrincipalId,
+        bounds: &[(f64, f64)],
+    ) -> Result<(), AgreementError> {
+        assert_eq!(bounds.len(), self.n_kinds(), "one bound pair per kind");
+        // Validate all kinds before mutating any, to keep the bundle
+        // consistent on failure.
+        for (g, &(lb, ub)) in self.graphs.iter().zip(bounds) {
+            let mut probe = g.clone();
+            probe.add_agreement(issuer, holder, lb, ub)?;
+        }
+        for (g, &(lb, ub)) in self.graphs.iter_mut().zip(bounds) {
+            g.add_agreement(issuer, holder, lb, ub).expect("validated above");
+        }
+        Ok(())
+    }
+
+    /// The per-kind single-resource view.
+    pub fn kind(&self, k: ResourceKind) -> &AgreementGraph {
+        &self.graphs[k.0]
+    }
+
+    /// Computes access levels for every kind.
+    pub fn access_levels(&self) -> MultiAccessLevels {
+        MultiAccessLevels {
+            per_kind: self.graphs.iter().map(|g| g.access_levels()).collect(),
+        }
+    }
+}
+
+/// Per-kind access-level tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiAccessLevels {
+    per_kind: Vec<AccessLevels>,
+}
+
+impl MultiAccessLevels {
+    /// The table for one kind.
+    pub fn kind(&self, k: ResourceKind) -> &AccessLevels {
+        &self.per_kind[k.0]
+    }
+
+    /// Number of kinds.
+    pub fn n_kinds(&self) -> usize {
+        self.per_kind.len()
+    }
+
+    /// Number of principals.
+    pub fn len(&self) -> usize {
+        self.per_kind.first().map_or(0, |l| l.len())
+    }
+
+    /// True when no principals exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The guaranteed *request rate* for principal `i` whose requests each
+    /// consume `cost` of every kind: the binding (minimum) entitlement
+    /// across kinds. A request needs all its resources, so the scarcest
+    /// kind limits the rate.
+    pub fn mandatory_rate(&self, i: PrincipalId, cost: &ResourceVector) -> f64 {
+        self.rate_over(cost, |lv| lv.mandatory(i))
+    }
+
+    /// The best-effort ceiling rate (mandatory + optional), binding across
+    /// kinds.
+    pub fn ceiling_rate(&self, i: PrincipalId, cost: &ResourceVector) -> f64 {
+        self.rate_over(cost, |lv| lv.mandatory(i) + lv.optional(i))
+    }
+
+    fn rate_over(&self, cost: &ResourceVector, f: impl Fn(&AccessLevels) -> f64) -> f64 {
+        assert_eq!(cost.len(), self.n_kinds());
+        self.per_kind
+            .iter()
+            .zip(&cost.0)
+            .map(|(lv, &c)| {
+                if c <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    f(lv) / c
+                }
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The kind that limits principal `i`'s mandatory rate under `cost`
+    /// (useful for capacity planning diagnostics).
+    pub fn binding_kind(&self, i: PrincipalId, cost: &ResourceVector) -> Option<ResourceKind> {
+        assert_eq!(cost.len(), self.n_kinds());
+        self.per_kind
+            .iter()
+            .zip(&cost.0)
+            .enumerate()
+            .filter(|(_, (_, &c))| c > 0.0)
+            .map(|(k, (lv, &c))| (k, lv.mandatory(PrincipalId(i.0)) / c))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite rates"))
+            .map(|(k, _)| ResourceKind(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// CPU + bandwidth system: server has plenty of CPU, scarce bandwidth.
+    fn cpu_bw() -> (MultiAgreementGraph, PrincipalId, PrincipalId) {
+        let mut g = MultiAgreementGraph::new(&["cpu", "bandwidth"]);
+        let s = g.add_principal("S", ResourceVector(vec![1000.0, 100.0]));
+        let a = g.add_principal("A", ResourceVector(vec![0.0, 0.0]));
+        g.add_agreement(s, a, 0.5, 1.0).unwrap();
+        (g, s, a)
+    }
+
+    #[test]
+    fn per_kind_levels_computed_independently() {
+        let (g, _s, a) = cpu_bw();
+        let lv = g.access_levels();
+        assert_eq!(lv.n_kinds(), 2);
+        assert!((lv.kind(ResourceKind(0)).mandatory(a) - 500.0).abs() < 1e-9);
+        assert!((lv.kind(ResourceKind(1)).mandatory(a) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binding_kind_is_the_scarce_one() {
+        let (g, _s, a) = cpu_bw();
+        let lv = g.access_levels();
+        // Each request: 1 cpu unit, 1 bandwidth unit → bandwidth binds.
+        let cost = ResourceVector::uniform(1.0, 2);
+        assert!((lv.mandatory_rate(a, &cost) - 50.0).abs() < 1e-9);
+        assert_eq!(lv.binding_kind(a, &cost), Some(ResourceKind(1)));
+        // CPU-heavy requests: 20 cpu, 0.1 bw → cpu binds (500/20 = 25).
+        let cost = ResourceVector(vec![20.0, 0.1]);
+        assert!((lv.mandatory_rate(a, &cost) - 25.0).abs() < 1e-9);
+        assert_eq!(lv.binding_kind(a, &cost), Some(ResourceKind(0)));
+    }
+
+    #[test]
+    fn ceiling_uses_optional_headroom() {
+        let (g, _s, a) = cpu_bw();
+        let lv = g.access_levels();
+        let cost = ResourceVector::uniform(1.0, 2);
+        // ub = 1.0: A may burst to the whole server on both kinds.
+        assert!((lv.ceiling_rate(a, &cost) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_kind_bounds() {
+        let mut g = MultiAgreementGraph::new(&["cpu", "bw"]);
+        let s = g.add_principal("S", ResourceVector(vec![100.0, 100.0]));
+        let a = g.add_principal("A", ResourceVector(vec![0.0, 0.0]));
+        g.add_agreement_per_kind(s, a, &[(0.8, 1.0), (0.1, 0.2)]).unwrap();
+        let lv = g.access_levels();
+        assert!((lv.kind(ResourceKind(0)).mandatory(a) - 80.0).abs() < 1e-9);
+        assert!((lv.kind(ResourceKind(1)).mandatory(a) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_kind_validation_is_atomic() {
+        let mut g = MultiAgreementGraph::new(&["cpu", "bw"]);
+        let s = g.add_principal("S", ResourceVector(vec![100.0, 100.0]));
+        let a = g.add_principal("A", ResourceVector(vec![0.0, 0.0]));
+        let b = g.add_principal("B", ResourceVector(vec![0.0, 0.0]));
+        g.add_agreement_per_kind(s, a, &[(0.5, 1.0), (0.9, 1.0)]).unwrap();
+        // Second agreement over-commits bw (0.9 + 0.2 > 1) but cpu is fine:
+        // the whole call must fail and leave no partial state.
+        let err = g.add_agreement_per_kind(s, b, &[(0.3, 0.4), (0.2, 0.3)]);
+        assert!(err.is_err());
+        assert_eq!(g.kind(ResourceKind(0)).agreements().len(), 1);
+        assert_eq!(g.kind(ResourceKind(1)).agreements().len(), 1);
+    }
+
+    #[test]
+    fn zero_cost_kind_never_binds() {
+        let (g, _s, a) = cpu_bw();
+        let lv = g.access_levels();
+        let cost = ResourceVector(vec![1.0, 0.0]); // pure-CPU request
+        assert!((lv.mandatory_rate(a, &cost) - 500.0).abs() < 1e-9);
+        assert_eq!(lv.binding_kind(a, &cost), Some(ResourceKind(0)));
+    }
+
+    #[test]
+    fn transitive_flow_per_kind() {
+        // A -> B chain on both kinds with different splits.
+        let mut g = MultiAgreementGraph::new(&["cpu", "bw"]);
+        let a = g.add_principal("A", ResourceVector(vec![1000.0, 10.0]));
+        let b = g.add_principal("B", ResourceVector(vec![0.0, 0.0]));
+        let c = g.add_principal("C", ResourceVector(vec![0.0, 0.0]));
+        g.add_agreement(a, b, 0.4, 0.4).unwrap();
+        g.add_agreement(b, c, 0.5, 0.5).unwrap();
+        let lv = g.access_levels();
+        // C mandatorily gets 0.4×0.5 = 20% of each of A's capacities.
+        assert!((lv.kind(ResourceKind(0)).mandatory(c) - 200.0).abs() < 1e-9);
+        assert!((lv.kind(ResourceKind(1)).mandatory(c) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,140 @@
+//! Tickets: the unit of rights transfer between currencies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fraction in `[0, 1]`, validated at construction.
+///
+/// Agreement bounds and ticket face values (normalized by the issuing
+/// currency's face value) are fractions; keeping them in a newtype makes the
+/// `[lb, ub]` invariants explicit at the type level.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Fraction(f64);
+
+impl Fraction {
+    /// Creates a fraction, returning `None` unless `0 <= v <= 1` and finite.
+    pub fn new(v: f64) -> Option<Self> {
+        if v.is_finite() && (0.0..=1.0).contains(&v) {
+            Some(Fraction(v))
+        } else {
+            None
+        }
+    }
+
+    /// The zero fraction.
+    pub const ZERO: Fraction = Fraction(0.0);
+    /// The unit fraction.
+    pub const ONE: Fraction = Fraction(1.0);
+
+    /// Returns the inner value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Fraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Whether a ticket conveys guaranteed (mandatory) or best-effort (optional)
+/// access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TicketKind {
+    /// Corresponds to the lower bound `lb` of an agreement: access guaranteed
+    /// even during overload (though usable by others while idle).
+    Mandatory,
+    /// Corresponds to `ub - lb`: access available only when the issuer's
+    /// resources are not otherwise claimed.
+    Optional,
+}
+
+/// A ticket: a transfer of rights from an issuing currency to a holder.
+///
+/// A ticket's *face value* is expressed in units of the issuing currency's
+/// face value; its *real value* is `face/issuer_face × issuer_real_value` and
+/// is computed by the flow machinery in [`crate::FlowMatrices`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ticket {
+    /// Principal whose currency denominates (and funds) this ticket.
+    pub issuer: usize,
+    /// Principal whose currency this ticket contributes value to.
+    pub holder: usize,
+    /// Mandatory or optional.
+    pub kind: TicketKind,
+    /// Face value in issuer-currency units.
+    pub face: f64,
+}
+
+impl Ticket {
+    /// Builds the (mandatory, optional) ticket pair representing an
+    /// agreement `[lb, ub]` under an issuing currency of face value `face`.
+    ///
+    /// The mandatory ticket carries `lb × face`; the optional ticket carries
+    /// `(ub - lb) × face`. An optional ticket of zero face is still returned
+    /// (callers may filter) so that the pair structure is uniform.
+    pub fn pair_for_agreement(
+        issuer: usize,
+        holder: usize,
+        lb: Fraction,
+        ub: Fraction,
+        face: f64,
+    ) -> (Ticket, Ticket) {
+        let mandatory = Ticket {
+            issuer,
+            holder,
+            kind: TicketKind::Mandatory,
+            face: lb.get() * face,
+        };
+        let optional = Ticket {
+            issuer,
+            holder,
+            kind: TicketKind::Optional,
+            face: (ub.get() - lb.get()) * face,
+        };
+        (mandatory, optional)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_rejects_out_of_range() {
+        assert!(Fraction::new(-0.1).is_none());
+        assert!(Fraction::new(1.1).is_none());
+        assert!(Fraction::new(f64::NAN).is_none());
+        assert!(Fraction::new(f64::INFINITY).is_none());
+        assert_eq!(Fraction::new(0.0), Some(Fraction::ZERO));
+        assert_eq!(Fraction::new(1.0), Some(Fraction::ONE));
+    }
+
+    #[test]
+    fn ticket_pair_faces_match_figure_3() {
+        // A's agreement [0.4, 0.6] with B under a face-100 currency yields
+        // M-Ticket1 (40) and O-Ticket2 (20).
+        let (m, o) = Ticket::pair_for_agreement(
+            0,
+            1,
+            Fraction::new(0.4).unwrap(),
+            Fraction::new(0.6).unwrap(),
+            100.0,
+        );
+        assert_eq!(m.kind, TicketKind::Mandatory);
+        assert!((m.face - 40.0).abs() < 1e-9);
+        assert_eq!(o.kind, TicketKind::Optional);
+        assert!((o.face - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_width_agreement_has_zero_optional_face() {
+        let half = Fraction::new(0.5).unwrap();
+        let (m, o) = Ticket::pair_for_agreement(3, 7, half, half, 200.0);
+        assert!((m.face - 100.0).abs() < 1e-9);
+        assert_eq!(o.face, 0.0);
+    }
+}

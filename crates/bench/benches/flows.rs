@@ -1,0 +1,53 @@
+//! Agreement-flow computation cost (pre-computation ablation).
+//!
+//! Full simple-path transitive closure vs the paper's bounded-length
+//! `MI^(m)` truncation, across graph sizes and densities. The bounded form
+//! is what makes large dense communities tractable.
+
+use covenant_bench::random_graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn flow_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_closure_full");
+    for n in [4usize, 8, 12, 16] {
+        // Sparse graphs (out-degree ~2.5): the exact closure is
+        // exponential in density — that is what flow_bounded measures.
+        let g = random_graph(n, (2.5 / n as f64).min(0.3), 9);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(g.flows()))
+        });
+    }
+    group.finish();
+}
+
+fn flow_bounded(c: &mut Criterion) {
+    // Denser graph where the full closure would be prohibitive: the
+    // paper's bounded-length MI^(m) truncation keeps it tractable.
+    let g = random_graph(16, 0.25, 9);
+    let mut group = c.benchmark_group("flow_closure_bounded_n16");
+    for m in [1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| black_box(g.flows_bounded(m)))
+        });
+    }
+    group.finish();
+}
+
+fn access_levels_from_flows(c: &mut Criterion) {
+    // The per-capacity-change recomputation: reuse precomputed MT/OT.
+    let g = random_graph(12, 0.25, 9);
+    let flows = g.flows_bounded(4);
+    let v = g.capacities();
+    c.bench_function("access_levels_recompute_n12", |b| {
+        b.iter(|| {
+            black_box(covenant_agreements::AccessLevels::from_flows_with_capacities(
+                black_box(&flows),
+                black_box(&v),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, flow_closure, flow_bounded, access_levels_from_flows);
+criterion_main!(benches);

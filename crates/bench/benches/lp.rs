@@ -1,0 +1,50 @@
+//! LP-solver cost vs number of principals (E10 ablation).
+//!
+//! The paper argues per-window LP solves are cheap because "the complexity
+//! of this strategy only depends on the number of principals". This bench
+//! quantifies that: community-model solve time for n ∈ {2..32} principals
+//! (n² + 1 variables), plus raw simplex throughput on a fixed small model.
+
+use covenant_agreements::PrincipalId;
+use covenant_bench::random_graph;
+use covenant_lp::{Problem, Relation};
+use covenant_sched::CommunityScheduler;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn community_lp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("community_lp_solve");
+    for n in [2usize, 4, 8, 16, 32] {
+        // Keep out-degree ~3: agreement graphs are sparse in practice,
+        // and the exact simple-path closure is exponential in density.
+        let g = random_graph(n, (3.0 / n as f64).min(0.3), 42);
+        let levels = g.access_levels().scaled(0.1);
+        let queues: Vec<f64> = (0..n).map(|i| 10.0 + (i as f64) * 3.0).collect();
+        let sched = CommunityScheduler::new();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let plan = sched.plan(black_box(&levels), black_box(&queues));
+                black_box(plan.admitted(PrincipalId(0)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn simplex_small(c: &mut Criterion) {
+    c.bench_function("simplex_5x8", |b| {
+        b.iter(|| {
+            let mut p = Problem::new(5);
+            p.set_objective(vec![3.0, 2.0, 4.0, 1.0, 5.0]);
+            for i in 0..8 {
+                let coeffs: Vec<(usize, f64)> =
+                    (0..5).map(|j| (j, ((i + j) % 3 + 1) as f64)).collect();
+                p.add_constraint(coeffs, Relation::Le, 10.0 + i as f64);
+            }
+            black_box(p.solve())
+        })
+    });
+}
+
+criterion_group!(benches, community_lp_scaling, simplex_small);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! End-to-end simulator throughput per queuing mode (E9 companion).
+//!
+//! Measures wall time to simulate 10 s of a contended deployment in each
+//! queuing mode — explicit queues, credit+retry (L7), credit+park (L4) —
+//! so the modes' engine costs can be compared alongside their enforcement
+//! behaviour.
+
+use covenant_agreements::AgreementGraph;
+use covenant_sim::{QueueMode, SimConfig, Simulation};
+use covenant_workload::{ClientMachine, PhasedLoad};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn sim_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_10s_contended");
+    group.sample_size(10);
+    let modes = [
+        ("explicit", QueueMode::Explicit),
+        ("credit_retry", QueueMode::CreditRetry { retry_delay: 0.05 }),
+        ("credit_park", QueueMode::CreditPark),
+    ];
+    for (name, mode) in modes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, mode| {
+            b.iter(|| {
+                let mut g = AgreementGraph::new();
+                let s = g.add_principal("S", 320.0);
+                let a = g.add_principal("A", 0.0);
+                let bb = g.add_principal("B", 0.0);
+                g.add_agreement(s, a, 0.2, 1.0).unwrap();
+                g.add_agreement(s, bb, 0.8, 1.0).unwrap();
+                let cfg = SimConfig::new(g, 10.0)
+                    .with_mode(mode.clone())
+                    .closed_loop_client(
+                        ClientMachine::uniform(0, a, PhasedLoad::constant(200.0, 10.0)),
+                        0,
+                        64,
+                    )
+                    .closed_loop_client(
+                        ClientMachine::uniform(1, bb, PhasedLoad::constant(200.0, 10.0)),
+                        0,
+                        64,
+                    );
+                black_box(Simulation::new(cfg).run())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sim_modes);
+criterion_main!(benches);

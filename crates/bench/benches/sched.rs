@@ -1,0 +1,67 @@
+//! Redirector overhead (E10): per-request admission cost and per-window
+//! planning cost.
+//!
+//! The paper reports <15% redirector CPU at full load; here the admit path
+//! must be tens of nanoseconds and the window roll (one LP solve) tens of
+//! microseconds, making 100 ms windows essentially free.
+
+use covenant_agreements::{AgreementGraph, PrincipalId};
+use covenant_sched::{CreditGate, GlobalView, Plan, Request, SchedulerConfig, WindowScheduler};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn provider_system() -> AgreementGraph {
+    let mut g = AgreementGraph::new();
+    let s = g.add_principal("S", 320.0);
+    let a = g.add_principal("A", 0.0);
+    let b = g.add_principal("B", 0.0);
+    g.add_agreement(s, a, 0.2, 1.0).unwrap();
+    g.add_agreement(s, b, 0.8, 1.0).unwrap();
+    g
+}
+
+fn admit_path(c: &mut Criterion) {
+    let mut gate = CreditGate::new(3, 3);
+    gate.roll_window(&Plan {
+        assignments: vec![vec![0.0; 3], vec![1e12, 0.0, 0.0], vec![1e12, 0.0, 0.0]],
+        theta: None,
+        income: None,
+    });
+    let mut id = 0u64;
+    c.bench_function("credit_gate_admit", |b| {
+        b.iter(|| {
+            id += 1;
+            black_box(gate.admit(&Request::unit(id, PrincipalId(1), 0.0)))
+        })
+    });
+}
+
+fn window_roll(c: &mut Criterion) {
+    let g = provider_system();
+    let ws = WindowScheduler::new(&g.access_levels(), SchedulerConfig::community_default());
+    let view = GlobalView::Queues(vec![0.0, 40.0, 25.0]);
+    let local = vec![0.0, 20.0, 10.0];
+    c.bench_function("window_plan_community_n3", |b| {
+        b.iter(|| black_box(ws.plan_window(black_box(&view), black_box(&local))))
+    });
+
+    let ws = WindowScheduler::new(
+        &g.access_levels(),
+        SchedulerConfig::provider(vec![0.0, 2.0, 1.0]),
+    );
+    c.bench_function("window_plan_provider_n3", |b| {
+        b.iter(|| black_box(ws.plan_window(black_box(&view), black_box(&local))))
+    });
+}
+
+fn conservative_fallback(c: &mut Criterion) {
+    let g = provider_system();
+    let ws = WindowScheduler::new(&g.access_levels(), SchedulerConfig::community_default());
+    let local = vec![0.0, 20.0, 10.0];
+    c.bench_function("window_plan_conservative_n3", |b| {
+        b.iter(|| black_box(ws.plan_window(black_box(&GlobalView::Unknown), black_box(&local))))
+    });
+}
+
+criterion_group!(benches, admit_path, window_roll, conservative_fallback);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Combining-tree aggregation cost (E8 companion).
+//!
+//! One up/down round over n redirectors, each contributing a
+//! 16-principal demand vector, across tree shapes.
+
+use covenant_tree::{QueueStats, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn aggregate_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_aggregate_round");
+    for n in [4usize, 16, 64, 256] {
+        let t = Topology::balanced(n, 2, 0.01);
+        let locals: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..16).map(|k| (i * k) as f64).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("balanced", n), &n, |b, _| {
+            b.iter(|| black_box(t.aggregate(black_box(&locals))))
+        });
+        let star = Topology::star(n, 0.01);
+        group.bench_with_input(BenchmarkId::new("star", n), &n, |b, _| {
+            b.iter(|| black_box(star.aggregate(black_box(&locals))))
+        });
+    }
+    group.finish();
+}
+
+fn stats_merge(c: &mut Criterion) {
+    let chunks: Vec<QueueStats> = (0..256)
+        .map(|i| QueueStats::of_slice(&[i as f64, (i * 2) as f64]))
+        .collect();
+    c.bench_function("queue_stats_merge_256", |b| {
+        b.iter(|| {
+            black_box(
+                chunks
+                    .iter()
+                    .fold(QueueStats::empty(), |acc, s| acc.merge(s)),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, aggregate_round, stats_merge);
+criterion_main!(benches);

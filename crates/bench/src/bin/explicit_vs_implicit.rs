@@ -1,0 +1,25 @@
+//! §4.1 — explicit queuing bunches requests; implicit (credit) queuing
+//! restores linear scaling.
+//!
+//! Sweeps offered load against a V=320 server for both queuing modes with
+//! closed-loop clients. The explicit scheme's window-boundary release adds
+//! ~half a window of latency to every request, throttling closed-loop
+//! clients well below capacity; the credit scheme admits in-quota requests
+//! immediately and tracks offered load linearly until the server saturates
+//! at 320 req/s — the paper's §4.1 finding.
+
+use covenant_core::scenarios::queuing_mode_rate;
+use covenant_sim::QueueMode;
+
+fn main() {
+    println!("{:>10} {:>12} {:>12}", "offered", "explicit", "implicit");
+    for offered in [40.0, 80.0, 120.0, 160.0, 200.0, 240.0, 280.0, 320.0, 360.0, 400.0, 480.0] {
+        let explicit = queuing_mode_rate(QueueMode::Explicit, offered, 30.0);
+        let implicit =
+            queuing_mode_rate(QueueMode::CreditRetry { retry_delay: 0.05 }, offered, 30.0);
+        println!("{offered:>10.0} {explicit:>12.1} {implicit:>12.1}");
+    }
+    println!("\npaper: with implicit queuing \"server processing rates linearly increase");
+    println!("with client activity until the server saturates at 320 requests per second\";");
+    println!("explicit queuing bunches requests and scales sub-linearly.");
+}

@@ -1,0 +1,18 @@
+//! Figure 10 — maximize provider income.
+//!
+//! Provider with two 320 req/s servers; A [0.8,1] pays more per extra
+//! request than B [0.2,1]. Under contention B is pinned to its mandatory
+//! 128 req/s while A soaks up the rest; B bursts whenever A's clients are
+//! idle. Expected levels: (512,128) → (0,400) → (400,240) → (0,400).
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let outcome = covenant_core::scenarios::fig10(50.0).run();
+    if csv {
+        print!("{}", outcome.to_csv());
+        return;
+    }
+    println!("Figure 10: provider income maximization (two 320 req/s servers, pA > pB)\n");
+    println!("{}", outcome.phase_table());
+    println!("paper levels: (A 512, B 128) / (0, 400) / (400, 240) / (0, 400)");
+}

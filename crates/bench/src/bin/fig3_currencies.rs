@@ -1,0 +1,61 @@
+//! Figure 3 — ticket/currency valuation with transitive agreements.
+//!
+//! A (1000 u/s) shares [0.4,0.6] with B (1500 u/s); B shares [0.6,1.0]
+//! with C. Prints every ticket's face and real value and each currency's
+//! final (mandatory, optional) value; the paper's worked numbers are shown
+//! alongside.
+
+use covenant_agreements::{AgreementGraph, PrincipalId};
+
+fn main() {
+    let mut g = AgreementGraph::new();
+    let a = g.add_principal("A", 1000.0);
+    let b = g.add_principal("B", 1500.0);
+    let c = g.add_principal("C", 0.0);
+    g.add_agreement(a, b, 0.4, 0.6).unwrap();
+    g.add_agreement(b, c, 0.6, 1.0).unwrap();
+
+    let flows = g.flows();
+    let v = g.capacities();
+
+    println!("Figure 3: tickets and currencies");
+    println!("\ncurrency mandatory real values:");
+    for (name, p) in [("A", a), ("B", b), ("C", c)] {
+        println!(
+            "  {name}: {:>6.0}   (paper: A 1000, B 1900, C 1140)",
+            flows.currency_mandatory_value(&v, p)
+        );
+    }
+
+    println!("\ntickets (face -> real value):");
+    let names = ["A", "B", "C"];
+    for t in g.tickets() {
+        let issuer_val = flows.currency_mandatory_value(&v, PrincipalId(t.issuer));
+        let real = match t.kind {
+            covenant_agreements::TicketKind::Mandatory => issuer_val * t.face / 100.0,
+            covenant_agreements::TicketKind::Optional => {
+                // Optional real value includes optional in-flows at ub —
+                // report via the flow matrices for the exact figure.
+                let lv = g.access_levels();
+                // O-Ticket value = holder's optional in-flow from all paths.
+                let holder = PrincipalId(t.holder);
+                (0..g.len())
+                    .map(|j| flows.oi(&v, PrincipalId(j), holder))
+                    .sum::<f64>()
+                    .min(lv.optional(holder))
+            }
+        };
+        println!(
+            "  {:?} {} -> {}: face {:>3.0}, real {:>5.0}",
+            t.kind, names[t.issuer], names[t.holder], t.face, real
+        );
+    }
+    println!("  (paper: M-Ticket1 400, O-Ticket2 200, M-Ticket3 1140, O-Ticket4 960)");
+
+    let lv = g.access_levels();
+    println!("\nfinal currency values (mandatory, optional):");
+    for (name, p) in [("A", a), ("B", b), ("C", c)] {
+        println!("  {name}: ({:>5.0}, {:>5.0})", lv.mandatory(p), lv.optional(p));
+    }
+    println!("  (paper: A (600,400), B (760,1340), C (1140,960))");
+}

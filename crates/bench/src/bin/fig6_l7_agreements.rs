@@ -1,0 +1,17 @@
+//! Figure 6 — sharing agreements respected in the distributed L7 scheme.
+//!
+//! Server V=320; A [0.2,1] with two 135 req/s clients via redirector R1,
+//! B [0.8,1] with one client via R2. Three phases: both / only A / both.
+//! Prints the per-second series (CSV with `--csv`) and the per-phase table.
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let outcome = covenant_core::scenarios::fig6(50.0).run();
+    if csv {
+        print!("{}", outcome.to_csv());
+        return;
+    }
+    println!("Figure 6: L7 redirector, service-provider context (V=320, A [0.2,1], B [0.8,1])\n");
+    println!("{}", outcome.phase_table());
+    println!("paper levels: phase 1 (A≈185, B≈135); phase 2 (A≈270); phase 3 = phase 1");
+}

@@ -1,0 +1,17 @@
+//! Figure 9 — L4 redirector, community context.
+//!
+//! A and B each own a 320 req/s server; B shares [0.5, 0.5] with A. A runs
+//! 2/0/1/0 clients (400 req/s each) across four phases, B always one.
+//! Expected levels: (480,160) → (0,320) → (400,240) → (0,320).
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let outcome = covenant_core::scenarios::fig9(50.0).run();
+    if csv {
+        print!("{}", outcome.to_csv());
+        return;
+    }
+    println!("Figure 9: L4 community context (A owns 320, B owns 320, B->A [0.5,0.5])\n");
+    println!("{}", outcome.phase_table());
+    println!("paper levels: (A 480, B 160) / (0, 320) / (400, 240) / (0, 320)");
+}

@@ -1,0 +1,79 @@
+//! Shared helpers for the figure-regeneration binaries and benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use covenant_agreements::AgreementGraph;
+
+/// Builds a random-but-deterministic agreement graph with `n` principals,
+/// edge probability `density`, and capacities in `[100, 1100)` — the
+/// workload for LP/flow scaling benches.
+pub fn random_graph(n: usize, density: f64, seed: u64) -> AgreementGraph {
+    let mut rng = SmallLcg::new(seed);
+    let mut g = AgreementGraph::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| g.add_principal(format!("P{i}"), 100.0 + rng.next_f64() * 1000.0))
+        .collect();
+    for (x, &i) in ids.iter().enumerate() {
+        // Budget of mandatory fraction to hand out.
+        let mut budget: f64 = 0.9;
+        for (y, &j) in ids.iter().enumerate() {
+            if x == y || budget <= 0.02 {
+                continue;
+            }
+            if rng.next_f64() < density {
+                let lb = rng.next_f64() * budget.min(0.3);
+                let ub = (lb + rng.next_f64() * 0.4).min(1.0);
+                g.add_agreement(i, j, lb, ub).expect("within budget");
+                budget -= lb;
+            }
+        }
+    }
+    g
+}
+
+/// A tiny self-contained LCG so the bench *library* stays free of external
+/// dependencies (criterion and rand are dev-dependencies only).
+mod rand_free {
+    /// Deterministic 64-bit LCG.
+    pub struct SmallLcg(u64);
+
+    impl SmallLcg {
+        /// Seeds the generator.
+        pub fn new(seed: u64) -> Self {
+            SmallLcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+        }
+
+        /// Next value in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((self.0 >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+}
+
+pub use rand_free::SmallLcg;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_graph_is_deterministic_and_valid() {
+        let a = random_graph(8, 0.4, 7);
+        let b = random_graph(8, 0.4, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        // Mandatory feasibility must hold by construction.
+        a.access_levels().check_mandatory_feasible(1e-9).unwrap();
+    }
+
+    #[test]
+    fn density_zero_means_no_agreements() {
+        let g = random_graph(5, 0.0, 1);
+        assert!(g.agreements().is_empty());
+    }
+}

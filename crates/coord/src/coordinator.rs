@@ -1,0 +1,144 @@
+//! In-process combining tree shared by redirector threads.
+
+use covenant_tree::{DelayedView, Topology};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct CoordinatorState {
+    /// Latest demand vector published by each node.
+    demands: Vec<Option<Vec<f64>>>,
+    /// Per-node delayed views of the global aggregate.
+    views: Vec<DelayedView<Vec<f64>>>,
+    /// Total tree messages "sent" (2(n−1) per aggregation).
+    messages: u64,
+}
+
+/// An in-process combining tree: thread-safe publish/read of per-principal
+/// demand vectors with per-node information lag.
+///
+/// Every [`Coordinator::publish`] triggers one aggregation round (the tree
+/// combines whatever each node last reported — exactly the estimate-lag
+/// semantics of the paper's periodic exchange), and the result becomes
+/// visible to each node once its tree lag has elapsed.
+#[derive(Clone)]
+pub struct Coordinator {
+    topology: Arc<Topology>,
+    state: Arc<Mutex<CoordinatorState>>,
+    epoch: Instant,
+    extra_lag: f64,
+}
+
+impl Coordinator {
+    /// Creates a coordinator over `topology` with `extra_lag` seconds added
+    /// to every node's visibility delay (Figure 8's injected 10 s).
+    pub fn new(topology: Topology, extra_lag: f64) -> Self {
+        let n = topology.len();
+        let views = (0..n)
+            .map(|i| DelayedView::new(topology.information_lag(i) + extra_lag))
+            .collect();
+        Coordinator {
+            topology: Arc::new(topology),
+            state: Arc::new(Mutex::new(CoordinatorState {
+                demands: vec![None; n],
+                views,
+                messages: 0,
+            })),
+            epoch: Instant::now(),
+            extra_lag,
+        }
+    }
+
+    /// Seconds since this coordinator was created (the shared clock).
+    pub fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// The extra lag injected on top of tree propagation.
+    pub fn extra_lag(&self) -> f64 {
+        self.extra_lag
+    }
+
+    /// Number of redirector nodes.
+    pub fn len(&self) -> usize {
+        self.topology.len()
+    }
+
+    /// True if the tree has no nodes (never constructible via [`Topology`]).
+    pub fn is_empty(&self) -> bool {
+        self.topology.is_empty()
+    }
+
+    /// Publishes node `node`'s current demand vector and runs one
+    /// aggregation round over the latest values from every node.
+    pub fn publish(&self, node: usize, demand: Vec<f64>) {
+        let now = self.now();
+        let mut st = self.state.lock();
+        let width = demand.len();
+        st.demands[node] = Some(demand);
+        let locals: Vec<Vec<f64>> = st
+            .demands
+            .iter()
+            .map(|d| d.clone().unwrap_or_else(|| vec![0.0; width]))
+            .collect();
+        let round = self.topology.aggregate(&locals);
+        st.messages += round.messages() as u64;
+        for v in &mut st.views {
+            v.publish(now, round.total.clone());
+        }
+    }
+
+    /// Reads the aggregate visible to `node` at the current time, if its
+    /// lag has elapsed.
+    pub fn read(&self, node: usize) -> Option<Vec<f64>> {
+        let now = self.now();
+        let mut st = self.state.lock();
+        st.views[node].read(now).cloned()
+    }
+
+    /// Total tree messages exchanged so far.
+    pub fn messages(&self) -> u64 {
+        self.state.lock().messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_across_publishers() {
+        let c = Coordinator::new(Topology::star(2, 0.0), 0.0);
+        c.publish(0, vec![10.0, 0.0]);
+        c.publish(1, vec![5.0, 7.0]);
+        let agg = c.read(0).expect("visible with zero lag");
+        assert_eq!(agg, vec![15.0, 7.0]);
+        assert_eq!(c.read(1).unwrap(), vec![15.0, 7.0]);
+    }
+
+    #[test]
+    fn missing_publishers_count_as_zero() {
+        let c = Coordinator::new(Topology::star(3, 0.0), 0.0);
+        c.publish(1, vec![4.0]);
+        assert_eq!(c.read(1).unwrap(), vec![4.0]);
+    }
+
+    #[test]
+    fn extra_lag_hides_fresh_aggregates() {
+        let c = Coordinator::new(Topology::star(2, 0.0), 30.0);
+        c.publish(0, vec![1.0]);
+        // 30 s of lag cannot have elapsed in a unit test.
+        assert_eq!(c.read(0), None);
+        assert_eq!(c.read(1), None);
+    }
+
+    #[test]
+    fn message_count_grows_per_round() {
+        let c = Coordinator::new(Topology::star(4, 0.0), 0.0);
+        assert_eq!(c.messages(), 0);
+        c.publish(0, vec![1.0]);
+        assert_eq!(c.messages(), 6); // 2(n-1) = 6
+        c.publish(1, vec![1.0]);
+        assert_eq!(c.messages(), 12);
+    }
+}

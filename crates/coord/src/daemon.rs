@@ -1,0 +1,135 @@
+//! The background window ticker (the paper's user-space daemon loop).
+
+use crate::AdmissionControl;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Data-plane hooks the daemon invokes around each window roll.
+#[derive(Default)]
+pub struct DaemonHooks {
+    /// Supplies extra per-principal backlog (e.g. L4 parked connections)
+    /// folded into the published demand.
+    pub backlog: Option<Box<dyn Fn() -> Vec<f64> + Send>>,
+    /// Runs after credits are installed (e.g. L4 drains parked connections
+    /// against the fresh quota).
+    pub after_roll: Option<Box<dyn Fn() + Send>>,
+}
+
+/// A running window ticker; stops and joins on drop.
+pub struct WindowDaemon {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl WindowDaemon {
+    /// Starts ticking `ctrl` every `window`, with optional hooks.
+    pub fn start(ctrl: Arc<AdmissionControl>, window: Duration, hooks: DaemonHooks) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("window-daemon-{}", ctrl.node()))
+            .spawn(move || {
+                let mut next = Instant::now() + window;
+                while !stop2.load(Ordering::Relaxed) {
+                    let now = Instant::now();
+                    if now < next {
+                        std::thread::sleep((next - now).min(Duration::from_millis(5)));
+                        continue;
+                    }
+                    next += window;
+                    let backlog = hooks.backlog.as_ref().map(|f| f());
+                    ctrl.roll_window(backlog);
+                    if let Some(after) = &hooks.after_roll {
+                        after();
+                    }
+                }
+            })
+            .expect("spawn window daemon");
+        WindowDaemon { stop, handle: Some(handle) }
+    }
+
+    /// Stops the ticker and joins it (idempotent).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WindowDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coordinator;
+    use covenant_agreements::{AgreementGraph, PrincipalId};
+    use covenant_sched::SchedulerConfig;
+    use covenant_tree::Topology;
+
+    #[test]
+    fn daemon_rolls_windows_in_background() {
+        let mut g = AgreementGraph::new();
+        let s = g.add_principal("S", 100.0);
+        let a = g.add_principal("A", 0.0);
+        g.add_agreement(s, a, 0.5, 1.0).unwrap();
+        let ctrl = AdmissionControl::new(
+            0,
+            &g.access_levels(),
+            SchedulerConfig::community_default(),
+            Coordinator::new(Topology::star(1, 0.0), 0.0),
+        );
+        let mut daemon = WindowDaemon::start(
+            Arc::clone(&ctrl),
+            Duration::from_millis(20),
+            DaemonHooks::default(),
+        );
+        // Offer load; after a few windows the gate should be admitting.
+        let principal = PrincipalId(1);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let mut admitted = false;
+        while Instant::now() < deadline {
+            if ctrl.try_admit(principal, None).is_some() {
+                admitted = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        daemon.shutdown();
+        assert!(admitted, "daemon never installed credit");
+    }
+
+    #[test]
+    fn hooks_are_invoked() {
+        use std::sync::atomic::AtomicUsize;
+        let mut g = AgreementGraph::new();
+        let _s = g.add_principal("S", 10.0);
+        let ctrl = AdmissionControl::new(
+            0,
+            &g.access_levels(),
+            SchedulerConfig::community_default(),
+            Coordinator::new(Topology::star(1, 0.0), 0.0),
+        );
+        let rolls = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&rolls);
+        let hooks = DaemonHooks {
+            backlog: Some(Box::new(|| vec![0.0])),
+            after_roll: Some(Box::new(move || {
+                r2.fetch_add(1, Ordering::Relaxed);
+            })),
+        };
+        let mut daemon = WindowDaemon::start(ctrl, Duration::from_millis(10), hooks);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while rolls.load(Ordering::Relaxed) < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        daemon.shutdown();
+        assert!(rolls.load(Ordering::Relaxed) >= 3);
+    }
+}

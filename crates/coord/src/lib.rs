@@ -1,0 +1,29 @@
+//! Coordination runtime for the socket prototypes.
+//!
+//! The paper's redirector prototypes pair a data plane (HTTP redirection or
+//! packet forwarding) with a control plane: a user-space daemon that, every
+//! 100 ms window, (1) publishes local queue/demand state into the combining
+//! tree, (2) reads back the lagged global aggregate, (3) solves the
+//! scheduling LP, and (4) installs the resulting admission quotas into the
+//! data plane. This crate is that control plane, shared by the Layer-7 and
+//! Layer-4 prototypes:
+//!
+//! * [`Coordinator`] — an in-process combining tree: each redirector
+//!   publishes its demand vector; aggregates become visible to node `i`
+//!   only after that node's tree lag (plus any injected extra lag);
+//! * [`AdmissionControl`] — the per-redirector state machine (credit gate,
+//!   demand estimator, window scheduler) with a thread-safe admission entry
+//!   point for the data plane;
+//! * [`WindowDaemon`] — the background ticker thread driving
+//!   [`AdmissionControl::roll_window`] on the configured cadence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+mod coordinator;
+mod daemon;
+
+pub use admission::AdmissionControl;
+pub use coordinator::Coordinator;
+pub use daemon::{DaemonHooks, WindowDaemon};

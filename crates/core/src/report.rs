@@ -1,0 +1,149 @@
+//! Scenario result summarization and export.
+
+use covenant_agreements::PrincipalId;
+use covenant_sim::SimReport;
+use serde::Serialize;
+
+/// Mean processing rates over one phase.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PhaseRates {
+    /// Phase label.
+    pub name: String,
+    /// Phase start, seconds.
+    pub start: f64,
+    /// Phase end, seconds.
+    pub end: f64,
+    /// (principal display name, mean req/s) over the settled phase.
+    pub rates: Vec<(String, f64)>,
+}
+
+impl PhaseRates {
+    /// The rate of the named principal (panics if untracked).
+    pub fn rate(&self, name: &str) -> f64 {
+        self.rates
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| *r)
+            .unwrap_or_else(|| panic!("principal {name} not tracked"))
+    }
+}
+
+/// The outcome of one figure scenario.
+pub struct ScenarioOutcome {
+    /// Scenario identifier ("fig6", …).
+    pub id: &'static str,
+    /// Per-phase summaries.
+    pub phases: Vec<PhaseRates>,
+    /// The raw simulator report (full time series, counters).
+    pub report: SimReport,
+    /// Tracked principals.
+    pub tracked: Vec<(String, PrincipalId)>,
+}
+
+impl ScenarioOutcome {
+    /// The full per-second time series as CSV (`time,<name>,rate` rows) —
+    /// the data behind the paper's figure plot.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,principal,rate_req_s\n");
+        for (name, p) in &self.tracked {
+            for (t, r) in self.report.rates.series(*p) {
+                out.push_str(&format!("{t},{name},{r}\n"));
+            }
+        }
+        out
+    }
+
+    /// Per-phase summary as an aligned text table.
+    pub fn phase_table(&self) -> String {
+        let mut out = format!("{:<26}{:>12}", "phase", "window");
+        for (name, _) in &self.tracked {
+            out.push_str(&format!("{name:>10}"));
+        }
+        out.push('\n');
+        for ph in &self.phases {
+            out.push_str(&format!(
+                "{:<26}{:>12}",
+                ph.name,
+                format!("{:.0}-{:.0}s", ph.start, ph.end)
+            ));
+            for (name, _) in &self.tracked {
+                out.push_str(&format!("{:>10.1}", ph.rate(name)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Per-phase summary serialized as JSON.
+    pub fn phases_json(&self) -> String {
+        serde_json::to_string_pretty(&self.phases).expect("phases serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covenant_agreements::AgreementGraph;
+    use covenant_sim::{SimConfig, Simulation};
+    use covenant_workload::{ClientMachine, PhasedLoad};
+
+    fn outcome() -> ScenarioOutcome {
+        let mut g = AgreementGraph::new();
+        let s = g.add_principal("S", 50.0);
+        let a = g.add_principal("A", 0.0);
+        g.add_agreement(s, a, 0.5, 1.0).unwrap();
+        let cfg = SimConfig::new(g, 5.0)
+            .client(ClientMachine::uniform(0, a, PhasedLoad::constant(30.0, 5.0)), 0);
+        let report = Simulation::new(cfg).run();
+        let rate = report.rates.mean_rate_secs(a, 1.0, 5.0);
+        ScenarioOutcome {
+            id: "test",
+            phases: vec![PhaseRates {
+                name: "steady".into(),
+                start: 0.0,
+                end: 5.0,
+                rates: vec![("A".into(), rate)],
+            }],
+            report,
+            tracked: vec![("A".into(), a)],
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let o = outcome();
+        let csv = o.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("time_s,principal,rate_req_s"));
+        let rows: Vec<&str> = lines.collect();
+        assert!(rows.len() >= 4, "rows: {rows:?}");
+        assert!(rows.iter().all(|r| r.split(',').count() == 3));
+        assert!(rows.iter().all(|r| r.contains(",A,")));
+    }
+
+    #[test]
+    fn phase_table_is_aligned_text() {
+        let o = outcome();
+        let table = o.phase_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("phase"));
+        assert!(lines[0].contains("A"));
+        assert!(lines[1].starts_with("steady"));
+    }
+
+    #[test]
+    fn phases_json_parses_back() {
+        let o = outcome();
+        let parsed: serde_json::Value = serde_json::from_str(&o.phases_json()).unwrap();
+        assert_eq!(parsed[0]["name"], "steady");
+        assert!(parsed[0]["rates"][0][1].as_f64().unwrap() > 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not tracked")]
+    fn rate_lookup_panics_on_unknown_name() {
+        let o = outcome();
+        let _ = o.phases[0].rate("nobody");
+    }
+}

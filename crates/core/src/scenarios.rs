@@ -1,0 +1,409 @@
+//! The paper's experiment setups as scenario builders.
+//!
+//! Each `figN` function reproduces the corresponding figure's testbed:
+//! agreement graph, client machines with the per-client rate caps the paper
+//! measured (135 req/s for proxied-WebBench L7 clients, 400 req/s for L4
+//! clients), redirector tree, queuing mode, and phase schedule. Phase
+//! durations are parameterized so quick runs (tests) and paper-length runs
+//! (benches) share one definition.
+
+use crate::report::{PhaseRates, ScenarioOutcome};
+use covenant_agreements::{AgreementGraph, PrincipalId};
+use covenant_sched::{CommunityScheduler, Policy};
+use covenant_sim::{QueueMode, SimConfig, SimReport, Simulation};
+use covenant_tree::Topology;
+use covenant_workload::{ClientMachine, PhasedLoad};
+
+/// Per-client rate cap with the modified Apache proxy in front of WebBench
+/// (paper footnote 2: "per client load generation [drops] to 135 req/sec").
+pub const L7_CLIENT_RATE: f64 = 135.0;
+/// Per-client rate cap without the proxy (L4 experiments).
+pub const L4_CLIENT_RATE: f64 = 400.0;
+
+/// A named phase within a scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Label ("phase 1", …).
+    pub name: String,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+}
+
+/// A fully-specified figure experiment.
+pub struct FigureScenario {
+    /// Which figure this reproduces ("fig6", …).
+    pub id: &'static str,
+    /// The simulator configuration.
+    pub cfg: SimConfig,
+    /// The principals whose rates the figure plots, with display names.
+    pub tracked: Vec<(String, PrincipalId)>,
+    /// Phase boundaries for summarization.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl FigureScenario {
+    /// Runs the simulation and summarizes per-phase rates.
+    pub fn run(self) -> ScenarioOutcome {
+        let bucket = self.cfg.bucket_secs;
+        let report: SimReport = Simulation::new(self.cfg).run();
+        let mut phases = Vec::new();
+        for ph in &self.phases {
+            // Trim the first seconds of each phase: the paper's plotted
+            // steady levels exclude the adaptation transient.
+            let settle = ((ph.end - ph.start) * 0.2).clamp(bucket, 10.0);
+            let rates = self
+                .tracked
+                .iter()
+                .map(|(name, p)| {
+                    (name.clone(), report.rates.mean_rate_secs(*p, ph.start + settle, ph.end))
+                })
+                .collect();
+            phases.push(PhaseRates { name: ph.name.clone(), start: ph.start, end: ph.end, rates });
+        }
+        ScenarioOutcome { id: self.id, phases, report, tracked: self.tracked }
+    }
+}
+
+fn phases(durations: &[(&str, f64)]) -> Vec<PhaseSpec> {
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    for (name, d) in durations {
+        out.push(PhaseSpec { name: (*name).to_string(), start: t, end: t + d });
+        t += d;
+    }
+    out
+}
+
+/// Figure 6: L7, service-provider context. Server V=320; A [0.2,1] with two
+/// clients via R1, B [0.8,1] with one client via R2. Three phases: both
+/// active / only A / both active. `phase_secs` is the length of each phase.
+pub fn fig6(phase_secs: f64) -> FigureScenario {
+    let mut g = AgreementGraph::new();
+    let s = g.add_principal("S", 320.0);
+    let a = g.add_principal("A", 0.0);
+    let b = g.add_principal("B", 0.0);
+    g.add_agreement(s, a, 0.2, 1.0).unwrap();
+    g.add_agreement(s, b, 0.8, 1.0).unwrap();
+
+    let p = phase_secs;
+    let a_load = PhasedLoad::constant(L7_CLIENT_RATE, 3.0 * p);
+    let b_load = PhasedLoad::new().then(p, L7_CLIENT_RATE).idle(p).then(p, L7_CLIENT_RATE);
+
+    let cfg = SimConfig::new(g, 3.0 * p)
+        .with_mode(QueueMode::CreditRetry { retry_delay: 0.05 })
+        .with_tree(Topology::star(2, 0.0), 0.0)
+        .closed_loop_client(ClientMachine::uniform(0, a, a_load.clone()), 0, 64)
+        .closed_loop_client(ClientMachine::uniform(1, a, a_load), 0, 64)
+        .closed_loop_client(ClientMachine::uniform(2, b, b_load), 1, 64);
+
+    FigureScenario {
+        id: "fig6",
+        cfg,
+        tracked: vec![("A".into(), a), ("B".into(), b)],
+        phases: phases(&[("phase 1", p), ("phase 2", p), ("phase 3", p)]),
+    }
+}
+
+/// Figure 7: community context, minimize global response time. Server
+/// V=250; both A and B hold [0.2,1]; A has two clients, B one. A's requests
+/// should be processed at twice B's rate.
+pub fn fig7(duration: f64) -> FigureScenario {
+    let mut g = AgreementGraph::new();
+    let s = g.add_principal("S", 250.0);
+    let a = g.add_principal("A", 0.0);
+    let b = g.add_principal("B", 0.0);
+    g.add_agreement(s, a, 0.2, 1.0).unwrap();
+    g.add_agreement(s, b, 0.2, 1.0).unwrap();
+
+    let cfg = SimConfig::new(g, duration)
+        .with_mode(QueueMode::CreditRetry { retry_delay: 0.05 })
+        .with_tree(Topology::star(2, 0.0), 0.0)
+        .closed_loop_client(
+            ClientMachine::uniform(0, a, PhasedLoad::constant(L7_CLIENT_RATE, duration)),
+            0,
+            64,
+        )
+        .closed_loop_client(
+            ClientMachine::uniform(1, a, PhasedLoad::constant(L7_CLIENT_RATE, duration)),
+            0,
+            64,
+        )
+        .closed_loop_client(
+            ClientMachine::uniform(2, b, PhasedLoad::constant(L7_CLIENT_RATE, duration)),
+            1,
+            64,
+        );
+
+    FigureScenario {
+        id: "fig7",
+        cfg,
+        tracked: vec![("A".into(), a), ("B".into(), b)],
+        phases: phases(&[("steady", duration)]),
+    }
+}
+
+/// Figure 8: impact of network delay. Server V=320; A [0.8,1] (two clients
+/// via R1), B [0.2,1] (one client via R2); the combining tree delivers
+/// aggregates with a 10 s lag. Six phases as in the paper: B alone
+/// (conservative start, then full use), competition transient, enforced
+/// shares, A departs (transient, then B recovers).
+pub fn fig8(extra_lag: f64) -> FigureScenario {
+    let mut g = AgreementGraph::new();
+    let s = g.add_principal("S", 320.0);
+    let a = g.add_principal("A", 0.0);
+    let b = g.add_principal("B", 0.0);
+    g.add_agreement(s, a, 0.8, 1.0).unwrap();
+    g.add_agreement(s, b, 0.2, 1.0).unwrap();
+
+    // Timeline (with lag L = extra_lag, paper L = 10):
+    //   0..L      phase 1: B alone, conservative (half mandatory = 32/s)
+    //   L..60     phase 2: B alone, full server (client-limited 135/s)
+    //   60..60+L  phase 3: A+B competing while info propagates
+    //   60+L..150 phase 4: enforced (A 255, B 65)
+    //   150..150+L phase 5: A gone, B still at 65 until info propagates
+    //   150+L..250 phase 6: B recovers to 135
+    let duration = 250.0;
+    let a_load = PhasedLoad::new().idle(60.0).then(90.0, L7_CLIENT_RATE).idle(100.0);
+    let b_load = PhasedLoad::constant(L7_CLIENT_RATE, duration);
+
+    let cfg = SimConfig::new(g, duration)
+        .with_mode(QueueMode::CreditRetry { retry_delay: 0.05 })
+        .with_tree(Topology::star(2, 0.0), extra_lag)
+        .closed_loop_client(ClientMachine::uniform(0, a, a_load.clone()), 0, 64)
+        .closed_loop_client(ClientMachine::uniform(1, a, a_load), 0, 64)
+        .closed_loop_client(ClientMachine::uniform(2, b, b_load), 1, 64);
+
+    let l = extra_lag;
+    FigureScenario {
+        id: "fig8",
+        cfg,
+        tracked: vec![("A".into(), a), ("B".into(), b)],
+        phases: vec![
+            PhaseSpec { name: "phase 1 (conservative)".into(), start: 0.0, end: l.max(1.0) },
+            PhaseSpec { name: "phase 2 (B alone)".into(), start: l.max(1.0), end: 60.0 },
+            PhaseSpec { name: "phase 3 (transient)".into(), start: 60.0, end: 60.0 + l },
+            PhaseSpec { name: "phase 4 (enforced)".into(), start: 60.0 + l, end: 150.0 },
+            PhaseSpec { name: "phase 5 (transient)".into(), start: 150.0, end: 150.0 + l },
+            PhaseSpec { name: "phase 6 (B recovers)".into(), start: 150.0 + l, end: 250.0 },
+        ],
+    }
+}
+
+/// Figure 9: L4, community context. A and B each own a 320 req/s server; B
+/// shares its server with A under [0.5, 0.5]. Four phases: A has 2, 0, 1, 0
+/// clients (400 req/s each); B always has one client.
+pub fn fig9(phase_secs: f64) -> FigureScenario {
+    let mut g = AgreementGraph::new();
+    let a = g.add_principal("A", 320.0);
+    let b = g.add_principal("B", 320.0);
+    g.add_agreement(b, a, 0.5, 0.5).unwrap();
+
+    let p = phase_secs;
+    let a1 = PhasedLoad::new().then(p, L4_CLIENT_RATE).idle(p).then(p, L4_CLIENT_RATE).idle(p);
+    let a2 = PhasedLoad::new().then(p, L4_CLIENT_RATE).idle(3.0 * p);
+    let b1 = PhasedLoad::constant(L4_CLIENT_RATE, 4.0 * p);
+
+    let cfg = SimConfig::new(g, 4.0 * p)
+        .with_mode(QueueMode::CreditPark)
+        .closed_loop_client(ClientMachine::uniform(0, a, a1), 0, 64)
+        .closed_loop_client(ClientMachine::uniform(1, a, a2), 0, 64)
+        .closed_loop_client(ClientMachine::uniform(2, b, b1), 0, 64);
+
+    FigureScenario {
+        id: "fig9",
+        cfg,
+        tracked: vec![("A".into(), a), ("B".into(), b)],
+        phases: phases(&[("phase 1", p), ("phase 2", p), ("phase 3", p), ("phase 4", p)]),
+    }
+}
+
+/// Figure 10: L4, provider income maximization. Provider with two 320 req/s
+/// servers (pooled V=640); A [0.8,1] pays 2 per extra request, B [0.2,1]
+/// pays 1. Same client phasing as Figure 9.
+pub fn fig10(phase_secs: f64) -> FigureScenario {
+    let mut g = AgreementGraph::new();
+    let s = g.add_principal("S", 640.0);
+    let a = g.add_principal("A", 0.0);
+    let b = g.add_principal("B", 0.0);
+    g.add_agreement(s, a, 0.8, 1.0).unwrap();
+    g.add_agreement(s, b, 0.2, 1.0).unwrap();
+
+    let p = phase_secs;
+    let a1 = PhasedLoad::new().then(p, L4_CLIENT_RATE).idle(p).then(p, L4_CLIENT_RATE).idle(p);
+    let a2 = PhasedLoad::new().then(p, L4_CLIENT_RATE).idle(3.0 * p);
+    let b1 = PhasedLoad::constant(L4_CLIENT_RATE, 4.0 * p);
+
+    let cfg = SimConfig::new(g, 4.0 * p)
+        .with_mode(QueueMode::CreditPark)
+        .with_policy(Policy::Provider { prices: vec![0.0, 2.0, 1.0] })
+        .closed_loop_client(ClientMachine::uniform(0, a, a1), 0, 64)
+        .closed_loop_client(ClientMachine::uniform(1, a, a2), 0, 64)
+        .closed_loop_client(ClientMachine::uniform(2, b, b1), 0, 64);
+
+    FigureScenario {
+        id: "fig10",
+        cfg,
+        tracked: vec![("A".into(), a), ("B".into(), b)],
+        phases: phases(&[("phase 1", p), ("phase 2", p), ("phase 3", p), ("phase 4", p)]),
+    }
+}
+
+/// The aggregate rates Figure 1's motivating example predicts, computed
+/// directly from the scheduling LP (no simulation needed — the example is
+/// arithmetic about steady-state rates).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Result {
+    /// (A, B) aggregate rates under independent per-server enforcement.
+    pub uncoordinated: (f64, f64),
+    /// (A, B) aggregate rates under coordinated enforcement.
+    pub coordinated: (f64, f64),
+}
+
+/// Figure 1: two 50 req/s servers; SLAs give A 20% and B 80% of the
+/// aggregate. Redirector locality bias splits the (A:40, B:80) offered load
+/// as (A:20,B:30) onto S1 and (A:20,B:50) onto S2.
+pub fn fig1() -> Fig1Result {
+    // Independent enforcement: each server runs the LP alone on its local
+    // arrivals, with per-server shares (A 20%, B 80% of that server).
+    let per_server = |demand_a: f64, demand_b: f64| -> (f64, f64) {
+        let mut g = AgreementGraph::new();
+        let s = g.add_principal("S", 50.0);
+        let a = g.add_principal("A", 0.0);
+        let b = g.add_principal("B", 0.0);
+        g.add_agreement(s, a, 0.2, 1.0).unwrap();
+        g.add_agreement(s, b, 0.8, 1.0).unwrap();
+        let plan = CommunityScheduler::new().plan(&g.access_levels(), &[0.0, demand_a, demand_b]);
+        (plan.admitted(a), plan.admitted(b))
+    };
+    let s1 = per_server(20.0, 30.0);
+    let s2 = per_server(20.0, 50.0);
+    let uncoordinated = (s1.0 + s2.0, s1.1 + s2.1);
+
+    // Coordinated: one LP over both servers with the global demands.
+    let mut g = AgreementGraph::new();
+    let s1p = g.add_principal("S1", 50.0);
+    let s2p = g.add_principal("S2", 50.0);
+    let a = g.add_principal("A", 0.0);
+    let b = g.add_principal("B", 0.0);
+    for s in [s1p, s2p] {
+        g.add_agreement(s, a, 0.2, 1.0).unwrap();
+        g.add_agreement(s, b, 0.8, 1.0).unwrap();
+    }
+    let plan = CommunityScheduler::new().plan(&g.access_levels(), &[0.0, 0.0, 40.0, 80.0]);
+    let coordinated = (plan.admitted(a), plan.admitted(b));
+
+    Fig1Result { uncoordinated, coordinated }
+}
+
+/// §4.1 queuing-mode comparison (E9): one principal flooding a V=320
+/// server through a redirector in the given mode, with closed-loop clients
+/// (the mechanism by which bunching depresses throughput). Returns the
+/// achieved service rate for the offered load.
+pub fn queuing_mode_rate(mode: QueueMode, offered: f64, duration: f64) -> f64 {
+    let mut g = AgreementGraph::new();
+    let s = g.add_principal("S", 320.0);
+    let a = g.add_principal("A", 0.0);
+    g.add_agreement(s, a, 0.0, 1.0).unwrap();
+
+    // Several client machines sum to the offered rate, each with a modest
+    // outstanding limit (WebBench threads block on their responses).
+    let n_clients = 4;
+    let per_client = offered / n_clients as f64;
+    let mut cfg = SimConfig::new(g, duration).with_mode(mode);
+    // Tight server backlog: bunched window-boundary bursts overflow it,
+    // spread-out admissions do not.
+    cfg.server_backlog = 32;
+    for c in 0..n_clients {
+        cfg = cfg.closed_loop_client(
+            ClientMachine::uniform(c, a, PhasedLoad::constant(per_client, duration)),
+            0,
+            4,
+        );
+    }
+    let report = Simulation::new(cfg).run();
+    report.rates.mean_rate_secs(a, duration * 0.2, duration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_reproduces_the_motivating_example() {
+        let r = fig1();
+        // Paper: uncoordinated aggregate (A:30, B:70) — the SLA violation.
+        assert!((r.uncoordinated.0 - 30.0).abs() < 1e-4, "A {}", r.uncoordinated.0);
+        assert!((r.uncoordinated.1 - 70.0).abs() < 1e-4, "B {}", r.uncoordinated.1);
+        // Coordinated: (A:20, B:80) — the SLA respected.
+        assert!((r.coordinated.0 - 20.0).abs() < 1e-4, "A {}", r.coordinated.0);
+        assert!((r.coordinated.1 - 80.0).abs() < 1e-4, "B {}", r.coordinated.1);
+    }
+
+    #[test]
+    fn fig6_phase_rates_match_paper() {
+        let outcome = fig6(20.0).run();
+        let p = &outcome.phases;
+        // Phase 1: B 135 (fully served, below mandatory), A ≈ 185.
+        assert!((p[0].rate("B") - 135.0).abs() < 12.0, "p1 B {}", p[0].rate("B"));
+        assert!((p[0].rate("A") - 185.0).abs() < 15.0, "p1 A {}", p[0].rate("A"));
+        // Phase 2: only A, limited by two clients to 270.
+        assert!((p[1].rate("A") - 270.0).abs() < 15.0, "p2 A {}", p[1].rate("A"));
+        assert!(p[1].rate("B") < 10.0, "p2 B {}", p[1].rate("B"));
+        // Phase 3: back to phase-1 shares.
+        assert!((p[2].rate("B") - 135.0).abs() < 12.0, "p3 B {}", p[2].rate("B"));
+        assert!((p[2].rate("A") - 185.0).abs() < 15.0, "p3 A {}", p[2].rate("A"));
+    }
+
+    #[test]
+    fn fig7_a_served_at_twice_b() {
+        let outcome = fig7(30.0).run();
+        let a = outcome.phases[0].rate("A");
+        let b = outcome.phases[0].rate("B");
+        assert!((a / b - 2.0).abs() < 0.25, "A/B = {}", a / b);
+        assert!((a + b - 250.0).abs() < 20.0, "total {}", a + b);
+    }
+
+    #[test]
+    fn fig8_network_delay_phases() {
+        let outcome = fig8(10.0).run();
+        let p = &outcome.phases;
+        // Phase 1: conservative half-mandatory ≈ 32 req/s (paper measures ~30).
+        assert!((p[0].rate("B") - 32.0).abs() < 6.0, "p1 B {}", p[0].rate("B"));
+        // Phase 2: B alone, client-limited 135.
+        assert!((p[1].rate("B") - 135.0).abs() < 10.0, "p2 B {}", p[1].rate("B"));
+        // Phase 4: enforced shares: A 255, B 65 (paper: 255 / 65).
+        assert!((p[3].rate("A") - 255.0).abs() < 15.0, "p4 A {}", p[3].rate("A"));
+        assert!((p[3].rate("B") - 65.0).abs() < 10.0, "p4 B {}", p[3].rate("B"));
+        // Phase 6: B recovers to 135.
+        assert!((p[5].rate("B") - 135.0).abs() < 10.0, "p6 B {}", p[5].rate("B"));
+    }
+
+    #[test]
+    fn fig9_phase_rates_match_paper() {
+        let outcome = fig9(25.0).run();
+        let p = &outcome.phases;
+        assert!((p[0].rate("A") - 480.0).abs() < 25.0, "p1 A {}", p[0].rate("A"));
+        assert!((p[0].rate("B") - 160.0).abs() < 20.0, "p1 B {}", p[0].rate("B"));
+        assert!(p[1].rate("A") < 15.0, "p2 A {}", p[1].rate("A"));
+        assert!((p[1].rate("B") - 320.0).abs() < 20.0, "p2 B {}", p[1].rate("B"));
+        assert!((p[2].rate("A") - 400.0).abs() < 25.0, "p3 A {}", p[2].rate("A"));
+        assert!((p[2].rate("B") - 240.0).abs() < 20.0, "p3 B {}", p[2].rate("B"));
+        assert!((p[3].rate("B") - 320.0).abs() < 20.0, "p4 B {}", p[3].rate("B"));
+    }
+
+    #[test]
+    fn fig10_income_priority() {
+        let outcome = fig10(25.0).run();
+        let p = &outcome.phases;
+        // Phase 1: B pinned to mandatory 128, A takes 512.
+        assert!((p[0].rate("B") - 128.0).abs() < 15.0, "p1 B {}", p[0].rate("B"));
+        assert!((p[0].rate("A") - 512.0).abs() < 25.0, "p1 A {}", p[0].rate("A"));
+        // Phase 2: A idle; B client-limited to 400.
+        assert!((p[1].rate("B") - 400.0).abs() < 20.0, "p2 B {}", p[1].rate("B"));
+        // Phase 3: A 400 (one client), B takes the remaining 240.
+        assert!((p[2].rate("A") - 400.0).abs() < 20.0, "p3 A {}", p[2].rate("A"));
+        assert!((p[2].rate("B") - 240.0).abs() < 20.0, "p3 B {}", p[2].rate("B"));
+    }
+}

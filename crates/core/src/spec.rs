@@ -1,0 +1,342 @@
+//! Declarative deployment specifications (JSON-friendly).
+//!
+//! Lets operators describe a whole enforcement deployment — principals,
+//! agreements, redirector tree, scheduling policy, client loads — as data,
+//! and run it without writing Rust. This is the input format of the
+//! `covenant` CLI.
+
+use covenant_agreements::{AgreementError, AgreementGraph, PrincipalId};
+use covenant_sched::{LocalityCaps, Policy};
+use covenant_sim::{QueueMode, SimConfig};
+use covenant_tree::{Topology, TreeError};
+use covenant_workload::{ClientMachine, PhasedLoad};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A whole-deployment specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeploymentSpec {
+    /// Principals in id order.
+    pub principals: Vec<PrincipalSpec>,
+    /// Direct agreements.
+    pub agreements: Vec<AgreementSpec>,
+    /// Redirectors and their combining tree (parent indices; exactly one
+    /// `null` root). A single-redirector deployment is `[null]`.
+    #[serde(default = "default_tree")]
+    pub redirector_tree: Vec<Option<usize>>,
+    /// Uniform edge delay in the tree, seconds.
+    #[serde(default)]
+    pub tree_edge_delay: f64,
+    /// Extra information lag injected on top of propagation, seconds.
+    #[serde(default)]
+    pub extra_tree_lag: f64,
+    /// Scheduling policy.
+    #[serde(default)]
+    pub policy: PolicySpec,
+    /// Scheduling window, seconds.
+    #[serde(default = "default_window")]
+    pub window_secs: f64,
+    /// Queuing mode.
+    #[serde(default)]
+    pub queue_mode: QueueModeSpec,
+    /// Client machines.
+    pub clients: Vec<ClientSpec>,
+    /// Run length, seconds.
+    pub duration: f64,
+}
+
+fn default_tree() -> Vec<Option<usize>> {
+    vec![None]
+}
+
+fn default_window() -> f64 {
+    0.1
+}
+
+/// One principal.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrincipalSpec {
+    /// Display name (also used in client references).
+    pub name: String,
+    /// Physical capacity, requests/second (0 for pure consumers).
+    #[serde(default)]
+    pub capacity: f64,
+}
+
+/// One `[lb, ub]` agreement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AgreementSpec {
+    /// Issuer principal name.
+    pub issuer: String,
+    /// Holder principal name.
+    pub holder: String,
+    /// Guaranteed fraction.
+    pub lb: f64,
+    /// Best-effort upper bound.
+    pub ub: f64,
+}
+
+/// Scheduling policy selection.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case", tag = "kind")]
+pub enum PolicySpec {
+    /// Max-min θ (community).
+    #[default]
+    Community,
+    /// Community with per-server locality caps (requests/window).
+    CommunityWithLocality {
+        /// Per-server caps in principal-id order.
+        caps: Vec<f64>,
+    },
+    /// Provider income maximization.
+    Provider {
+        /// Per-principal price for requests beyond mandatory.
+        prices: Vec<f64>,
+    },
+}
+
+/// Queuing mode selection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", tag = "kind")]
+pub enum QueueModeSpec {
+    /// Explicit per-principal queues.
+    Explicit,
+    /// Credit gate + client retry (L7 semantics).
+    CreditRetry {
+        /// Retry delay, seconds.
+        #[serde(default = "default_retry")]
+        retry_delay: f64,
+    },
+    /// Credit gate + parking (L4 semantics).
+    CreditPark,
+}
+
+impl Default for QueueModeSpec {
+    fn default() -> Self {
+        QueueModeSpec::CreditRetry { retry_delay: default_retry() }
+    }
+}
+
+fn default_retry() -> f64 {
+    0.05
+}
+
+/// One client machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClientSpec {
+    /// Principal whose agreements fund this client's requests.
+    pub principal: String,
+    /// Redirector index the client sends to.
+    #[serde(default)]
+    pub redirector: usize,
+    /// Load phases: (duration seconds, rate req/s).
+    pub phases: Vec<(f64, f64)>,
+    /// Optional closed-loop outstanding limit.
+    #[serde(default)]
+    pub max_outstanding: Option<usize>,
+}
+
+/// Errors raised while materializing a spec.
+#[derive(Debug)]
+pub enum SpecError {
+    /// A client or agreement referenced an unknown principal name.
+    UnknownPrincipal(String),
+    /// The agreement graph rejected an agreement.
+    Agreement(AgreementError),
+    /// The redirector tree was invalid.
+    Tree(TreeError),
+    /// A client referenced a redirector index outside the tree.
+    BadRedirector(usize),
+    /// JSON parse failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownPrincipal(n) => write!(f, "unknown principal '{n}'"),
+            SpecError::Agreement(e) => write!(f, "invalid agreement: {e}"),
+            SpecError::Tree(e) => write!(f, "invalid redirector tree: {e}"),
+            SpecError::BadRedirector(i) => write!(f, "redirector index {i} out of range"),
+            SpecError::Json(e) => write!(f, "invalid spec JSON: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl DeploymentSpec {
+    /// Parses a spec from JSON.
+    pub fn from_json(json: &str) -> Result<Self, SpecError> {
+        serde_json::from_str(json).map_err(SpecError::Json)
+    }
+
+    /// Serializes the spec to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    /// Builds just the agreement graph.
+    pub fn build_graph(&self) -> Result<AgreementGraph, SpecError> {
+        let mut g = AgreementGraph::new();
+        for p in &self.principals {
+            g.add_principal(p.name.clone(), p.capacity);
+        }
+        let lookup = |name: &str| -> Result<PrincipalId, SpecError> {
+            self.principals
+                .iter()
+                .position(|p| p.name == name)
+                .map(PrincipalId)
+                .ok_or_else(|| SpecError::UnknownPrincipal(name.to_string()))
+        };
+        for a in &self.agreements {
+            let issuer = lookup(&a.issuer)?;
+            let holder = lookup(&a.holder)?;
+            g.add_agreement(issuer, holder, a.lb, a.ub)
+                .map_err(SpecError::Agreement)?;
+        }
+        Ok(g)
+    }
+
+    /// Materializes the full simulator configuration.
+    pub fn build_sim(&self) -> Result<SimConfig, SpecError> {
+        let graph = self.build_graph()?;
+        let tree = Topology::from_parents(
+            &self.redirector_tree,
+            &vec![self.tree_edge_delay; self.redirector_tree.len()],
+        )
+        .map_err(SpecError::Tree)?;
+        let n_redirectors = tree.len();
+
+        let mut cfg = SimConfig::new(graph, self.duration)
+            .with_tree(tree, self.extra_tree_lag)
+            .with_mode(match &self.queue_mode {
+                QueueModeSpec::Explicit => QueueMode::Explicit,
+                QueueModeSpec::CreditRetry { retry_delay } => {
+                    QueueMode::CreditRetry { retry_delay: *retry_delay }
+                }
+                QueueModeSpec::CreditPark => QueueMode::CreditPark,
+            })
+            .with_policy(match &self.policy {
+                PolicySpec::Community => Policy::Community { locality: None },
+                PolicySpec::CommunityWithLocality { caps } => {
+                    Policy::Community { locality: Some(LocalityCaps(caps.clone())) }
+                }
+                PolicySpec::Provider { prices } => Policy::Provider { prices: prices.clone() },
+            });
+        cfg.window_secs = self.window_secs;
+
+        for (ci, c) in self.clients.iter().enumerate() {
+            let principal = self
+                .principals
+                .iter()
+                .position(|p| p.name == c.principal)
+                .map(PrincipalId)
+                .ok_or_else(|| SpecError::UnknownPrincipal(c.principal.clone()))?;
+            if c.redirector >= n_redirectors {
+                return Err(SpecError::BadRedirector(c.redirector));
+            }
+            let load = c
+                .phases
+                .iter()
+                .fold(PhasedLoad::new(), |l, &(d, r)| l.then(d, r));
+            let machine = ClientMachine::uniform(ci, principal, load);
+            cfg = match c.max_outstanding {
+                Some(limit) => cfg.closed_loop_client(machine, c.redirector, limit),
+                None => cfg.client(machine, c.redirector),
+            };
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covenant_sim::Simulation;
+
+    const EXAMPLE: &str = r#"{
+        "principals": [
+            {"name": "S", "capacity": 100.0},
+            {"name": "A"},
+            {"name": "B"}
+        ],
+        "agreements": [
+            {"issuer": "S", "holder": "A", "lb": 0.2, "ub": 1.0},
+            {"issuer": "S", "holder": "B", "lb": 0.8, "ub": 1.0}
+        ],
+        "clients": [
+            {"principal": "A", "phases": [[20.0, 150.0]]},
+            {"principal": "B", "phases": [[20.0, 150.0]]}
+        ],
+        "duration": 20.0
+    }"#;
+
+    #[test]
+    fn parses_and_builds() {
+        let spec = DeploymentSpec::from_json(EXAMPLE).unwrap();
+        let g = spec.build_graph().unwrap();
+        assert_eq!(g.len(), 3);
+        let lv = g.access_levels();
+        assert!((lv.mandatory(PrincipalId(2)) - 80.0).abs() < 1e-9);
+        let cfg = spec.build_sim().unwrap();
+        assert_eq!(cfg.clients.len(), 2);
+        assert_eq!(cfg.n_redirectors(), 1);
+    }
+
+    #[test]
+    fn spec_driven_run_enforces() {
+        let spec = DeploymentSpec::from_json(EXAMPLE).unwrap();
+        let report = Simulation::new(spec.build_sim().unwrap()).run();
+        let b = report.rates.mean_rate_secs(PrincipalId(2), 8.0, 19.0);
+        assert!((b - 80.0).abs() < 8.0, "B {b}");
+    }
+
+    #[test]
+    fn roundtrips_json() {
+        let spec = DeploymentSpec::from_json(EXAMPLE).unwrap();
+        let json = spec.to_json();
+        let again = DeploymentSpec::from_json(&json).unwrap();
+        assert_eq!(again.principals.len(), 3);
+        assert_eq!(again.agreements.len(), 2);
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let bad = EXAMPLE.replace("\"holder\": \"A\"", "\"holder\": \"Z\"");
+        let spec = DeploymentSpec::from_json(&bad).unwrap();
+        assert!(matches!(spec.build_graph(), Err(SpecError::UnknownPrincipal(_))));
+    }
+
+    #[test]
+    fn bad_tree_rejected() {
+        let mut spec = DeploymentSpec::from_json(EXAMPLE).unwrap();
+        spec.redirector_tree = vec![Some(1), Some(0)];
+        assert!(matches!(spec.build_sim(), Err(SpecError::Tree(_))));
+    }
+
+    #[test]
+    fn bad_redirector_index_rejected() {
+        let mut spec = DeploymentSpec::from_json(EXAMPLE).unwrap();
+        spec.clients[0].redirector = 5;
+        assert!(matches!(spec.build_sim(), Err(SpecError::BadRedirector(5))));
+    }
+
+    #[test]
+    fn policy_and_mode_variants_parse() {
+        let json = r#"{
+            "principals": [{"name": "S", "capacity": 10.0}],
+            "agreements": [],
+            "policy": {"kind": "provider", "prices": [1.0]},
+            "queue_mode": {"kind": "credit_park"},
+            "redirector_tree": [null, 0],
+            "clients": [],
+            "duration": 1.0
+        }"#;
+        let spec = DeploymentSpec::from_json(json).unwrap();
+        let cfg = spec.build_sim().unwrap();
+        assert_eq!(cfg.n_redirectors(), 2);
+        assert!(matches!(cfg.mode, QueueMode::CreditPark));
+        assert!(matches!(cfg.policy, Policy::Provider { .. }));
+    }
+}

@@ -1,0 +1,221 @@
+//! Blocking HTTP client with bounded redirect following.
+
+use crate::{HttpError, HttpRequest, HttpResponse};
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Result of a fetch: the final response plus how the redirect chain
+/// unfolded (the L7 experiments count self-redirect retries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchResult {
+    /// The final (non-redirect, or redirect-limit-reached) response.
+    pub response: HttpResponse,
+    /// Number of redirects followed before the final response.
+    pub redirects: usize,
+}
+
+/// A one-connection-per-request HTTP client.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    /// Maximum redirects to follow per fetch.
+    pub max_redirects: usize,
+    /// Socket timeout for connect/read/write.
+    pub timeout: Duration,
+    /// Pause before re-requesting the *same* URL (a self-redirect — the L7
+    /// implicit-queue "please retry" signal). Zero means spin immediately.
+    pub self_redirect_pause: Duration,
+}
+
+impl Default for HttpClient {
+    fn default() -> Self {
+        HttpClient {
+            max_redirects: 32,
+            timeout: Duration::from_secs(10),
+            self_redirect_pause: Duration::from_millis(0),
+        }
+    }
+}
+
+impl HttpClient {
+    /// A client with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the redirect hop limit.
+    pub fn with_max_redirects(mut self, n: usize) -> Self {
+        self.max_redirects = n;
+        self
+    }
+
+    /// Performs one GET against a `http://host:port/path` URL, following
+    /// redirects up to the limit.
+    pub fn get(&self, url: &str) -> Result<FetchResult, HttpError> {
+        let mut target = url.to_string();
+        let mut redirects = 0;
+        loop {
+            let (authority, path) = split_url(&target)?;
+            let response = self.request_once(authority, &HttpRequest::get(path))?;
+            if response.status.is_redirect() {
+                if redirects >= self.max_redirects {
+                    return Err(HttpError::TooManyRedirects(self.max_redirects));
+                }
+                let loc = response
+                    .header_value("location")
+                    .ok_or(HttpError::BadRedirect)?;
+                let next = if loc.starts_with("http://") {
+                    loc.to_string()
+                } else {
+                    // Relative Location: same authority.
+                    format!("http://{authority}{loc}")
+                };
+                if next == target && !self.self_redirect_pause.is_zero() {
+                    std::thread::sleep(self.self_redirect_pause);
+                }
+                target = next;
+                redirects += 1;
+                continue;
+            }
+            return Ok(FetchResult { response, redirects });
+        }
+    }
+
+    /// Performs one GET without following redirects (what raw WebBench
+    /// 4.01 does — the paper fronts it with a proxy for the L7 runs).
+    pub fn get_no_follow(&self, url: &str) -> Result<HttpResponse, HttpError> {
+        let (authority, path) = split_url(url)?;
+        self.request_once(authority, &HttpRequest::get(path))
+    }
+
+    /// Sends one request to `authority` ("host:port") on a fresh
+    /// connection.
+    pub fn request_once(
+        &self,
+        authority: &str,
+        req: &HttpRequest,
+    ) -> Result<HttpResponse, HttpError> {
+        let stream = TcpStream::connect(authority)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let req = req.clone().header("host", authority.to_string());
+        req.write_to(&mut writer)?;
+        let mut reader = BufReader::new(stream);
+        HttpResponse::read_from(&mut reader)
+    }
+}
+
+/// Splits `http://host:port/path` into (`host:port`, `/path`).
+fn split_url(url: &str) -> Result<(&str, &str), HttpError> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or(HttpError::Malformed("url must start with http://"))?;
+    match rest.find('/') {
+        Some(i) => Ok((&rest[..i], &rest[i..])),
+        None => Ok((rest, "/")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HttpServer, StatusCode};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn split_url_variants() {
+        assert_eq!(split_url("http://a:80/x/y").unwrap(), ("a:80", "/x/y"));
+        assert_eq!(split_url("http://a:80").unwrap(), ("a:80", "/"));
+        assert!(split_url("ftp://a/x").is_err());
+    }
+
+    #[test]
+    fn follows_redirect_chain() {
+        // Backend answers 200; front server 302-redirects to the backend.
+        let backend: HttpServer = HttpServer::bind(
+            "127.0.0.1:0",
+            crate::server::handler(|_req, _| crate::HttpResponse::ok("backend")),
+        )
+        .unwrap();
+        let backend_addr = backend.addr();
+        let front = HttpServer::bind(
+            "127.0.0.1:0",
+            crate::server::handler(move |req, _| {
+                crate::HttpResponse::redirect(format!("http://{backend_addr}{}", req.path))
+            }),
+        )
+        .unwrap();
+
+        let r = HttpClient::new().get(&format!("http://{}/p", front.addr())).unwrap();
+        assert_eq!(r.response.status, StatusCode::OK);
+        assert_eq!(r.response.body, b"backend");
+        assert_eq!(r.redirects, 1);
+    }
+
+    #[test]
+    fn self_redirect_loop_hits_limit() {
+        // A redirector that always self-redirects (the L7 "implicit queue"
+        // behaviour under zero quota).
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let server_handler_addr: Arc<parking_lot::Mutex<Option<std::net::SocketAddr>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        let sh = Arc::clone(&server_handler_addr);
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            crate::server::handler(move |req, _| {
+                c2.fetch_add(1, Ordering::Relaxed);
+                let addr = sh.lock().expect("addr set");
+                crate::HttpResponse::redirect(format!("http://{addr}{}", req.path))
+            }),
+        )
+        .unwrap();
+        *server_handler_addr.lock() = Some(server.addr());
+
+        let err = HttpClient::new()
+            .with_max_redirects(5)
+            .get(&format!("http://{}/p", server.addr()))
+            .unwrap_err();
+        assert!(matches!(err, HttpError::TooManyRedirects(5)));
+        assert_eq!(counter.load(Ordering::Relaxed), 6); // initial + 5 retries
+    }
+
+    #[test]
+    fn no_follow_returns_redirect() {
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            crate::server::handler(|_req, _| crate::HttpResponse::redirect("/again")),
+        )
+        .unwrap();
+        let resp = HttpClient::new()
+            .get_no_follow(&format!("http://{}/p", server.addr()))
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::FOUND);
+        assert_eq!(resp.header_value("location"), Some("/again"));
+    }
+
+    #[test]
+    fn relative_location_resolves_against_authority() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h2 = Arc::clone(&hits);
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            crate::server::handler(move |req, _| {
+                if req.path == "/final" {
+                    crate::HttpResponse::ok("done")
+                } else {
+                    h2.fetch_add(1, Ordering::Relaxed);
+                    crate::HttpResponse::redirect("/final")
+                }
+            }),
+        )
+        .unwrap();
+        let r = HttpClient::new().get(&format!("http://{}/start", server.addr())).unwrap();
+        assert_eq!(r.response.body, b"done");
+        assert_eq!(r.redirects, 1);
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! HTTP substrate errors.
+
+use std::fmt;
+use std::io;
+
+/// Errors raised while parsing or transporting HTTP messages.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying socket error.
+    Io(io::Error),
+    /// Malformed request line, status line, or header.
+    Malformed(&'static str),
+    /// The peer closed the connection before a complete message arrived.
+    UnexpectedEof,
+    /// A redirect chain exceeded the client's hop limit.
+    TooManyRedirects(usize),
+    /// A `Location` header was missing or unusable on a redirect.
+    BadRedirect,
+    /// Header or body exceeded the configured size limit.
+    TooLarge,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed message: {what}"),
+            HttpError::UnexpectedEof => write!(f, "connection closed mid-message"),
+            HttpError::TooManyRedirects(n) => write!(f, "more than {n} redirects"),
+            HttpError::BadRedirect => write!(f, "redirect without usable Location"),
+            HttpError::TooLarge => write!(f, "message exceeds size limit"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}

@@ -1,0 +1,382 @@
+//! HTTP/1.1 message types, parsing, and serialization.
+
+use crate::HttpError;
+use std::io::{BufRead, Write};
+
+/// Maximum accepted header block size (DoS guard).
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Maximum accepted body size (the paper's largest reply is 500 KB).
+const MAX_BODY_BYTES: usize = 2 * 1024 * 1024;
+
+/// Request methods the substrate understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// GET — the only method WebBench-style load uses.
+    Get,
+    /// HEAD.
+    Head,
+    /// POST.
+    Post,
+}
+
+impl Method {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+            Method::Post => "POST",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, HttpError> {
+        match s {
+            "GET" => Ok(Method::Get),
+            "HEAD" => Ok(Method::Head),
+            "POST" => Ok(Method::Post),
+            _ => Err(HttpError::Malformed("unsupported method")),
+        }
+    }
+}
+
+/// Status codes the redirectors and servers emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// 200 OK.
+    pub const OK: StatusCode = StatusCode(200);
+    /// 302 Found — the L7 redirection vehicle.
+    pub const FOUND: StatusCode = StatusCode(302);
+    /// 400 Bad Request.
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    /// 404 Not Found.
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 503 Service Unavailable.
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+
+    /// Canonical reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            302 => "Found",
+            400 => "Bad Request",
+            404 => "Not Found",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// True for 3xx.
+    pub fn is_redirect(self) -> bool {
+        (300..400).contains(&self.0)
+    }
+}
+
+/// An HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpRequest {
+    /// Method.
+    pub method: Method,
+    /// Request target (origin-form path, e.g. `/org/A/page1.html`).
+    pub path: String,
+    /// Header name/value pairs in arrival order (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (empty unless `Content-Length` was present).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// A bare GET.
+    pub fn get(path: impl Into<String>) -> Self {
+        HttpRequest { method: Method::Get, path: path.into(), headers: Vec::new(), body: Vec::new() }
+    }
+
+    /// Adds a header (builder style).
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_ascii_lowercase(), value.into()));
+        self
+    }
+
+    /// First value of header `name` (case-insensitive).
+    pub fn header_value(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Reads one request from a buffered stream.
+    pub fn read_from<R: BufRead>(r: &mut R) -> Result<Self, HttpError> {
+        let start = read_line(r)?;
+        let mut parts = start.split_whitespace();
+        let method = Method::parse(parts.next().ok_or(HttpError::Malformed("empty request line"))?)?;
+        let path = parts
+            .next()
+            .ok_or(HttpError::Malformed("missing request target"))?
+            .to_string();
+        let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed("unsupported HTTP version"));
+        }
+        let headers = read_headers(r)?;
+        let body = read_body(r, &headers)?;
+        Ok(HttpRequest { method, path, headers, body })
+    }
+
+    /// Serializes onto a stream (always `Connection: close`).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), HttpError> {
+        write!(w, "{} {} HTTP/1.1\r\n", self.method.as_str(), self.path)?;
+        let mut wrote_conn = false;
+        for (n, v) in &self.headers {
+            write!(w, "{n}: {v}\r\n")?;
+            if n == "connection" {
+                wrote_conn = true;
+            }
+        }
+        if !self.body.is_empty() {
+            write!(w, "content-length: {}\r\n", self.body.len())?;
+        }
+        if !wrote_conn {
+            write!(w, "connection: close\r\n")?;
+        }
+        write!(w, "\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()?;
+        Ok(())
+    }
+}
+
+/// An HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: StatusCode,
+    /// Header name/value pairs (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// 200 with a body.
+    pub fn ok(body: impl Into<Vec<u8>>) -> Self {
+        HttpResponse { status: StatusCode::OK, headers: Vec::new(), body: body.into() }
+    }
+
+    /// 302 with a `Location` header — the L7 redirection reply.
+    pub fn redirect(location: impl Into<String>) -> Self {
+        HttpResponse {
+            status: StatusCode::FOUND,
+            headers: vec![("location".into(), location.into())],
+            body: Vec::new(),
+        }
+    }
+
+    /// An empty response with the given status.
+    pub fn status(status: StatusCode) -> Self {
+        HttpResponse { status, headers: Vec::new(), body: Vec::new() }
+    }
+
+    /// Adds a header (builder style).
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_ascii_lowercase(), value.into()));
+        self
+    }
+
+    /// First value of header `name` (case-insensitive).
+    pub fn header_value(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Reads one response from a buffered stream.
+    pub fn read_from<R: BufRead>(r: &mut R) -> Result<Self, HttpError> {
+        let start = read_line(r)?;
+        let mut parts = start.split_whitespace();
+        let version = parts.next().ok_or(HttpError::Malformed("empty status line"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed("unsupported HTTP version"));
+        }
+        let code: u16 = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or(HttpError::Malformed("bad status code"))?;
+        let headers = read_headers(r)?;
+        let body = read_body(r, &headers)?;
+        Ok(HttpResponse { status: StatusCode(code), headers, body })
+    }
+
+    /// Serializes onto a stream.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), HttpError> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status.0, self.status.reason())?;
+        for (n, v) in &self.headers {
+            write!(w, "{n}: {v}\r\n")?;
+        }
+        write!(w, "content-length: {}\r\n", self.body.len())?;
+        write!(w, "connection: close\r\n\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()?;
+        Ok(())
+    }
+}
+
+fn read_line<R: BufRead>(r: &mut R) -> Result<String, HttpError> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Err(HttpError::UnexpectedEof);
+    }
+    if line.len() > MAX_HEADER_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+fn read_headers<R: BufRead>(r: &mut R) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    let mut total = 0usize;
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        total += line.len();
+        if total > MAX_HEADER_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+}
+
+fn read_body<R: BufRead>(
+    r: &mut R,
+    headers: &[(String, String)],
+) -> Result<Vec<u8>, HttpError> {
+    let len: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; len];
+    let mut read = 0;
+    while read < len {
+        let n = r.read(&mut body[read..])?;
+        if n == 0 {
+            return Err(HttpError::UnexpectedEof);
+        }
+        read += n;
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip_request(req: &HttpRequest) -> HttpRequest {
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        HttpRequest::read_from(&mut BufReader::new(&buf[..])).unwrap()
+    }
+
+    fn roundtrip_response(resp: &HttpResponse) -> HttpResponse {
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        HttpResponse::read_from(&mut BufReader::new(&buf[..])).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = HttpRequest::get("/org/A/page1.html").header("Host", "redirector:8080");
+        let back = roundtrip_request(&req);
+        assert_eq!(back.method, Method::Get);
+        assert_eq!(back.path, "/org/A/page1.html");
+        assert_eq!(back.header_value("host"), Some("redirector:8080"));
+        assert!(back.body.is_empty());
+    }
+
+    #[test]
+    fn request_with_body_roundtrips() {
+        let mut req = HttpRequest::get("/submit");
+        req.method = Method::Post;
+        req.body = b"key=value".to_vec();
+        let back = roundtrip_request(&req);
+        assert_eq!(back.method, Method::Post);
+        assert_eq!(back.body, b"key=value");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = HttpResponse::ok(vec![7u8; 6144]).header("X-Server", "s1");
+        let back = roundtrip_response(&resp);
+        assert_eq!(back.status, StatusCode::OK);
+        assert_eq!(back.body.len(), 6144);
+        assert_eq!(back.header_value("x-server"), Some("s1"));
+    }
+
+    #[test]
+    fn redirect_response_carries_location() {
+        let resp = HttpResponse::redirect("http://10.0.0.2:8080/org/A/x");
+        let back = roundtrip_response(&resp);
+        assert_eq!(back.status, StatusCode::FOUND);
+        assert!(back.status.is_redirect());
+        assert_eq!(back.header_value("location"), Some("http://10.0.0.2:8080/org/A/x"));
+    }
+
+    #[test]
+    fn parses_case_insensitive_headers_and_whitespace() {
+        let raw = b"GET /x HTTP/1.1\r\nHoSt:   example  \r\nContent-Length: 2\r\n\r\nhi";
+        let req = HttpRequest::read_from(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(req.header_value("HOST"), Some("example"));
+        assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for raw in [
+            &b"NOTAMETHOD /x HTTP/1.1\r\n\r\n"[..],
+            &b"GET /x SPDY/9\r\n\r\n"[..],
+            &b"GET\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n"[..],
+        ] {
+            assert!(HttpRequest::read_from(&mut BufReader::new(raw)).is_err(), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn eof_mid_body_is_detected() {
+        let raw = b"GET /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort";
+        let err = HttpRequest::read_from(&mut BufReader::new(&raw[..])).unwrap_err();
+        assert!(matches!(err, HttpError::UnexpectedEof));
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let raw = b"GET /x HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n";
+        let err = HttpRequest::read_from(&mut BufReader::new(&raw[..])).unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge));
+    }
+
+    #[test]
+    fn status_reasons() {
+        assert_eq!(StatusCode::OK.reason(), "OK");
+        assert_eq!(StatusCode::FOUND.reason(), "Found");
+        assert_eq!(StatusCode(999).reason(), "Unknown");
+        assert!(!StatusCode::OK.is_redirect());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests: HTTP message round-tripping.
+
+use covenant_http::{HttpRequest, HttpResponse, StatusCode};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-zA-Z0-9._-]{1,12}", 1..5)
+        .prop_map(|segs| format!("/{}", segs.join("/")))
+}
+
+fn header_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec(
+        ("[a-z][a-z0-9-]{0,15}", "[ -~&&[^:]]{0,30}"),
+        0..6,
+    )
+    .prop_map(|hs| {
+        let mut seen = std::collections::HashSet::new();
+        hs.into_iter()
+            // Reserved names are written by the serializer itself; duplicate
+            // names are legal HTTP but header_value returns the first, so
+            // keep names unique for the per-pair comparison.
+            .filter(|(n, _)| n != "content-length" && n != "connection" && n != "host")
+            .filter(|(n, _)| seen.insert(n.clone()))
+            .map(|(n, v)| (n, v.trim().to_string()))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Any request serializes and parses back to the same method, path,
+    /// headers (ours), and body.
+    #[test]
+    fn request_roundtrip(
+        path in path_strategy(),
+        headers in header_strategy(),
+        body in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let mut req = HttpRequest::get(path.clone());
+        for (n, v) in &headers {
+            req = req.header(n, v.clone());
+        }
+        req.body = body.clone();
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        let back = HttpRequest::read_from(&mut BufReader::new(&buf[..])).unwrap();
+        prop_assert_eq!(&back.path, &path);
+        prop_assert_eq!(&back.body, &body);
+        for (n, v) in &headers {
+            prop_assert_eq!(back.header_value(n), Some(v.as_str()), "header {}", n);
+        }
+    }
+
+    /// Any response round-trips status and body exactly.
+    #[test]
+    fn response_roundtrip(
+        code in 100u16..600,
+        body in proptest::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let mut resp = HttpResponse::status(StatusCode(code));
+        resp.body = body.clone();
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let back = HttpResponse::read_from(&mut BufReader::new(&buf[..])).unwrap();
+        prop_assert_eq!(back.status, StatusCode(code));
+        prop_assert_eq!(back.body, body);
+    }
+
+    /// Redirect responses always round-trip their Location.
+    #[test]
+    fn redirect_roundtrip(path in path_strategy()) {
+        let resp = HttpResponse::redirect(format!("http://10.0.0.1:8080{path}"));
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let back = HttpResponse::read_from(&mut BufReader::new(&buf[..])).unwrap();
+        prop_assert!(back.status.is_redirect());
+        prop_assert_eq!(
+            back.header_value("location").unwrap(),
+            format!("http://10.0.0.1:8080{path}")
+        );
+    }
+
+    /// The parser never panics on arbitrary bytes — it returns Ok or Err.
+    #[test]
+    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = HttpRequest::read_from(&mut BufReader::new(&bytes[..]));
+        let _ = HttpResponse::read_from(&mut BufReader::new(&bytes[..]));
+    }
+}

@@ -1,0 +1,434 @@
+//! The L4 redirector proper: per-principal listeners, accept-time
+//! admission, connection parking, affinity.
+
+use crate::splice_streams;
+use covenant_agreements::PrincipalId;
+use covenant_coord::{AdmissionControl, DaemonHooks, WindowDaemon};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One fronted service: connections to this listener are charged to
+/// `principal`.
+#[derive(Debug, Clone)]
+pub struct L4Service {
+    /// The principal whose agreements fund this service's traffic.
+    pub principal: PrincipalId,
+    /// Bind address for the service's virtual IP/port (use port 0 for an
+    /// ephemeral port).
+    pub bind: String,
+}
+
+/// Static configuration of one L4 redirector.
+#[derive(Debug, Clone)]
+pub struct L4Config {
+    /// Fronted services (one listener per principal).
+    pub services: Vec<L4Service>,
+    /// Backend server address per server index (principal id of owner).
+    pub backends: HashMap<usize, SocketAddr>,
+    /// Maximum parked connections per principal (the kernel queue bound);
+    /// connections beyond it are refused (RST analogue).
+    pub park_limit: usize,
+}
+
+/// Shared mutable state between accept threads and the window daemon.
+struct Shared {
+    ctrl: Arc<AdmissionControl>,
+    backends: HashMap<usize, SocketAddr>,
+    /// Parked client connections per principal, FIFO.
+    parked: Mutex<Vec<VecDeque<(TcpStream, SocketAddr)>>>,
+    /// Client-IP → server affinity.
+    affinity: Mutex<HashMap<IpAddr, usize>>,
+    /// Connections refused because the park queue was full.
+    refused: AtomicU64,
+    /// Connections spliced end-to-end.
+    spliced: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    /// Forwards an admitted connection to `server`, recording affinity.
+    fn forward(self: &Arc<Self>, client: TcpStream, peer: SocketAddr, server: usize) {
+        let Some(&backend) = self.backends.get(&server) else {
+            return; // no such backend: drop the connection
+        };
+        self.affinity.lock().insert(peer.ip(), server);
+        let shared = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("l4-conn".into())
+            .spawn(move || {
+                if let Ok(backend_stream) = TcpStream::connect(backend) {
+                    let _ = backend_stream.set_nodelay(true);
+                    let _ = client.set_nodelay(true);
+                    if splice_streams(client, backend_stream).is_ok() {
+                        shared.spliced.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+            .expect("spawn connection thread");
+    }
+
+    /// Parked-connection counts per principal (the daemon's backlog hint).
+    fn parked_counts(&self, n: usize) -> Vec<f64> {
+        let parked = self.parked.lock();
+        (0..n).map(|i| parked[i].len() as f64).collect()
+    }
+
+    /// Reinjects parked connections that the fresh window's credit admits.
+    fn drain_parked(self: &Arc<Self>) {
+        let n = self.parked.lock().len();
+        for i in 0..n {
+            loop {
+                // Take the head while holding the lock briefly.
+                let head = self.parked.lock()[i].pop_front();
+                let Some((stream, peer)) = head else { break };
+                let preferred = self.affinity.lock().get(&peer.ip()).copied();
+                match self.ctrl.readmit(PrincipalId(i), preferred) {
+                    Some(server) => self.forward(stream, peer, server),
+                    None => {
+                        self.parked.lock()[i].push_front((stream, peer));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A running Layer-4 redirector.
+pub struct L4Redirector {
+    shared: Arc<Shared>,
+    daemon: WindowDaemon,
+    accept_threads: Vec<JoinHandle<()>>,
+    service_addrs: Vec<(PrincipalId, SocketAddr)>,
+}
+
+impl L4Redirector {
+    /// Binds every service listener and starts the accept loops and the
+    /// window daemon.
+    pub fn start(cfg: L4Config, ctrl: Arc<AdmissionControl>) -> io::Result<Self> {
+        let n_principals = {
+            // Infer the principal-vector width from the largest id in use.
+            cfg.services
+                .iter()
+                .map(|s| s.principal.0 + 1)
+                .chain(cfg.backends.keys().map(|&k| k + 1))
+                .max()
+                .unwrap_or(1)
+        };
+        let shared = Arc::new(Shared {
+            ctrl: Arc::clone(&ctrl),
+            backends: cfg.backends.clone(),
+            parked: Mutex::new((0..n_principals).map(|_| VecDeque::new()).collect()),
+            affinity: Mutex::new(HashMap::new()),
+            refused: AtomicU64::new(0),
+            spliced: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+
+        let mut accept_threads = Vec::new();
+        let mut service_addrs = Vec::new();
+        for svc in &cfg.services {
+            let listener = TcpListener::bind(&svc.bind)?;
+            let addr = listener.local_addr()?;
+            listener.set_nonblocking(true)?;
+            service_addrs.push((svc.principal, addr));
+            let shared2 = Arc::clone(&shared);
+            let principal = svc.principal;
+            let park_limit = cfg.park_limit;
+            accept_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("l4-accept-{}", principal.0))
+                    .spawn(move || {
+                        while !shared2.stop.load(Ordering::Relaxed) {
+                            match listener.accept() {
+                                Ok((stream, peer)) => {
+                                    let preferred =
+                                        shared2.affinity.lock().get(&peer.ip()).copied();
+                                    match shared2.ctrl.try_admit(principal, preferred) {
+                                        Some(server) => shared2.forward(stream, peer, server),
+                                        None => {
+                                            let mut parked = shared2.parked.lock();
+                                            let q = &mut parked[principal.0];
+                                            if q.len() < park_limit {
+                                                q.push_back((stream, peer));
+                                            } else {
+                                                drop(parked);
+                                                shared2
+                                                    .refused
+                                                    .fetch_add(1, Ordering::Relaxed);
+                                                // Dropping the stream sends RST/FIN.
+                                            }
+                                        }
+                                    }
+                                }
+                                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                    std::thread::sleep(Duration::from_millis(1));
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn accept thread"),
+            );
+        }
+
+        // Window daemon: publish parked backlog, then reinject after roll.
+        let shared_backlog = Arc::clone(&shared);
+        let shared_drain = Arc::clone(&shared);
+        let hooks = DaemonHooks {
+            backlog: Some(Box::new(move || shared_backlog.parked_counts(n_principals))),
+            after_roll: Some(Box::new(move || shared_drain.drain_parked())),
+        };
+        let window = Duration::from_secs_f64(ctrl.window_secs());
+        let daemon = WindowDaemon::start(ctrl, window, hooks);
+
+        Ok(L4Redirector { shared, daemon, accept_threads, service_addrs })
+    }
+
+    /// The bound address fronting `principal`, if configured.
+    pub fn service_addr(&self, principal: PrincipalId) -> Option<SocketAddr> {
+        self.service_addrs
+            .iter()
+            .find(|(p, _)| *p == principal)
+            .map(|(_, a)| *a)
+    }
+
+    /// Connections fully spliced so far.
+    pub fn spliced(&self) -> u64 {
+        self.shared.spliced.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused at the park limit.
+    pub fn refused(&self) -> u64 {
+        self.shared.refused.load(Ordering::Relaxed)
+    }
+
+    /// Currently parked connections per principal.
+    pub fn parked_counts(&self) -> Vec<f64> {
+        let n = self.shared.parked.lock().len();
+        self.shared.parked_counts(n)
+    }
+
+    /// Stops accept loops and the daemon.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.daemon.shutdown();
+        for h in self.accept_threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for L4Redirector {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covenant_agreements::AgreementGraph;
+    use covenant_coord::Coordinator;
+    use covenant_http::{HttpClient, OriginServer, StatusCode};
+    use covenant_sched::SchedulerConfig;
+    use covenant_tree::Topology;
+    use std::time::Instant;
+
+    /// Origin 200/s shared [0.25,1] (A) / [0.75,1] (B).
+    fn system() -> (AgreementGraph, PrincipalId, PrincipalId) {
+        let mut g = AgreementGraph::new();
+        let s = g.add_principal("S", 200.0);
+        let a = g.add_principal("A", 0.0);
+        let b = g.add_principal("B", 0.0);
+        g.add_agreement(s, a, 0.25, 1.0).unwrap();
+        g.add_agreement(s, b, 0.75, 1.0).unwrap();
+        (g, a, b)
+    }
+
+    #[test]
+    fn l4_proxies_http_transparently() {
+        let (g, a, _b) = system();
+        let origin =
+            OriginServer::bind("127.0.0.1:0", 1000.0, 128, Duration::from_secs(2)).unwrap();
+        let ctrl = AdmissionControl::new(
+            0,
+            &g.access_levels(),
+            SchedulerConfig::community_default(),
+            Coordinator::new(Topology::star(1, 0.0), 0.0),
+        );
+        let cfg = L4Config {
+            services: vec![L4Service { principal: a, bind: "127.0.0.1:0".into() }],
+            backends: [(0, origin.addr())].into(),
+            park_limit: 1024,
+        };
+        let redirector = L4Redirector::start(cfg, ctrl).unwrap();
+        let addr = redirector.service_addr(a).unwrap();
+
+        // First requests may park until the estimator primes; retry briefly.
+        let client = HttpClient::new();
+        let deadline = Instant::now() + Duration::from_secs(3);
+        let mut ok = false;
+        while Instant::now() < deadline {
+            if let Ok(r) = client.get(&format!("http://{addr}/page")) {
+                assert_eq!(r.response.status, StatusCode::OK);
+                assert_eq!(r.response.body.len(), 128);
+                assert_eq!(r.redirects, 0, "L4 path must not redirect");
+                ok = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert!(ok, "no request ever completed through the L4 proxy");
+        // The splice thread's counter update may lag the client read.
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while redirector.spliced() < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(redirector.spliced() >= 1);
+    }
+
+    #[test]
+    fn l4_enforces_shares_end_to_end() {
+        let (g, a, b) = system();
+        let origin =
+            OriginServer::bind("127.0.0.1:0", 1000.0, 64, Duration::from_secs(2)).unwrap();
+        let ctrl = AdmissionControl::new(
+            0,
+            &g.access_levels(),
+            SchedulerConfig::community_default(),
+            Coordinator::new(Topology::star(1, 0.0), 0.0),
+        );
+        let cfg = L4Config {
+            services: vec![
+                L4Service { principal: a, bind: "127.0.0.1:0".into() },
+                L4Service { principal: b, bind: "127.0.0.1:0".into() },
+            ],
+            backends: [(0, origin.addr())].into(),
+            park_limit: 8,
+        };
+        let redirector = L4Redirector::start(cfg, ctrl).unwrap();
+
+        // Flood: several concurrent closed-loop clients per principal so
+        // offered load far exceeds the 200 req/s pool and quotas bind.
+        const THREADS_PER_PRINCIPAL: usize = 8;
+        let deadline = Instant::now() + Duration::from_secs(3);
+        let mut handles = Vec::new();
+        for principal in [a, b] {
+            let addr = redirector.service_addr(principal).unwrap();
+            for _ in 0..THREADS_PER_PRINCIPAL {
+                handles.push(std::thread::spawn(move || {
+                    let client =
+                        HttpClient { timeout: Duration::from_millis(400), ..HttpClient::new() };
+                    let mut completed = 0u64;
+                    while Instant::now() < deadline {
+                        if let Ok(r) = client.get(&format!("http://{addr}/x")) {
+                            if r.response.status == StatusCode::OK {
+                                completed += 1;
+                            }
+                        }
+                    }
+                    completed
+                }));
+            }
+        }
+        let results: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let got_a: u64 = results[..THREADS_PER_PRINCIPAL].iter().sum();
+        let got_b: u64 = results[THREADS_PER_PRINCIPAL..].iter().sum();
+        let ratio = got_b as f64 / got_a.max(1) as f64;
+        assert!(
+            (1.8..=5.0).contains(&ratio),
+            "B/A completion ratio {ratio:.2} (A={got_a}, B={got_b})"
+        );
+        let total = got_a + got_b;
+        assert!(total <= 850, "completed {total} > capacity budget");
+        assert!(total >= 250, "completed only {total}");
+    }
+
+    #[test]
+    fn affinity_pins_client_to_one_backend() {
+        // Two origin servers both entitled to serve A's requests: a single
+        // client (one source IP) must stick to whichever backend it was
+        // first assigned, as long as allocations allow (§4.2's SSL-session
+        // consideration).
+        let mut g = AgreementGraph::new();
+        let s1 = g.add_principal("S1", 100.0);
+        let s2 = g.add_principal("S2", 100.0);
+        let a = g.add_principal("A", 0.0);
+        g.add_agreement(s1, a, 0.5, 1.0).unwrap();
+        g.add_agreement(s2, a, 0.5, 1.0).unwrap();
+
+        let o1 = OriginServer::bind("127.0.0.1:0", 1000.0, 16, Duration::from_secs(1)).unwrap();
+        let o2 = OriginServer::bind("127.0.0.1:0", 1000.0, 16, Duration::from_secs(1)).unwrap();
+        let ctrl = AdmissionControl::new(
+            0,
+            &g.access_levels(),
+            SchedulerConfig::community_default(),
+            Coordinator::new(Topology::star(1, 0.0), 0.0),
+        );
+        let cfg = L4Config {
+            services: vec![L4Service { principal: a, bind: "127.0.0.1:0".into() }],
+            backends: [(0, o1.addr()), (1, o2.addr())].into(),
+            park_limit: 256,
+        };
+        let redirector = L4Redirector::start(cfg, ctrl).unwrap();
+        let addr = redirector.service_addr(a).unwrap();
+
+        let client = HttpClient { timeout: Duration::from_millis(500), ..HttpClient::new() };
+        let deadline = Instant::now() + Duration::from_secs(3);
+        let mut completed = 0;
+        while completed < 40 && Instant::now() < deadline {
+            if let Ok(r) = client.get(&format!("http://{addr}/x")) {
+                if r.response.status == StatusCode::OK {
+                    completed += 1;
+                }
+            }
+        }
+        assert!(completed >= 40, "only {completed} completed");
+        let (s1_served, s2_served) = (o1.served(), o2.served());
+        let max = s1_served.max(s2_served);
+        let min = s1_served.min(s2_served);
+        assert!(
+            max >= 38 && min <= 2,
+            "affinity not sticky: backend split {s1_served}/{s2_served}"
+        );
+    }
+
+    #[test]
+    fn park_limit_refuses_overflow() {
+        // Zero-entitlement principal: every connection parks; beyond the
+        // limit they are refused.
+        let mut g = AgreementGraph::new();
+        let _s = g.add_principal("S", 100.0);
+        let a = g.add_principal("A", 0.0); // no agreement → zero quota
+        let ctrl = AdmissionControl::new(
+            0,
+            &g.access_levels(),
+            SchedulerConfig::community_default(),
+            Coordinator::new(Topology::star(1, 0.0), 0.0),
+        );
+        let cfg = L4Config {
+            services: vec![L4Service { principal: a, bind: "127.0.0.1:0".into() }],
+            backends: HashMap::new(),
+            park_limit: 2,
+        };
+        let redirector = L4Redirector::start(cfg, ctrl).unwrap();
+        let addr = redirector.service_addr(a).unwrap();
+        let mut conns = Vec::new();
+        for _ in 0..6 {
+            conns.push(TcpStream::connect(addr).unwrap());
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while redirector.refused() < 4 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(redirector.refused() >= 4, "refused {}", redirector.refused());
+        assert_eq!(redirector.parked_counts()[1], 2.0);
+    }
+}

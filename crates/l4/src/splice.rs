@@ -1,0 +1,75 @@
+//! Bidirectional byte-stream splicing between two TCP connections.
+
+use std::io;
+use std::net::{Shutdown, TcpStream};
+
+/// Copies bytes in both directions between `client` and `backend` until
+/// both sides close, then returns (client→backend bytes, backend→client
+/// bytes). The forward direction runs on a helper thread; the reverse on
+/// the calling thread.
+pub fn splice_streams(client: TcpStream, backend: TcpStream) -> io::Result<(u64, u64)> {
+    let c2 = client.try_clone()?;
+    let b2 = backend.try_clone()?;
+    let forward = std::thread::Builder::new()
+        .name("l4-splice-fwd".into())
+        .spawn(move || copy_then_shutdown(c2, b2))
+        .expect("spawn splice thread");
+    let back_bytes = copy_then_shutdown(backend, client)?;
+    let fwd_bytes = forward.join().expect("splice thread panicked")?;
+    Ok((fwd_bytes, back_bytes))
+}
+
+/// Copies `from` into `to` until EOF, then half-closes `to`'s write side so
+/// the peer sees the end of stream.
+fn copy_then_shutdown(mut from: TcpStream, mut to: TcpStream) -> io::Result<u64> {
+    let n = io::copy(&mut from, &mut to).unwrap_or(0);
+    let _ = to.shutdown(Shutdown::Write);
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    /// Echo server that doubles each received byte count by echoing back.
+    fn echo_listener() -> (TcpListener, std::net::SocketAddr) {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        (l, addr)
+    }
+
+    #[test]
+    fn splices_request_and_response() {
+        let (backend_listener, backend_addr) = echo_listener();
+        // Backend: read everything, reply with "pong", close.
+        let backend_thread = std::thread::spawn(move || {
+            let (mut s, _) = backend_listener.accept().unwrap();
+            let mut buf = [0u8; 4];
+            s.read_exact(&mut buf).unwrap();
+            assert_eq!(&buf, b"ping");
+            s.write_all(b"pong!").unwrap();
+        });
+
+        // Proxy listener: accept one client, splice to backend.
+        let (proxy_listener, proxy_addr) = echo_listener();
+        let proxy_thread = std::thread::spawn(move || {
+            let (client_side, _) = proxy_listener.accept().unwrap();
+            let backend_side = TcpStream::connect(backend_addr).unwrap();
+            splice_streams(client_side, backend_side).unwrap()
+        });
+
+        let mut client = TcpStream::connect(proxy_addr).unwrap();
+        client.write_all(b"ping").unwrap();
+        client.shutdown(Shutdown::Write).unwrap();
+        let mut reply = Vec::new();
+        client.read_to_end(&mut reply).unwrap();
+        assert_eq!(reply, b"pong!");
+
+        backend_thread.join().unwrap();
+        let (fwd, back) = proxy_thread.join().unwrap();
+        assert_eq!(fwd, 4);
+        assert_eq!(back, 5);
+    }
+}

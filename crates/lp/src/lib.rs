@@ -1,0 +1,42 @@
+//! A small, dependency-free linear-programming solver.
+//!
+//! The paper's redirectors solve one LP per 100 ms scheduling window
+//! ("the complexity of this strategy only depends on the number of
+//! principals involved in the agreements; this latter number is expected to
+//! be small"). This crate provides the solver those schedulers need: a dense
+//! two-phase primal simplex over a tableau, using Bland's anti-cycling rule.
+//!
+//! Problems are stated in the natural mixed form — maximize `c·x` subject to
+//! `≤`/`≥`/`=` constraints with non-negative variables and optional per-
+//! variable upper bounds:
+//!
+//! ```
+//! use covenant_lp::{Problem, Relation, LpOutcome};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4,  x + 3y <= 6
+//! let mut p = Problem::new(2);
+//! p.set_objective(vec![3.0, 2.0]);
+//! p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 4.0);
+//! p.add_constraint(vec![(0, 1.0), (1, 3.0)], Relation::Le, 6.0);
+//! match p.solve() {
+//!     LpOutcome::Optimal(s) => {
+//!         assert!((s.objective - 12.0).abs() < 1e-9);
+//!         assert!((s.x[0] - 4.0).abs() < 1e-9);
+//!     }
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+//!
+//! Problem sizes in this workspace are tiny (a handful of principals, so at
+//! most a few hundred variables), so a dense tableau with `O((m+n)·m)` work
+//! per pivot is the right tool; no sparse or revised-simplex machinery is
+//! needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod problem;
+mod simplex;
+
+pub use problem::{Constraint, LpError, Problem, Relation};
+pub use simplex::{LpOutcome, Solution, EPS};

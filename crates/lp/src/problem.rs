@@ -1,0 +1,262 @@
+//! Problem construction API.
+
+use crate::simplex::{solve_tableau, LpOutcome};
+use std::fmt;
+
+/// Relation of a linear constraint to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ a_j x_j ≤ b`
+    Le,
+    /// `Σ a_j x_j ≥ b`
+    Ge,
+    /// `Σ a_j x_j = b`
+    Eq,
+}
+
+/// One linear constraint in sparse form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// `(variable index, coefficient)` pairs; indices may repeat (summed).
+    pub coeffs: Vec<(usize, f64)>,
+    /// Relation to the right-hand side.
+    pub rel: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// Errors raised during problem construction or solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A coefficient, bound, or rhs was NaN or infinite.
+    NonFinite,
+    /// A constraint or objective referenced a variable index ≥ `n_vars`.
+    BadVariable(usize),
+    /// The objective vector length did not match the variable count.
+    BadObjectiveLen {
+        /// Expected length (number of variables).
+        expected: usize,
+        /// Supplied length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::NonFinite => write!(f, "non-finite coefficient, bound, or rhs"),
+            LpError::BadVariable(i) => write!(f, "variable index {i} out of range"),
+            LpError::BadObjectiveLen { expected, got } => {
+                write!(f, "objective length {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// A linear program: maximize `c·x` subject to mixed constraints, `x ≥ 0`,
+/// and optional per-variable upper bounds.
+///
+/// Minimization is expressed by negating the objective. The builder methods
+/// panic-free validate eagerly via [`Problem::try_add_constraint`] /
+/// [`Problem::try_set_objective`]; the plain methods are convenience wrappers
+/// that panic on malformed input (appropriate for the schedulers, which
+/// construct programs from already-validated data).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Problem {
+    n_vars: usize,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+    upper_bounds: Vec<Option<f64>>,
+}
+
+impl Problem {
+    /// Creates a problem over `n_vars` non-negative variables with a zero
+    /// objective.
+    pub fn new(n_vars: usize) -> Self {
+        Problem {
+            n_vars,
+            objective: vec![0.0; n_vars],
+            constraints: Vec::new(),
+            upper_bounds: vec![None; n_vars],
+        }
+    }
+
+    /// Number of structural variables.
+    #[inline]
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of constraints added so far (upper bounds excluded).
+    #[inline]
+    pub fn n_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Sets the maximization objective. Panics on length mismatch or
+    /// non-finite coefficients.
+    pub fn set_objective(&mut self, c: Vec<f64>) {
+        self.try_set_objective(c).expect("invalid objective");
+    }
+
+    /// Fallible form of [`Self::set_objective`].
+    pub fn try_set_objective(&mut self, c: Vec<f64>) -> Result<(), LpError> {
+        if c.len() != self.n_vars {
+            return Err(LpError::BadObjectiveLen { expected: self.n_vars, got: c.len() });
+        }
+        if c.iter().any(|v| !v.is_finite()) {
+            return Err(LpError::NonFinite);
+        }
+        self.objective = c;
+        Ok(())
+    }
+
+    /// Sets one objective coefficient.
+    pub fn set_objective_coeff(&mut self, var: usize, c: f64) {
+        assert!(var < self.n_vars, "variable {var} out of range");
+        assert!(c.is_finite(), "non-finite objective coefficient");
+        self.objective[var] = c;
+    }
+
+    /// Adds a constraint. Panics on malformed input.
+    pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, rel: Relation, rhs: f64) {
+        self.try_add_constraint(coeffs, rel, rhs).expect("invalid constraint");
+    }
+
+    /// Fallible form of [`Self::add_constraint`].
+    pub fn try_add_constraint(
+        &mut self,
+        coeffs: Vec<(usize, f64)>,
+        rel: Relation,
+        rhs: f64,
+    ) -> Result<(), LpError> {
+        if !rhs.is_finite() {
+            return Err(LpError::NonFinite);
+        }
+        for &(i, a) in &coeffs {
+            if i >= self.n_vars {
+                return Err(LpError::BadVariable(i));
+            }
+            if !a.is_finite() {
+                return Err(LpError::NonFinite);
+            }
+        }
+        self.constraints.push(Constraint { coeffs, rel, rhs });
+        Ok(())
+    }
+
+    /// Declares `x_var ≤ bound` (in addition to the implicit `x_var ≥ 0`).
+    /// A `None`-like effect (no bound) is the default; calling this twice
+    /// keeps the tighter bound.
+    pub fn set_upper_bound(&mut self, var: usize, bound: f64) {
+        assert!(var < self.n_vars, "variable {var} out of range");
+        assert!(bound.is_finite() && bound >= 0.0, "bad upper bound {bound}");
+        let b = self.upper_bounds[var].map_or(bound, |old: f64| old.min(bound));
+        self.upper_bounds[var] = Some(b);
+    }
+
+    /// The objective vector.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraints added so far.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The per-variable upper bounds.
+    pub fn upper_bounds(&self) -> &[Option<f64>] {
+        &self.upper_bounds
+    }
+
+    /// Solves the program with the two-phase simplex method.
+    pub fn solve(&self) -> LpOutcome {
+        solve_tableau(self)
+    }
+
+    /// Checks whether `x` satisfies every constraint and bound within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.n_vars {
+            return false;
+        }
+        if x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        for (i, ub) in self.upper_bounds.iter().enumerate() {
+            if let Some(u) = ub {
+                if x[i] > u + tol {
+                    return false;
+                }
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.coeffs.iter().map(|&(i, a)| a * x[i]).sum();
+            let ok = match c.rel {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Evaluates the objective at `x`.
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates() {
+        let mut p = Problem::new(2);
+        assert!(matches!(
+            p.try_set_objective(vec![1.0]),
+            Err(LpError::BadObjectiveLen { expected: 2, got: 1 })
+        ));
+        assert!(matches!(
+            p.try_set_objective(vec![1.0, f64::NAN]),
+            Err(LpError::NonFinite)
+        ));
+        assert!(matches!(
+            p.try_add_constraint(vec![(5, 1.0)], Relation::Le, 1.0),
+            Err(LpError::BadVariable(5))
+        ));
+        assert!(matches!(
+            p.try_add_constraint(vec![(0, 1.0)], Relation::Le, f64::INFINITY),
+            Err(LpError::NonFinite)
+        ));
+    }
+
+    #[test]
+    fn upper_bound_keeps_tighter() {
+        let mut p = Problem::new(1);
+        p.set_upper_bound(0, 5.0);
+        p.set_upper_bound(0, 3.0);
+        p.set_upper_bound(0, 7.0);
+        assert_eq!(p.upper_bounds()[0], Some(3.0));
+    }
+
+    #[test]
+    fn feasibility_checker() {
+        let mut p = Problem::new(2);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(vec![(0, 1.0)], Relation::Ge, 1.0);
+        p.set_upper_bound(1, 2.0);
+        assert!(p.is_feasible(&[1.0, 2.0], 1e-9));
+        assert!(!p.is_feasible(&[0.5, 2.0], 1e-9)); // violates Ge
+        assert!(!p.is_feasible(&[1.0, 2.5], 1e-9)); // violates ub
+        assert!(!p.is_feasible(&[3.0, 2.0], 1e-9)); // violates Le
+        assert!(!p.is_feasible(&[-0.1, 0.0], 1e-9)); // violates x >= 0
+        assert!(!p.is_feasible(&[1.0], 1e-9)); // wrong arity
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the simplex solver.
+
+use covenant_lp::{LpOutcome, Problem, Relation};
+use proptest::prelude::*;
+
+/// Strategy: a random LP with n vars, m `≤` constraints with non-negative
+/// coefficients and rhs (always feasible at x = 0, always bounded when all
+/// objective coefficients ≤ capped upper bounds are added).
+fn bounded_lp() -> impl Strategy<Value = Problem> {
+    (2usize..6, 1usize..6).prop_flat_map(|(n, m)| {
+        let obj = proptest::collection::vec(-5.0..5.0f64, n);
+        let rows = proptest::collection::vec(
+            (proptest::collection::vec(0.0..4.0f64, n), 0.5..50.0f64),
+            m,
+        );
+        let ubs = proptest::collection::vec(0.0..20.0f64, n);
+        (obj, rows, ubs).prop_map(move |(obj, rows, ubs)| {
+            let mut p = Problem::new(n);
+            p.set_objective(obj);
+            for (coeffs, rhs) in rows {
+                let sparse: Vec<(usize, f64)> =
+                    coeffs.into_iter().enumerate().collect();
+                p.add_constraint(sparse, Relation::Le, rhs);
+            }
+            for (i, ub) in ubs.into_iter().enumerate() {
+                p.set_upper_bound(i, ub);
+            }
+            p
+        })
+    })
+}
+
+proptest! {
+    /// Every bounded-feasible LP must solve to Optimal, and the solution
+    /// must satisfy every constraint.
+    #[test]
+    fn optimal_solutions_are_feasible(p in bounded_lp()) {
+        match p.solve() {
+            LpOutcome::Optimal(s) => {
+                prop_assert!(p.is_feasible(&s.x, 1e-6), "infeasible optimum {:?}", s.x);
+                prop_assert!((p.objective_at(&s.x) - s.objective).abs() < 1e-6);
+            }
+            other => prop_assert!(false, "expected optimal, got {other:?}"),
+        }
+    }
+
+    /// The optimum dominates the origin and a family of axis-aligned
+    /// feasible candidates.
+    #[test]
+    fn optimum_dominates_candidates(p in bounded_lp()) {
+        let s = p.solve().optimal().expect("bounded feasible LP");
+        let zero = vec![0.0; p.n_vars()];
+        prop_assert!(p.is_feasible(&zero, 1e-9));
+        prop_assert!(s.objective >= p.objective_at(&zero) - 1e-6);
+        // Candidates: scalings of the optimum.
+        for frac in [0.25, 0.5, 0.75] {
+            let cand: Vec<f64> = s.x.iter().map(|v| v * frac).collect();
+            if p.is_feasible(&cand, 1e-9) {
+                prop_assert!(
+                    s.objective >= p.objective_at(&cand) - 1e-6,
+                    "candidate beats optimum"
+                );
+            }
+        }
+    }
+
+    /// Solving twice yields identical results (full determinism).
+    #[test]
+    fn deterministic(p in bounded_lp()) {
+        prop_assert_eq!(p.solve(), p.solve());
+    }
+
+    /// Adding a redundant constraint (a duplicate of an existing row) never
+    /// changes the optimal objective.
+    #[test]
+    fn redundant_rows_do_not_change_value(p in bounded_lp()) {
+        let s1 = p.solve().optimal().expect("optimal");
+        let mut p2 = p.clone();
+        if let Some(c) = p.constraints().first() {
+            p2.add_constraint(c.coeffs.clone(), c.rel, c.rhs);
+        }
+        let s2 = p2.solve().optimal().expect("still optimal");
+        prop_assert!((s1.objective - s2.objective).abs() < 1e-6);
+    }
+
+    /// Tightening a variable's upper bound never increases the optimum of a
+    /// maximization with non-negative objective.
+    #[test]
+    fn monotone_in_upper_bounds(p in bounded_lp(), var in 0usize..6, cut in 0.1..0.9f64) {
+        // Make the objective non-negative so monotonicity holds.
+        let mut pos = p.clone();
+        let obj: Vec<f64> = p.objective().iter().map(|c| c.abs()).collect();
+        pos.set_objective(obj);
+        let var = var % pos.n_vars();
+        let s1 = pos.solve().optimal().expect("optimal");
+        let mut tighter = pos.clone();
+        let old = tighter.upper_bounds()[var].unwrap_or(20.0);
+        tighter.set_upper_bound(var, old * cut);
+        let s2 = tighter.solve().optimal().expect("optimal");
+        prop_assert!(s2.objective <= s1.objective + 1e-6);
+    }
+}

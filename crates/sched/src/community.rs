@@ -1,0 +1,320 @@
+//! The community-context "Global Response Time" linear program (§3.1.2).
+//!
+//! Participants contribute servers to a shared pool and submit requests; the
+//! admission controller minimizes the maximum response time across all
+//! participants by maximizing the minimum *fraction of each queue served
+//! this window*:
+//!
+//! ```text
+//! maximize   θ
+//! subject to Σ_k x_ik ≥ θ·n_i                    ∀i with n_i > 0
+//!            Σ_k x_ki ≤ V_i                      ∀i   (server capacity)
+//!            x_ik ≤ MI_ki + OI_ki                ∀i,k (agreement upper bounds)
+//!            Σ_k x_ik ≥ min(n_i, MC_i)           ∀i   (mandatory guarantee)
+//!            Σ_k x_ik ≤ n_i                      ∀i   (queue limit)
+//!            Σ_k x_ki ≤ c_i                      ∀i   (optional locality cap)
+//! ```
+//!
+//! The mandatory guarantee is enforced as an *aggregate* floor per
+//! principal rather than the paper's per-pair `MI_ki ≤ x_ik` form (whose
+//! lower bound the paper drops when `n_i < MC_i`). The aggregate form is
+//! what the paper's prototypes measurably do: in Figure 9's third phase, a
+//! principal demanding less than its mandatory level (`A` at 400 of 480)
+//! is served fully while being *placed* so as to leave the maximum room
+//! for others' optional reuse (`B` reaches 240, which per-pair floors
+//! would forbid by pinning 160 of `A`'s load onto `B`'s server). Any
+//! aggregate floor is always placeable because the per-server mandatory
+//! shares partition capacity (`Σ_i MI_ji ≤ V_j`).
+
+use crate::Plan;
+use covenant_agreements::{AccessLevels, PrincipalId};
+use covenant_lp::{LpOutcome, Problem, Relation};
+
+/// Per-server locality caps: `caps[k]` limits how many requests this
+/// redirector may push to principal `k`'s servers in one window (modelling
+/// forwarding cost / locality preferences).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalityCaps(pub Vec<f64>);
+
+/// Solver for the community model.
+///
+/// Stateless apart from configuration; call [`Self::plan`] once per window
+/// with window-scaled access levels and (global) queue lengths.
+#[derive(Debug, Clone, Default)]
+pub struct CommunityScheduler {
+    /// Optional per-server locality caps (requests per window).
+    pub locality: Option<LocalityCaps>,
+}
+
+impl CommunityScheduler {
+    /// A scheduler without locality caps.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scheduler with locality caps.
+    pub fn with_locality(caps: LocalityCaps) -> Self {
+        CommunityScheduler { locality: Some(caps) }
+    }
+
+    /// Solves the community LP for one window.
+    ///
+    /// * `levels` — access levels **already scaled to the window length**
+    ///   (see [`AccessLevels::scaled`]); capacities are per-window budgets.
+    /// * `queues` — per-principal queue lengths `n_i` (global estimates in
+    ///   the distributed setting).
+    ///
+    /// If the agreement lower bounds make the program infeasible (possible
+    /// under tight locality caps), they are dropped and the program re-solved;
+    /// a still-infeasible program yields the zero plan.
+    pub fn plan(&self, levels: &AccessLevels, queues: &[f64]) -> Plan {
+        let n = levels.len();
+        assert_eq!(queues.len(), n, "queue vector length must match principal count");
+        if n == 0 || queues.iter().all(|&q| q <= 0.0) {
+            return Plan::zero(n, n);
+        }
+        match self.solve(levels, queues, true) {
+            Some(plan) => plan,
+            None => self.solve(levels, queues, false).unwrap_or_else(|| Plan::zero(n, n)),
+        }
+    }
+
+    fn solve(&self, levels: &AccessLevels, queues: &[f64], mandatory_floors: bool) -> Option<Plan> {
+        let n = levels.len();
+        let caps = levels.capacities();
+        // Variable layout: 0 = θ, then x_{ik} at 1 + i·n + k.
+        let xv = |i: usize, k: usize| 1 + i * n + k;
+        let mut p = Problem::new(1 + n * n);
+        p.set_objective_coeff(0, 1.0);
+        p.set_upper_bound(0, 1.0); // θ ≤ 1: cannot serve more than the queue
+
+        for i in 0..n {
+            let ni = queues[i].max(0.0);
+            // Queue limit: Σ_k x_ik ≤ n_i.
+            let row: Vec<(usize, f64)> = (0..n).map(|k| (xv(i, k), 1.0)).collect();
+            p.add_constraint(row, Relation::Le, ni);
+            // θ coverage: Σ_k x_ik − θ n_i ≥ 0 (only meaningful when n_i > 0).
+            if ni > 0.0 {
+                let mut row: Vec<(usize, f64)> = (0..n).map(|k| (xv(i, k), 1.0)).collect();
+                row.push((0, -ni));
+                p.add_constraint(row, Relation::Ge, 0.0);
+            }
+            let pi = PrincipalId(i);
+            for k in 0..n {
+                let pk = PrincipalId(k);
+                let upper = levels.mand_share(pi, pk) + levels.opt_share(pi, pk);
+                p.set_upper_bound(xv(i, k), upper.max(0.0));
+            }
+            // Mandatory guarantee: demand up to MC_i is always served.
+            let floor = levels.mandatory(pi).min(ni);
+            if mandatory_floors && floor > 0.0 {
+                let row: Vec<(usize, f64)> = (0..n).map(|k| (xv(i, k), 1.0)).collect();
+                p.add_constraint(row, Relation::Ge, floor);
+            }
+        }
+        // Server capacities: Σ_i x_ik ≤ V_k, plus locality caps.
+        for k in 0..n {
+            let row: Vec<(usize, f64)> = (0..n).map(|i| (xv(i, k), 1.0)).collect();
+            p.add_constraint(row.clone(), Relation::Le, caps[k].max(0.0));
+            if let Some(LocalityCaps(c)) = &self.locality {
+                p.add_constraint(row, Relation::Le, c[k].max(0.0));
+            }
+        }
+
+        match p.solve() {
+            LpOutcome::Optimal(s) => {
+                let assignments = (0..n)
+                    .map(|i| (0..n).map(|k| s.x[xv(i, k)].max(0.0)).collect())
+                    .collect();
+                Some(Plan { assignments, theta: Some(s.x[0]), income: None })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covenant_agreements::AgreementGraph;
+
+    /// Two community members each owning a 100-req/window server, B sharing
+    /// half with A (Figure 9 shape, scaled down).
+    fn community_pair() -> (AgreementGraph, PrincipalId, PrincipalId) {
+        let mut g = AgreementGraph::new();
+        let a = g.add_principal("A", 100.0);
+        let b = g.add_principal("B", 100.0);
+        g.add_agreement(b, a, 0.5, 0.5).unwrap();
+        (g, a, b)
+    }
+
+    #[test]
+    fn both_queues_fully_served_under_light_load() {
+        let (g, a, b) = community_pair();
+        let lv = g.access_levels();
+        let plan = CommunityScheduler::new().plan(&lv, &[30.0, 30.0]);
+        assert!((plan.theta.unwrap() - 1.0).abs() < 1e-9);
+        assert!((plan.admitted(a) - 30.0).abs() < 1e-9);
+        assert!((plan.admitted(b) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overload_respects_shares() {
+        // A floods; B floods. A is entitled to 100 (own) + 50 (from B);
+        // B retains 50. θ = min fraction.
+        let (g, a, b) = community_pair();
+        let lv = g.access_levels();
+        let plan = CommunityScheduler::new().plan(&lv, &[1000.0, 1000.0]);
+        let got_a = plan.admitted(a);
+        let got_b = plan.admitted(b);
+        // Total capacity 200 fully used.
+        assert!((got_a + got_b - 200.0).abs() < 1e-6);
+        // Mandatory guarantees under overload: A ≥ 150, B ≥ 50.
+        assert!(got_a >= 150.0 - 1e-6, "A admitted {got_a}");
+        assert!(got_b >= 50.0 - 1e-6, "B admitted {got_b}");
+    }
+
+    #[test]
+    fn figure9_phase3_optional_reuse() {
+        // A owns 320, B owns 320 and shares [0.5,0.5] with A. A demands
+        // 400 (< its 480 mandatory), B floods. A must be fully served AND
+        // placed to leave B the leftover: B gets 160 + (160 − 80) = 240.
+        let mut g = AgreementGraph::new();
+        let a = g.add_principal("A", 320.0);
+        let b = g.add_principal("B", 320.0);
+        g.add_agreement(b, a, 0.5, 0.5).unwrap();
+        let lv = g.access_levels();
+        assert!((lv.mandatory(a) - 480.0).abs() < 1e-9);
+        assert!((lv.mandatory(b) - 160.0).abs() < 1e-9);
+        assert!((lv.optional(b) - 160.0).abs() < 1e-9);
+        let plan = CommunityScheduler::new().plan(&lv, &[400.0, 400.0]);
+        assert!((plan.admitted(a) - 400.0).abs() < 1e-6, "A {}", plan.admitted(a));
+        assert!((plan.admitted(b) - 240.0).abs() < 1e-6, "B {}", plan.admitted(b));
+        // Phase 1: A floods with two clients (800): A pinned at 480, B 160.
+        let plan = CommunityScheduler::new().plan(&lv, &[800.0, 400.0]);
+        assert!((plan.admitted(a) - 480.0).abs() < 1e-6, "A {}", plan.admitted(a));
+        assert!((plan.admitted(b) - 160.0).abs() < 1e-6, "B {}", plan.admitted(b));
+    }
+
+    #[test]
+    fn figure7_theta_shares_capacity_by_demand() {
+        // V=250, both [0.2,1]; demands 270 vs 135 → served 2:1 (166.7/83.3).
+        let mut g = AgreementGraph::new();
+        let s = g.add_principal("S", 250.0);
+        let a = g.add_principal("A", 0.0);
+        let b = g.add_principal("B", 0.0);
+        g.add_agreement(s, a, 0.2, 1.0).unwrap();
+        g.add_agreement(s, b, 0.2, 1.0).unwrap();
+        let lv = g.access_levels();
+        let plan = CommunityScheduler::new().plan(&lv, &[0.0, 270.0, 135.0]);
+        assert!((plan.admitted(a) - 500.0 / 3.0).abs() < 1e-4, "A {}", plan.admitted(a));
+        assert!((plan.admitted(b) - 250.0 / 3.0).abs() < 1e-4, "B {}", plan.admitted(b));
+    }
+
+    #[test]
+    fn figure6_phase1_mandatory_overrides_theta() {
+        // V=320, A [0.2,1] demanding 270, B [0.8,1] demanding 135: B is
+        // below its mandatory 256 → fully served even though pure θ-max
+        // would give it less; A takes the remainder (185).
+        let mut g = AgreementGraph::new();
+        let s = g.add_principal("S", 320.0);
+        let a = g.add_principal("A", 0.0);
+        let b = g.add_principal("B", 0.0);
+        g.add_agreement(s, a, 0.2, 1.0).unwrap();
+        g.add_agreement(s, b, 0.8, 1.0).unwrap();
+        let lv = g.access_levels();
+        let plan = CommunityScheduler::new().plan(&lv, &[0.0, 270.0, 135.0]);
+        assert!((plan.admitted(b) - 135.0).abs() < 1e-6, "B {}", plan.admitted(b));
+        assert!((plan.admitted(a) - 185.0).abs() < 1e-6, "A {}", plan.admitted(a));
+    }
+
+    #[test]
+    fn idle_partner_frees_optional_capacity() {
+        // B idle: A may use its mandatory 150 but not B's retained 50
+        // (A's upper bound on B's server is 50 with a [0.5,0.5] agreement).
+        let (g, a, b) = community_pair();
+        let lv = g.access_levels();
+        let plan = CommunityScheduler::new().plan(&lv, &[1000.0, 0.0]);
+        assert!((plan.admitted(a) - 150.0).abs() < 1e-6);
+        assert_eq!(plan.admitted(b), 0.0);
+    }
+
+    #[test]
+    fn optional_headroom_allows_bursting() {
+        // Provider-style shares in a community LP: S owns 320, A [0.2,1],
+        // B [0.8,1]. With only A active, A can take the whole server.
+        let mut g = AgreementGraph::new();
+        let s = g.add_principal("S", 320.0);
+        let a = g.add_principal("A", 0.0);
+        let b = g.add_principal("B", 0.0);
+        g.add_agreement(s, a, 0.2, 1.0).unwrap();
+        g.add_agreement(s, b, 0.8, 1.0).unwrap();
+        let lv = g.access_levels();
+        // Queue order is [S, A, B]: only A has demand.
+        let plan = CommunityScheduler::new().plan(&lv, &[0.0, 400.0, 0.0]);
+        assert!((plan.admitted(a) - 320.0).abs() < 1e-6);
+        assert_eq!(plan.admitted(b), 0.0);
+    }
+
+    #[test]
+    fn figure6_phase1_shares() {
+        // V=320; A [0.2,1] with 270 req/s demand, B [0.8,1] with 135 req/s.
+        // B below its mandatory 256 → fully served; A takes the rest (185).
+        let mut g = AgreementGraph::new();
+        let s = g.add_principal("S", 320.0);
+        let a = g.add_principal("A", 0.0);
+        let b = g.add_principal("B", 0.0);
+        g.add_agreement(s, a, 0.2, 1.0).unwrap();
+        g.add_agreement(s, b, 0.8, 1.0).unwrap();
+        let lv = g.access_levels();
+        let plan = CommunityScheduler::new().plan(&lv, &[0.0, 270.0, 135.0]);
+        let got_a = plan.admitted(a);
+        let got_b = plan.admitted(b);
+        assert!((got_a + got_b - 320.0).abs() < 1e-6);
+        // B's demand is under its mandatory share: every B request admitted.
+        // (θ-fairness serves equal fractions when feasible: θ = 320/405.)
+        assert!(got_b >= 106.0, "B admitted {got_b}");
+        assert!(got_a >= 64.0 - 1e-6, "A admitted {got_a}");
+    }
+
+    #[test]
+    fn locality_caps_limit_server_load() {
+        let (g, a, _b) = community_pair();
+        let lv = g.access_levels();
+        let sched = CommunityScheduler::with_locality(LocalityCaps(vec![20.0, 20.0]));
+        let plan = sched.plan(&lv, &[1000.0, 0.0]);
+        assert!(plan.server_load(0) <= 20.0 + 1e-9);
+        assert!(plan.server_load(1) <= 20.0 + 1e-9);
+        assert!(plan.admitted(a) <= 40.0 + 1e-9);
+        // Mandatory floors conflict with the caps; solver must fall back
+        // rather than return a zero plan.
+        assert!(plan.admitted(a) > 0.0);
+    }
+
+    #[test]
+    fn empty_queues_give_zero_plan() {
+        let (g, ..) = community_pair();
+        let lv = g.access_levels();
+        let plan = CommunityScheduler::new().plan(&lv, &[0.0, 0.0]);
+        assert_eq!(plan.total_admitted(), 0.0);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let (g, ..) = community_pair();
+        let lv = g.access_levels();
+        let plan = CommunityScheduler::new().plan(&lv, &[500.0, 700.0]);
+        for k in 0..2 {
+            assert!(plan.server_load(k) <= lv.capacities()[k] + 1e-6);
+        }
+    }
+
+    #[test]
+    fn admitted_never_exceeds_queue() {
+        let (g, a, b) = community_pair();
+        let lv = g.access_levels();
+        let plan = CommunityScheduler::new().plan(&lv, &[10.0, 5.0]);
+        assert!(plan.admitted(a) <= 10.0 + 1e-9);
+        assert!(plan.admitted(b) <= 5.0 + 1e-9);
+    }
+}

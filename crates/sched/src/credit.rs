@@ -1,0 +1,256 @@
+//! Implicit queuing via per-window admission credits (§4.1, final design).
+//!
+//! Instead of holding requests in explicit queues (which bunches them at
+//! window boundaries), the redirector decides *how many* requests each
+//! principal may pass this window. Requests within quota are forwarded
+//! immediately; the rest are implicitly queued by telling the client to
+//! retry (L7 self-redirect) or parking the connection (L4). Fractional
+//! quota remainders carry over so that rates like 13.5 requests/window
+//! average out exactly.
+
+use crate::{Plan, Request};
+use covenant_agreements::PrincipalId;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of an admission check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Admission {
+    /// Forward to the given server (principal id of the server owner).
+    Admit {
+        /// Target server index.
+        server: usize,
+    },
+    /// Out of quota this window: defer (self-redirect / park).
+    Defer,
+}
+
+/// Per-principal credit state for one redirector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CreditGate {
+    /// Remaining admission credit per principal for this window.
+    credit: Vec<f64>,
+    /// Remaining per-(principal, server) allocation for this window.
+    alloc: Vec<Vec<f64>>,
+    /// The plan rows as installed at the last roll (fallback server choice
+    /// for fractional carry-over admissions after allocations drain).
+    installed: Vec<Vec<f64>>,
+    /// Cap on accumulated credit, in multiples of the window quota.
+    burst_windows: f64,
+    /// Last installed per-principal quota (for the burst cap).
+    quota: Vec<f64>,
+}
+
+impl CreditGate {
+    /// Creates a gate for `n` principals over `n_servers` servers with the
+    /// default burst cap of 2 windows' worth of credit.
+    pub fn new(n: usize, n_servers: usize) -> Self {
+        CreditGate {
+            credit: vec![0.0; n],
+            alloc: vec![vec![0.0; n_servers]; n],
+            installed: vec![vec![0.0; n_servers]; n],
+            burst_windows: 2.0,
+            quota: vec![0.0; n],
+        }
+    }
+
+    /// Overrides the burst cap (multiples of one window's quota a principal
+    /// may accumulate while idle).
+    pub fn with_burst_windows(mut self, w: f64) -> Self {
+        assert!(w >= 1.0, "burst cap below one window starves carry-over");
+        self.burst_windows = w;
+        self
+    }
+
+    /// Installs the new window's plan: adds each principal's admitted quota
+    /// to its credit (capped) and resets per-server allocations.
+    pub fn roll_window(&mut self, plan: &Plan) {
+        for (i, row) in plan.assignments.iter().enumerate() {
+            let q: f64 = row.iter().sum();
+            self.quota[i] = q;
+            let cap = q * self.burst_windows;
+            self.credit[i] = (self.credit[i] + q).min(cap.max(q));
+            self.alloc[i].copy_from_slice(row);
+            self.installed[i].copy_from_slice(row);
+        }
+    }
+
+    /// Remaining credit for principal `i`.
+    pub fn credit(&self, i: PrincipalId) -> f64 {
+        self.credit[i.0]
+    }
+
+    /// Like [`Self::admit`], but prefers `preferred` server while it still
+    /// has allocation — connection affinity "to the extent allowed by the
+    /// sharing agreements" (the paper's SSL-session consideration, §4.2).
+    pub fn admit_with_preference(&mut self, req: &Request, preferred: Option<usize>) -> Admission {
+        let i = req.principal.0;
+        if let Some(k) = preferred {
+            if k < self.alloc[i].len()
+                && self.alloc[i][k] + 1e-9 >= req.cost
+                && self.credit[i] + 1e-9 >= req.cost
+            {
+                self.alloc[i][k] -= req.cost;
+                self.credit[i] -= req.cost;
+                return Admission::Admit { server: k };
+            }
+        }
+        self.admit(req)
+    }
+
+    /// Attempts to admit `req`, consuming credit on success and choosing the
+    /// server with the most remaining allocation.
+    pub fn admit(&mut self, req: &Request) -> Admission {
+        let i = req.principal.0;
+        if self.credit[i] + 1e-9 < req.cost {
+            return Admission::Defer;
+        }
+        // Prefer the server with the largest *positive* remaining
+        // allocation; if every allocation is exhausted but credit remains
+        // (fractional carry-over), fall back to the server with the largest
+        // installed quota this window — never to an arbitrary index, which
+        // could be a zero-capacity principal.
+        let server = first_argmax_positive(&self.alloc[i])
+            .or_else(|| first_argmax_positive(&self.installed[i]))
+            .unwrap_or(0);
+        self.alloc[i][server] = (self.alloc[i][server] - req.cost).max(0.0);
+        self.credit[i] -= req.cost;
+        Admission::Admit { server }
+    }
+}
+
+/// Index of the first maximum strictly-positive entry, or `None` if every
+/// entry is ≤ 0.
+fn first_argmax_positive(row: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (k, &v) in row.iter().enumerate() {
+        if v > 0.0 && best.map_or(true, |(_, bv)| v > bv) {
+            best = Some((k, v));
+        }
+    }
+    best.map(|(k, _)| k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Plan;
+
+    fn unit(id: u64, p: usize) -> Request {
+        Request::unit(id, PrincipalId(p), 0.0)
+    }
+
+    fn plan(rows: Vec<Vec<f64>>) -> Plan {
+        Plan { assignments: rows, theta: None, income: None }
+    }
+
+    #[test]
+    fn admits_up_to_quota_then_defers() {
+        let mut g = CreditGate::new(1, 1);
+        g.roll_window(&plan(vec![vec![3.0]]));
+        for id in 0..3 {
+            assert!(matches!(g.admit(&unit(id, 0)), Admission::Admit { .. }));
+        }
+        assert_eq!(g.admit(&unit(9, 0)), Admission::Defer);
+    }
+
+    #[test]
+    fn fractional_carry_over_averages_out() {
+        // Quota 1.5/window, 2 requests offered per window: admit counts
+        // should alternate 1, 2, 1, 2, … averaging 1.5.
+        let mut g = CreditGate::new(1, 1);
+        let mut admitted_per_window = Vec::new();
+        let mut id = 0;
+        for _ in 0..6 {
+            g.roll_window(&plan(vec![vec![1.5]]));
+            let mut n = 0;
+            for _ in 0..2 {
+                if matches!(g.admit(&unit(id, 0)), Admission::Admit { .. }) {
+                    n += 1;
+                }
+                id += 1;
+            }
+            admitted_per_window.push(n);
+        }
+        let total: i32 = admitted_per_window.iter().sum();
+        assert_eq!(total, 9, "windows: {admitted_per_window:?}");
+    }
+
+    #[test]
+    fn burst_cap_limits_idle_accumulation() {
+        let mut g = CreditGate::new(1, 1).with_burst_windows(2.0);
+        for _ in 0..10 {
+            g.roll_window(&plan(vec![vec![5.0]]));
+        }
+        // Credit capped at 2 windows' quota despite 10 idle windows.
+        assert!((g.credit(PrincipalId(0)) - 10.0).abs() < 1e-9);
+        let mut admitted = 0;
+        for id in 0..100 {
+            if matches!(g.admit(&unit(id, 0)), Admission::Admit { .. }) {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 10);
+    }
+
+    #[test]
+    fn servers_chosen_by_remaining_allocation() {
+        let mut g = CreditGate::new(1, 2);
+        g.roll_window(&plan(vec![vec![1.0, 2.0]]));
+        let mut to = vec![0, 0];
+        for id in 0..3 {
+            if let Admission::Admit { server } = g.admit(&unit(id, 0)) {
+                to[server] += 1;
+            }
+        }
+        assert_eq!(to, vec![1, 2]);
+    }
+
+    #[test]
+    fn costly_request_needs_matching_credit() {
+        let mut g = CreditGate::new(1, 1);
+        g.roll_window(&plan(vec![vec![3.0]]));
+        let big = Request { id: crate::RequestId(1), principal: PrincipalId(0), arrival: 0.0, cost: 4.0 };
+        assert_eq!(g.admit(&big), Admission::Defer);
+        g.roll_window(&plan(vec![vec![3.0]])); // credit now 6 ≥ 4
+        assert!(matches!(g.admit(&big), Admission::Admit { .. }));
+    }
+
+    #[test]
+    fn affinity_preference_honored_while_allocated() {
+        let mut g = CreditGate::new(1, 2);
+        g.roll_window(&plan(vec![vec![1.0, 2.0]]));
+        // Prefer server 0 (the smaller allocation): honored while it lasts.
+        assert_eq!(
+            g.admit_with_preference(&unit(0, 0), Some(0)),
+            Admission::Admit { server: 0 }
+        );
+        // Server 0 exhausted: falls back to server 1 despite preference.
+        assert_eq!(
+            g.admit_with_preference(&unit(1, 0), Some(0)),
+            Admission::Admit { server: 1 }
+        );
+        assert_eq!(
+            g.admit_with_preference(&unit(2, 0), Some(0)),
+            Admission::Admit { server: 1 }
+        );
+        assert_eq!(g.admit_with_preference(&unit(3, 0), Some(0)), Admission::Defer);
+    }
+
+    #[test]
+    fn preference_out_of_range_falls_back() {
+        let mut g = CreditGate::new(1, 1);
+        g.roll_window(&plan(vec![vec![1.0]]));
+        assert!(matches!(
+            g.admit_with_preference(&unit(0, 0), Some(99)),
+            Admission::Admit { server: 0 }
+        ));
+    }
+
+    #[test]
+    fn principals_are_independent() {
+        let mut g = CreditGate::new(2, 1);
+        g.roll_window(&plan(vec![vec![1.0], vec![0.0]]));
+        assert!(matches!(g.admit(&unit(0, 0)), Admission::Admit { .. }));
+        assert_eq!(g.admit(&unit(1, 1)), Admission::Defer);
+    }
+}

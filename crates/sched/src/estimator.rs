@@ -1,0 +1,94 @@
+//! EWMA arrival-rate estimation for implicit queuing.
+//!
+//! The implicit (credit-gate) scheme runs the LP on *estimated* queue
+//! lengths: the expected number of arrivals in the coming window, smoothed
+//! over recent windows so a single bursty window does not whipsaw the plan.
+
+use serde::{Deserialize, Serialize};
+
+/// Exponentially-weighted moving-average estimator of per-principal demand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateEstimator {
+    /// Smoothing factor in `(0, 1]`; 1 = use only the last window.
+    alpha: f64,
+    /// Smoothed arrivals per window, per principal.
+    per_window: Vec<f64>,
+    /// Whether any sample has been folded in yet (first sample seeds the
+    /// average instead of decaying from zero).
+    primed: bool,
+}
+
+impl RateEstimator {
+    /// Creates an estimator for `n` principals with smoothing factor
+    /// `alpha` (the paper's prototypes react within a couple of windows, so
+    /// a fairly responsive default like 0.5 is appropriate).
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        RateEstimator { alpha, per_window: vec![0.0; n], primed: false }
+    }
+
+    /// Folds in the arrivals observed in the window that just ended
+    /// (cost-weighted counts per principal).
+    pub fn observe(&mut self, arrivals: &[f64]) {
+        assert_eq!(arrivals.len(), self.per_window.len());
+        if !self.primed {
+            self.per_window.copy_from_slice(arrivals);
+            self.primed = true;
+            return;
+        }
+        for (e, &a) in self.per_window.iter_mut().zip(arrivals) {
+            *e = self.alpha * a + (1.0 - self.alpha) * *e;
+        }
+    }
+
+    /// Estimated demand (requests per window) for the coming window — the
+    /// `n_i` inputs to the LP in implicit mode.
+    pub fn estimates(&self) -> &[f64] {
+        &self.per_window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_seeds() {
+        let mut e = RateEstimator::new(2, 0.3);
+        e.observe(&[10.0, 4.0]);
+        assert_eq!(e.estimates(), &[10.0, 4.0]);
+    }
+
+    #[test]
+    fn converges_to_steady_rate() {
+        let mut e = RateEstimator::new(1, 0.5);
+        for _ in 0..20 {
+            e.observe(&[13.5]);
+        }
+        assert!((e.estimates()[0] - 13.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decays_after_load_stops() {
+        let mut e = RateEstimator::new(1, 0.5);
+        e.observe(&[100.0]);
+        for _ in 0..12 {
+            e.observe(&[0.0]);
+        }
+        assert!(e.estimates()[0] < 0.1);
+    }
+
+    #[test]
+    fn alpha_one_tracks_exactly() {
+        let mut e = RateEstimator::new(1, 1.0);
+        e.observe(&[5.0]);
+        e.observe(&[9.0]);
+        assert_eq!(e.estimates(), &[9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_zero_alpha() {
+        let _ = RateEstimator::new(1, 0.0);
+    }
+}

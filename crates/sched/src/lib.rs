@@ -1,0 +1,60 @@
+//! Time-window queuing schedulers for agreement enforcement.
+//!
+//! Implements Section 3 of the paper: each redirector logically maintains a
+//! queue per principal and, every time window (100 ms in the paper's
+//! prototypes), decides what subset of queued requests to forward to which
+//! servers. The decision must (a) respect the mandatory/optional access
+//! levels implied by the agreement graph, and (b) optimize a global metric —
+//! either the community's worst-case response time (via the max-min `θ` LP)
+//! or the service provider's income (via the pricing LP).
+//!
+//! # Components
+//!
+//! * [`CommunityScheduler`] — the "Global Response Time" linear program:
+//!   maximize `θ = min_i (Σ_k x_ik) / n_i` subject to server capacities,
+//!   pairwise agreement bounds `MI_ki ≤ x_ik ≤ MI_ki + OI_ki`, and queue
+//!   limits; optionally with per-server locality caps.
+//! * [`ProviderScheduler`] — the "Total Income of Provider" linear program:
+//!   maximize `Σ_i p_i (x_i − MC_i)` subject to aggregate capacity and
+//!   `MC_i ≤ x_i ≤ MC_i + OC_i`.
+//! * [`Plan`] — the solved per-window schedule, with
+//!   [`Plan::scale_for_local_queue`] implementing the distributed rule
+//!   `x_local_ij / n_local_i = x_ij / n_i` that lets every redirector apply
+//!   the globally-optimal plan to its local queue fraction.
+//! * [`PrincipalQueues`] — explicit per-principal FIFO queues (the paper's
+//!   first L7 implementation, kept for the bunching comparison of §4.1).
+//! * [`CreditGate`] — the implicit-queuing credit scheme the paper settled
+//!   on: per-window admission credits with fractional carry-over, so
+//!   requests within quota forward immediately and the rest are deferred
+//!   (self-redirected or parked) without explicit queue management.
+//! * [`RateEstimator`] — EWMA arrival-rate estimation used to run the LP on
+//!   *estimated* queue lengths in implicit mode.
+//! * [`WindowScheduler`] — policy dispatch plus the conservative fallback a
+//!   redirector uses before global queue information has arrived (half its
+//!   mandatory share when peers are unknown; see the paper's Figure 8
+//!   discussion).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod community;
+mod credit;
+mod estimator;
+mod multi;
+mod plan;
+mod provider;
+mod queue;
+mod request;
+mod vclock;
+mod window;
+
+pub use community::{CommunityScheduler, LocalityCaps};
+pub use credit::{Admission, CreditGate};
+pub use estimator::RateEstimator;
+pub use multi::MultiCommunityScheduler;
+pub use plan::Plan;
+pub use provider::ProviderScheduler;
+pub use queue::PrincipalQueues;
+pub use request::{Request, RequestId};
+pub use vclock::VirtualClock;
+pub use window::{GlobalView, Policy, SchedulerConfig, WindowScheduler};

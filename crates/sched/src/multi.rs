@@ -1,0 +1,215 @@
+//! Multi-resource window scheduling (§3.1.1's vector quantities).
+//!
+//! Same max-min `θ` objective as [`crate::CommunityScheduler`], but each
+//! request of principal `i` consumes a *cost vector* `c_i` (CPU, bandwidth,
+//! …) and every server has a capacity vector. Per-server constraints apply
+//! per resource kind; a principal's admission rate is limited by whichever
+//! kind binds first.
+
+use crate::Plan;
+use covenant_agreements::{MultiAccessLevels, PrincipalId, ResourceKind, ResourceVector};
+use covenant_lp::{LpOutcome, Problem, Relation};
+
+/// Community scheduler over multiple resource kinds.
+#[derive(Debug, Clone)]
+pub struct MultiCommunityScheduler {
+    /// Per-principal request cost vectors (units of each kind consumed by
+    /// one request).
+    pub costs: Vec<ResourceVector>,
+}
+
+impl MultiCommunityScheduler {
+    /// Creates a scheduler with the given per-principal request costs.
+    pub fn new(costs: Vec<ResourceVector>) -> Self {
+        MultiCommunityScheduler { costs }
+    }
+
+    /// Solves the windowed multi-resource LP.
+    ///
+    /// * `levels` — per-kind access levels **scaled to the window**;
+    /// * `queues` — per-principal demands (requests this window).
+    pub fn plan(&self, levels: &MultiAccessLevels, queues: &[f64]) -> Plan {
+        let n = levels.len();
+        let kinds = levels.n_kinds();
+        assert_eq!(queues.len(), n);
+        assert_eq!(self.costs.len(), n);
+        for c in &self.costs {
+            assert_eq!(c.len(), kinds, "cost vector must cover every kind");
+        }
+        if n == 0 || queues.iter().all(|&q| q <= 0.0) {
+            return Plan::zero(n, n);
+        }
+        match self.solve(levels, queues, true) {
+            Some(p) => p,
+            None => self.solve(levels, queues, false).unwrap_or_else(|| Plan::zero(n, n)),
+        }
+    }
+
+    fn solve(
+        &self,
+        levels: &MultiAccessLevels,
+        queues: &[f64],
+        floors: bool,
+    ) -> Option<Plan> {
+        let n = levels.len();
+        let kinds = levels.n_kinds();
+        let xv = |i: usize, k: usize| 1 + i * n + k;
+        let mut p = Problem::new(1 + n * n);
+        p.set_objective_coeff(0, 1.0);
+        p.set_upper_bound(0, 1.0);
+
+        for i in 0..n {
+            let ni = queues[i].max(0.0);
+            let row: Vec<(usize, f64)> = (0..n).map(|k| (xv(i, k), 1.0)).collect();
+            p.add_constraint(row.clone(), Relation::Le, ni);
+            if ni > 0.0 {
+                let mut cov = row.clone();
+                cov.push((0, -ni));
+                p.add_constraint(cov, Relation::Ge, 0.0);
+            }
+            let pi = PrincipalId(i);
+            // Pairwise ceilings: binding kind per (i, server) pair.
+            for k in 0..n {
+                let pk = PrincipalId(k);
+                let mut ub = f64::INFINITY;
+                for r in 0..kinds {
+                    let c = self.costs[i].0[r];
+                    if c > 0.0 {
+                        let lv = levels.kind(ResourceKind(r));
+                        ub = ub.min((lv.mand_share(pi, pk) + lv.opt_share(pi, pk)) / c);
+                    }
+                }
+                if ub.is_finite() {
+                    p.set_upper_bound(xv(i, k), ub.max(0.0));
+                } else {
+                    // Zero-cost requests are only bounded by the queue.
+                    p.set_upper_bound(xv(i, k), ni);
+                }
+            }
+            // Mandatory guarantee at the binding-kind rate.
+            let floor = levels.mandatory_rate(pi, &self.costs[i]).min(ni);
+            if floors && floor > 0.0 && floor.is_finite() {
+                p.add_constraint(row, Relation::Ge, floor);
+            }
+        }
+        // Per-server, per-kind capacity.
+        for k in 0..n {
+            for r in 0..kinds {
+                let lv = levels.kind(ResourceKind(r));
+                let row: Vec<(usize, f64)> = (0..n)
+                    .map(|i| (xv(i, k), self.costs[i].0[r]))
+                    .filter(|(_, c)| *c != 0.0)
+                    .collect();
+                if !row.is_empty() {
+                    p.add_constraint(row, Relation::Le, lv.capacities()[k].max(0.0));
+                }
+            }
+        }
+
+        match p.solve() {
+            LpOutcome::Optimal(s) => {
+                let assignments = (0..n)
+                    .map(|i| (0..n).map(|k| s.x[xv(i, k)].max(0.0)).collect())
+                    .collect();
+                Some(Plan { assignments, theta: Some(s.x[0]), income: None })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covenant_agreements::MultiAgreementGraph;
+
+    /// Server with 100 cpu and 40 bw per window; A and B each [0.5, 0.5].
+    fn system() -> (MultiAgreementGraph, PrincipalId, PrincipalId) {
+        let mut g = MultiAgreementGraph::new(&["cpu", "bw"]);
+        let s = g.add_principal("S", ResourceVector(vec![100.0, 40.0]));
+        let a = g.add_principal("A", ResourceVector(vec![0.0, 0.0]));
+        let b = g.add_principal("B", ResourceVector(vec![0.0, 0.0]));
+        g.add_agreement(s, a, 0.5, 0.5).unwrap();
+        g.add_agreement(s, b, 0.5, 0.5).unwrap();
+        (g, a, b)
+    }
+
+    #[test]
+    fn scarce_kind_binds_admission() {
+        let (g, a, b) = system();
+        let lv = g.access_levels();
+        // A's requests are bandwidth-heavy (1 cpu, 2 bw); B's are pure cpu.
+        let sched = MultiCommunityScheduler::new(vec![
+            ResourceVector(vec![1.0, 0.0]),
+            ResourceVector(vec![1.0, 2.0]),
+            ResourceVector(vec![1.0, 0.0]),
+        ]);
+        let plan = sched.plan(&lv, &[0.0, 100.0, 100.0]);
+        // A limited by bw: 20/window (50% of 40 / 2); B by cpu: 50/window.
+        assert!((plan.admitted(a) - 10.0).abs() < 1e-6, "A {}", plan.admitted(a));
+        assert!((plan.admitted(b) - 50.0).abs() < 1e-6, "B {}", plan.admitted(b));
+    }
+
+    #[test]
+    fn uniform_costs_match_single_resource_behavior() {
+        let (g, a, b) = system();
+        let lv = g.access_levels();
+        let sched = MultiCommunityScheduler::new(vec![
+            ResourceVector::uniform(1.0, 2),
+            ResourceVector::uniform(1.0, 2),
+            ResourceVector::uniform(1.0, 2),
+        ]);
+        // bw (40) binds for everyone: A and B each mandatorily 20.
+        let plan = sched.plan(&lv, &[0.0, 100.0, 100.0]);
+        assert!((plan.admitted(a) - 20.0).abs() < 1e-6);
+        assert!((plan.admitted(b) - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn light_demand_fully_served() {
+        let (g, a, b) = system();
+        let lv = g.access_levels();
+        let sched = MultiCommunityScheduler::new(vec![
+            ResourceVector::uniform(1.0, 2),
+            ResourceVector::uniform(1.0, 2),
+            ResourceVector::uniform(1.0, 2),
+        ]);
+        let plan = sched.plan(&lv, &[0.0, 5.0, 3.0]);
+        assert!((plan.admitted(a) - 5.0).abs() < 1e-6);
+        assert!((plan.admitted(b) - 3.0).abs() < 1e-6);
+        assert!((plan.theta.unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_respected_per_kind() {
+        let (g, ..) = system();
+        let lv = g.access_levels();
+        let costs = vec![
+            ResourceVector(vec![1.0, 0.5]),
+            ResourceVector(vec![2.0, 1.0]),
+            ResourceVector(vec![0.5, 1.5]),
+        ];
+        let sched = MultiCommunityScheduler::new(costs.clone());
+        let plan = sched.plan(&lv, &[0.0, 500.0, 500.0]);
+        for r in 0..2 {
+            let load: f64 = (0..3)
+                .map(|i| plan.assignments[i][0] * costs[i].0[r])
+                .sum();
+            let cap = lv.kind(ResourceKind(r)).capacities()[0];
+            assert!(load <= cap + 1e-6, "kind {r}: {load} > {cap}");
+        }
+    }
+
+    #[test]
+    fn empty_demand_zero_plan() {
+        let (g, ..) = system();
+        let lv = g.access_levels();
+        let sched = MultiCommunityScheduler::new(vec![
+            ResourceVector::uniform(1.0, 2),
+            ResourceVector::uniform(1.0, 2),
+            ResourceVector::uniform(1.0, 2),
+        ]);
+        let plan = sched.plan(&lv, &[0.0, 0.0, 0.0]);
+        assert_eq!(plan.total_admitted(), 0.0);
+    }
+}

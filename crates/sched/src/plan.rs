@@ -1,0 +1,152 @@
+//! The per-window schedule produced by the LP solvers.
+
+use covenant_agreements::PrincipalId;
+use serde::{Deserialize, Serialize};
+
+/// A solved per-window schedule: how many requests of each principal to
+/// forward to each server this window.
+///
+/// Entries are fractional request counts; integerization (with carry-over)
+/// happens in [`crate::CreditGate`] / [`crate::PrincipalQueues`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// `assignments[i][k]`: requests of principal `i` sent to server `k`.
+    pub assignments: Vec<Vec<f64>>,
+    /// The community objective `θ` (fraction of every queue served), when
+    /// the community model produced this plan.
+    pub theta: Option<f64>,
+    /// The provider income `Σ p_i (x_i − MC_i)`, when the provider model
+    /// produced this plan.
+    pub income: Option<f64>,
+}
+
+impl Plan {
+    /// An all-zero plan over `n` principals and `m` servers (used when a
+    /// window has no demand, or as the failure fallback).
+    pub fn zero(n: usize, m: usize) -> Self {
+        Plan { assignments: vec![vec![0.0; m]; n], theta: None, income: None }
+    }
+
+    /// Number of principals.
+    pub fn n_principals(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Total admitted for principal `i` across all servers (`Σ_k x_ik`).
+    pub fn admitted(&self, i: PrincipalId) -> f64 {
+        self.assignments[i.0].iter().sum()
+    }
+
+    /// Total load placed on server `k` (`Σ_i x_ik`).
+    pub fn server_load(&self, k: usize) -> f64 {
+        self.assignments.iter().map(|row| row[k]).sum()
+    }
+
+    /// Total requests admitted across all principals.
+    pub fn total_admitted(&self) -> f64 {
+        self.assignments.iter().flatten().sum()
+    }
+
+    /// The coordinated-scheduling rule of §3.2: a redirector holding
+    /// `n_local` of the global `n_global` queued requests per principal
+    /// applies the same *fraction* of each queue the global plan does:
+    /// `x_local_ij = x_ij × n_local_i / n_i`.
+    ///
+    /// Principals with an empty global queue get zero (nothing to scale).
+    pub fn scale_for_local_queue(&self, n_local: &[f64], n_global: &[f64]) -> Plan {
+        assert_eq!(n_local.len(), self.assignments.len());
+        assert_eq!(n_global.len(), self.assignments.len());
+        let assignments = self
+            .assignments
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let frac = if n_global[i] > 0.0 { (n_local[i] / n_global[i]).clamp(0.0, 1.0) } else { 0.0 };
+                row.iter().map(|x| x * frac).collect()
+            })
+            .collect();
+        Plan { assignments, theta: self.theta, income: self.income }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_shape() {
+        let p = Plan::zero(3, 2);
+        assert_eq!(p.n_principals(), 3);
+        assert_eq!(p.total_admitted(), 0.0);
+        assert_eq!(p.admitted(PrincipalId(1)), 0.0);
+        assert_eq!(p.server_load(1), 0.0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let p = Plan {
+            assignments: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            theta: Some(0.5),
+            income: None,
+        };
+        assert_eq!(p.admitted(PrincipalId(0)), 3.0);
+        assert_eq!(p.admitted(PrincipalId(1)), 7.0);
+        assert_eq!(p.server_load(0), 4.0);
+        assert_eq!(p.server_load(1), 6.0);
+        assert_eq!(p.total_admitted(), 10.0);
+    }
+
+    #[test]
+    fn local_scaling_matches_queue_fractions() {
+        let p = Plan {
+            assignments: vec![vec![10.0, 10.0], vec![8.0, 0.0]],
+            theta: Some(1.0),
+            income: None,
+        };
+        // Redirector holds 25% of principal 0's queue, 100% of principal 1's.
+        let local = p.scale_for_local_queue(&[5.0, 8.0], &[20.0, 8.0]);
+        assert_eq!(local.assignments[0], vec![2.5, 2.5]);
+        assert_eq!(local.assignments[1], vec![8.0, 0.0]);
+    }
+
+    #[test]
+    fn local_scaling_empty_global_queue_is_zero() {
+        let p = Plan { assignments: vec![vec![4.0]], theta: None, income: None };
+        let local = p.scale_for_local_queue(&[0.0], &[0.0]);
+        assert_eq!(local.assignments[0], vec![0.0]);
+    }
+
+    #[test]
+    fn local_scaling_clamps_stale_fractions() {
+        // Staleness can make n_local > n_global momentarily; the fraction is
+        // clamped to 1 so a redirector never over-admits past the plan.
+        let p = Plan { assignments: vec![vec![4.0]], theta: None, income: None };
+        let local = p.scale_for_local_queue(&[10.0], &[5.0]);
+        assert_eq!(local.assignments[0], vec![4.0]);
+    }
+
+    #[test]
+    fn sum_of_local_plans_equals_global_plan() {
+        let p = Plan {
+            assignments: vec![vec![10.0, 6.0], vec![9.0, 3.0]],
+            theta: None,
+            income: None,
+        };
+        let global = [20.0, 12.0];
+        let locals = [[5.0, 4.0], [15.0, 8.0]];
+        let mut total = vec![vec![0.0; 2]; 2];
+        for l in &locals {
+            let lp = p.scale_for_local_queue(l, &global);
+            for i in 0..2 {
+                for k in 0..2 {
+                    total[i][k] += lp.assignments[i][k];
+                }
+            }
+        }
+        for i in 0..2 {
+            for k in 0..2 {
+                assert!((total[i][k] - p.assignments[i][k]).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Request representation.
+
+use covenant_agreements::PrincipalId;
+use serde::{Deserialize, Serialize};
+
+/// Globally unique (per run) request identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+/// A client request as seen by a redirector.
+///
+/// The architecture assumes short-lived requests whose resource consumption
+/// is known a priori (by specification or profiling); `cost` expresses that
+/// consumption in average-request units — the paper's "large requests are
+/// treated as multiple small ones for the purpose of scheduling".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Identifier for tracing.
+    pub id: RequestId,
+    /// The principal whose agreement funds this request.
+    pub principal: PrincipalId,
+    /// Arrival time at the redirector, seconds since run start.
+    pub arrival: f64,
+    /// Resource cost in average-request units (1.0 for a typical request).
+    pub cost: f64,
+}
+
+impl Request {
+    /// A unit-cost request.
+    pub fn unit(id: u64, principal: PrincipalId, arrival: f64) -> Self {
+        Request { id: RequestId(id), principal, arrival, cost: 1.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_request_has_cost_one() {
+        let r = Request::unit(7, PrincipalId(2), 1.5);
+        assert_eq!(r.id, RequestId(7));
+        assert_eq!(r.principal, PrincipalId(2));
+        assert_eq!(r.cost, 1.0);
+        assert_eq!(r.arrival, 1.5);
+    }
+}

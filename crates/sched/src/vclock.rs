@@ -1,0 +1,210 @@
+//! Virtual-time proportional-share baseline (paper §6).
+//!
+//! The paper notes its queuing strategy "builds upon the same *virtual
+//! time* notion for proportional resource sharing that has been used in
+//! the context of network queuing algorithms [Fair Queuing, VirtualClock]
+//! and real-time multimedia CPU scheduling", but replaces the explicit
+//! per-packet queue structures with a credit-based implementation better
+//! suited to a distributed setting.
+//!
+//! This module provides the classical comparator: a start-time weighted
+//! fair queuing (VirtualClock-style) scheduler over per-principal weights.
+//! It is used by the ablation benches to show what plain proportional
+//! share *cannot* express — `[lb, ub]` semantics: a weight-based scheduler
+//! has no notion of an upper bound (an idle system gives one flow
+//! everything) nor of mandatory floors decoupled from the weight ratio,
+//! which is exactly why the paper's LP formulation is needed.
+
+use crate::Request;
+#[cfg(test)]
+use covenant_agreements::PrincipalId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A weighted-fair-queuing scheduler over per-principal virtual time.
+///
+/// Each principal `i` has weight `w_i`; a request of cost `c` stamps a
+/// virtual finish time `F = max(V, F_prev(i)) + c / w_i` where `V` is the
+/// global virtual clock (the finish time of the last dispatched request).
+/// Dispatch order is ascending `F`, which serves backlogged principals in
+/// proportion to their weights.
+#[derive(Debug)]
+pub struct VirtualClock {
+    weights: Vec<f64>,
+    last_finish: Vec<f64>,
+    vclock: f64,
+    heap: BinaryHeap<Stamped>,
+}
+
+#[derive(Debug)]
+struct Stamped {
+    finish: f64,
+    seq: u64,
+    request: Request,
+}
+
+impl PartialEq for Stamped {
+    fn eq(&self, other: &Self) -> bool {
+        self.finish == other.finish && self.seq == other.seq
+    }
+}
+impl Eq for Stamped {}
+impl PartialOrd for Stamped {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Stamped {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (finish, seq).
+        other
+            .finish
+            .partial_cmp(&self.finish)
+            .expect("finite finish times")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl VirtualClock {
+    /// Creates a scheduler with the given per-principal weights (must be
+    /// positive for principals that submit work).
+    pub fn new(weights: Vec<f64>) -> Self {
+        let n = weights.len();
+        VirtualClock {
+            weights,
+            last_finish: vec![0.0; n],
+            vclock: 0.0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Enqueues a request, stamping its virtual finish time.
+    pub fn enqueue(&mut self, request: Request) {
+        let i = request.principal.0;
+        let w = self.weights[i].max(1e-12);
+        let start = self.vclock.max(self.last_finish[i]);
+        let finish = start + request.cost / w;
+        self.last_finish[i] = finish;
+        let seq = request.id.0;
+        self.heap.push(Stamped { finish, seq, request });
+    }
+
+    /// Dispatches the request with the smallest virtual finish time.
+    pub fn dispatch(&mut self) -> Option<Request> {
+        let s = self.heap.pop()?;
+        self.vclock = s.finish;
+        Some(s.request)
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Dispatches up to `budget` cost units, returning the served requests
+    /// (the per-window analogue used in the ablation).
+    pub fn dispatch_window(&mut self, mut budget: f64) -> Vec<Request> {
+        let mut out = Vec::new();
+        while let Some(top) = self.heap.peek() {
+            if top.request.cost > budget + 1e-9 {
+                break;
+            }
+            let r = self.dispatch().expect("peeked");
+            budget -= r.cost;
+            out.push(r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(id: u64, p: usize) -> Request {
+        Request::unit(id, PrincipalId(p), 0.0)
+    }
+
+    #[test]
+    fn backlogged_flows_served_by_weight() {
+        // Weights 3:1, both heavily backlogged: service ratio 3:1.
+        let mut vc = VirtualClock::new(vec![3.0, 1.0]);
+        for id in 0..400 {
+            vc.enqueue(unit(id * 2, 0));
+            vc.enqueue(unit(id * 2 + 1, 1));
+        }
+        let served = vc.dispatch_window(100.0);
+        let s0 = served.iter().filter(|r| r.principal.0 == 0).count();
+        let s1 = served.iter().filter(|r| r.principal.0 == 1).count();
+        assert_eq!(s0 + s1, 100);
+        assert!((s0 as f64 / s1 as f64 - 3.0).abs() < 0.2, "{s0}:{s1}");
+    }
+
+    #[test]
+    fn idle_flow_does_not_bank_credit() {
+        // Flow 1 idle while flow 0 is served; when flow 1 arrives it gets
+        // its weight share *going forward*, no catch-up burst (classic WFQ
+        // memorylessness — contrast with the paper's mandatory floors).
+        let mut vc = VirtualClock::new(vec![1.0, 1.0]);
+        for id in 0..50 {
+            vc.enqueue(unit(id, 0));
+        }
+        let first = vc.dispatch_window(30.0);
+        assert_eq!(first.len(), 30);
+        // Now flow 1 wakes with a backlog.
+        for id in 100..150 {
+            vc.enqueue(unit(id, 1));
+        }
+        let second = vc.dispatch_window(20.0);
+        let s1 = second.iter().filter(|r| r.principal.0 == 1).count();
+        // Fair share from now on: about half, not all 20.
+        assert!((7..=13).contains(&s1), "flow 1 got {s1}");
+    }
+
+    #[test]
+    fn weights_cannot_express_upper_bounds() {
+        // The structural limitation the LP fixes: with only one active
+        // flow, WFQ gives it *everything* regardless of any intended ub.
+        let mut vc = VirtualClock::new(vec![1.0, 9.0]);
+        for id in 0..100 {
+            vc.enqueue(unit(id, 0));
+        }
+        let served = vc.dispatch_window(50.0);
+        assert_eq!(served.len(), 50); // flow 0 takes all 50 despite weight 1
+    }
+
+    #[test]
+    fn costly_requests_consume_proportional_service() {
+        let mut vc = VirtualClock::new(vec![1.0, 1.0]);
+        for id in 0..20 {
+            vc.enqueue(Request {
+                id: crate::RequestId(id),
+                principal: PrincipalId(0),
+                arrival: 0.0,
+                cost: 5.0,
+            });
+            vc.enqueue(unit(1000 + id, 1));
+        }
+        let served = vc.dispatch_window(30.0);
+        let units0: f64 = served.iter().filter(|r| r.principal.0 == 0).map(|r| r.cost).sum();
+        let units1: f64 = served.iter().filter(|r| r.principal.0 == 1).map(|r| r.cost).sum();
+        // Equal weights → roughly equal cost units despite 5× request sizes.
+        assert!((units0 - units1).abs() <= 5.0, "{units0} vs {units1}");
+    }
+
+    #[test]
+    fn fifo_within_a_flow() {
+        let mut vc = VirtualClock::new(vec![1.0]);
+        for id in 0..10 {
+            vc.enqueue(unit(id, 0));
+        }
+        let served = vc.dispatch_window(10.0);
+        let ids: Vec<u64> = served.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<u64>>());
+    }
+}

@@ -1,0 +1,267 @@
+//! Per-window scheduling orchestration: policy dispatch and the
+//! conservative fallback used before coordination data arrives.
+
+use crate::{CommunityScheduler, LocalityCaps, Plan, ProviderScheduler};
+use covenant_agreements::{AccessLevels, PrincipalId};
+
+/// Which optimization the redirector runs each window.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Policy {
+    /// Community context: maximize the minimum served queue fraction `θ`
+    /// (minimizes the community-wide maximum response time).
+    Community {
+        /// Optional per-server locality caps for this redirector.
+        locality: Option<LocalityCaps>,
+    },
+    /// Service-provider context: maximize `Σ p_i (x_i − MC_i)`.
+    Provider {
+        /// Per-principal price for requests beyond the mandatory level.
+        prices: Vec<f64>,
+    },
+}
+
+/// Redirector-side scheduler configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerConfig {
+    /// Scheduling window length in seconds (the paper uses 0.1).
+    pub window_secs: f64,
+    /// Optimization policy.
+    pub policy: Policy,
+    /// Fraction of the mandatory share a redirector admits while it has no
+    /// global queue information yet. The paper's prototype uses half its
+    /// mandatory tickets when one other redirector's state is unknown
+    /// (Figure 8, phase 1); with `r` redirectors the natural choice is
+    /// `1/r`.
+    pub conservative_fraction: f64,
+}
+
+impl SchedulerConfig {
+    /// The paper's defaults: 100 ms windows, community policy, half the
+    /// mandatory share while uncoordinated.
+    pub fn community_default() -> Self {
+        SchedulerConfig {
+            window_secs: 0.1,
+            policy: Policy::Community { locality: None },
+            conservative_fraction: 0.5,
+        }
+    }
+
+    /// Provider policy with the given prices.
+    pub fn provider(prices: Vec<f64>) -> Self {
+        SchedulerConfig {
+            window_secs: 0.1,
+            policy: Policy::Provider { prices },
+            conservative_fraction: 0.5,
+        }
+    }
+}
+
+/// What the redirector currently knows about global demand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalView {
+    /// No aggregate information has arrived yet (tree still propagating):
+    /// schedule conservatively from local knowledge only.
+    Unknown,
+    /// Global per-principal queue lengths (possibly stale by the tree's
+    /// propagation delay).
+    Queues(Vec<f64>),
+}
+
+/// One redirector's per-window planning engine.
+///
+/// Holds the window-scaled [`AccessLevels`] (recomputed only when the
+/// agreement graph or capacities change) and dispatches to the configured
+/// LP each window.
+#[derive(Debug, Clone)]
+pub struct WindowScheduler {
+    cfg: SchedulerConfig,
+    /// Access levels scaled to one window.
+    window_levels: AccessLevels,
+}
+
+impl WindowScheduler {
+    /// Builds a scheduler from *rate* access levels (requests/second) and a
+    /// configuration; levels are scaled to the window internally.
+    pub fn new(levels: &AccessLevels, cfg: SchedulerConfig) -> Self {
+        assert!(cfg.window_secs > 0.0, "window must be positive");
+        assert!(
+            (0.0..=1.0).contains(&cfg.conservative_fraction),
+            "conservative fraction must be in [0,1]"
+        );
+        WindowScheduler { window_levels: levels.scaled(cfg.window_secs), cfg }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.cfg
+    }
+
+    /// The window-scaled access levels.
+    pub fn window_levels(&self) -> &AccessLevels {
+        &self.window_levels
+    }
+
+    /// Installs new access levels (capacity or agreement change).
+    pub fn update_levels(&mut self, levels: &AccessLevels) {
+        self.window_levels = levels.scaled(self.cfg.window_secs);
+    }
+
+    /// Plans one window. `global` is what the combining tree has delivered;
+    /// `local_queues` are this redirector's own per-principal demands
+    /// (requests for the coming window). Returns the *local* plan — already
+    /// scaled to this redirector's queue fraction when global data is
+    /// available.
+    pub fn plan_window(&self, global: &GlobalView, local_queues: &[f64]) -> Plan {
+        let n = self.window_levels.len();
+        assert_eq!(local_queues.len(), n);
+        match global {
+            GlobalView::Unknown => self.conservative_plan(local_queues),
+            GlobalView::Queues(global_queues) => {
+                assert_eq!(global_queues.len(), n);
+                // Never plan below local knowledge: a redirector always
+                // knows at least its own demand even if the aggregate is
+                // stale or hasn't folded it in yet.
+                let merged: Vec<f64> = global_queues
+                    .iter()
+                    .zip(local_queues)
+                    .map(|(g, l)| g.max(*l))
+                    .collect();
+                let global_plan = self.solve(&merged);
+                global_plan.scale_for_local_queue(local_queues, &merged)
+            }
+        }
+    }
+
+    /// Plans one window against explicit global queues, returning the
+    /// *global* (unscaled) plan. Used by single-redirector deployments and
+    /// by tests.
+    pub fn plan_global(&self, queues: &[f64]) -> Plan {
+        self.solve(queues)
+    }
+
+    fn solve(&self, queues: &[f64]) -> Plan {
+        match &self.cfg.policy {
+            Policy::Community { locality } => {
+                let sched = CommunityScheduler { locality: locality.clone() };
+                sched.plan(&self.window_levels, queues)
+            }
+            Policy::Provider { prices } => {
+                ProviderScheduler::new(prices.clone()).plan(&self.window_levels, queues)
+            }
+        }
+    }
+
+    /// Conservative fallback: admit `conservative_fraction` of each
+    /// principal's mandatory share, capped by local demand, spread across
+    /// servers proportionally to the mandatory entitlement.
+    fn conservative_plan(&self, local_queues: &[f64]) -> Plan {
+        let n = self.window_levels.len();
+        let mut assignments = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            let pi = PrincipalId(i);
+            let mc = self.window_levels.mandatory(pi);
+            if mc <= 0.0 {
+                continue;
+            }
+            let budget = (mc * self.cfg.conservative_fraction).min(local_queues[i].max(0.0));
+            if budget <= 0.0 {
+                continue;
+            }
+            for k in 0..n {
+                let share = self.window_levels.mand_share(pi, PrincipalId(k)) / mc;
+                assignments[i][k] = budget * share;
+            }
+        }
+        Plan { assignments, theta: None, income: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covenant_agreements::AgreementGraph;
+
+    /// Figure 8 setup: server 320 req/s, A [0.8,1], B [0.2,1].
+    fn figure8() -> (AgreementGraph, PrincipalId, PrincipalId) {
+        let mut g = AgreementGraph::new();
+        let s = g.add_principal("S", 320.0);
+        let a = g.add_principal("A", 0.0);
+        let b = g.add_principal("B", 0.0);
+        g.add_agreement(s, a, 0.8, 1.0).unwrap();
+        g.add_agreement(s, b, 0.2, 1.0).unwrap();
+        (g, a, b)
+    }
+
+    #[test]
+    fn conservative_mode_uses_half_mandatory() {
+        // Figure 8 phase 1: B's redirector without global info admits half
+        // of B's 20% of 320 = 32 req/s (the paper measures ~30).
+        let (g, _a, b) = figure8();
+        let lv = g.access_levels();
+        let ws = WindowScheduler::new(&lv, SchedulerConfig::community_default());
+        // B floods locally; nothing known globally.
+        let plan = ws.plan_window(&GlobalView::Unknown, &[0.0, 0.0, 100.0]);
+        // Per 100 ms window: half of 6.4 = 3.2 requests → 32 req/s.
+        assert!((plan.admitted(b) - 3.2).abs() < 1e-9, "B got {}", plan.admitted(b));
+    }
+
+    #[test]
+    fn conservative_mode_caps_at_local_demand() {
+        let (g, _a, b) = figure8();
+        let lv = g.access_levels();
+        let ws = WindowScheduler::new(&lv, SchedulerConfig::community_default());
+        let plan = ws.plan_window(&GlobalView::Unknown, &[0.0, 0.0, 1.0]);
+        assert!((plan.admitted(b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coordinated_mode_scales_to_local_fraction() {
+        let (g, a, _b) = figure8();
+        let lv = g.access_levels();
+        let ws = WindowScheduler::new(&lv, SchedulerConfig::community_default());
+        // Globally A has 40 queued this window; locally we hold 10 (25%).
+        let global = GlobalView::Queues(vec![0.0, 40.0, 0.0]);
+        let plan = ws.plan_window(&global, &[0.0, 10.0, 0.0]);
+        // Global plan admits min(40, 32-per-window)=32; local share = 25%.
+        assert!((plan.admitted(a) - 8.0).abs() < 1e-6, "A got {}", plan.admitted(a));
+    }
+
+    #[test]
+    fn stale_global_view_merges_local_demand() {
+        let (g, a, _b) = figure8();
+        let lv = g.access_levels();
+        let ws = WindowScheduler::new(&lv, SchedulerConfig::community_default());
+        // Tree says zero demand, but we locally hold 10 requests for A.
+        let global = GlobalView::Queues(vec![0.0, 0.0, 0.0]);
+        let plan = ws.plan_window(&global, &[0.0, 10.0, 0.0]);
+        assert!(plan.admitted(a) > 0.0, "local demand must not be starved by a stale tree");
+    }
+
+    #[test]
+    fn provider_policy_dispatches() {
+        let (g, a, b) = figure8();
+        let lv = g.access_levels();
+        let ws = WindowScheduler::new(&lv, SchedulerConfig::provider(vec![0.0, 2.0, 1.0]));
+        let plan = ws.plan_global(&[0.0, 80.0, 40.0]);
+        // Per-window capacity 32: A pays more, B pinned at mandatory 6.4.
+        assert!((plan.admitted(b) - 6.4).abs() < 1e-6);
+        assert!((plan.admitted(a) - 25.6).abs() < 1e-6);
+        assert!(plan.income.is_some());
+    }
+
+    #[test]
+    fn update_levels_rescales() {
+        let (g, _a, b) = figure8();
+        let lv = g.access_levels();
+        let mut ws = WindowScheduler::new(&lv, SchedulerConfig::community_default());
+        let mut g2 = AgreementGraph::new();
+        let s = g2.add_principal("S", 640.0);
+        let a2 = g2.add_principal("A", 0.0);
+        let b2 = g2.add_principal("B", 0.0);
+        g2.add_agreement(s, a2, 0.8, 1.0).unwrap();
+        g2.add_agreement(s, b2, 0.2, 1.0).unwrap();
+        ws.update_levels(&g2.access_levels());
+        let plan = ws.plan_window(&GlobalView::Unknown, &[0.0, 0.0, 100.0]);
+        assert!((plan.admitted(b) - 6.4).abs() < 1e-9);
+    }
+}

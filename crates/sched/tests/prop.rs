@@ -1,0 +1,189 @@
+//! Property tests for the window schedulers and queuing structures.
+
+use covenant_agreements::{AgreementGraph, PrincipalId};
+use covenant_sched::{
+    Admission, CommunityScheduler, CreditGate, Plan, PrincipalQueues, ProviderScheduler, Request,
+};
+use proptest::prelude::*;
+
+fn graph_and_queues() -> impl Strategy<Value = (AgreementGraph, Vec<f64>)> {
+    (2usize..6).prop_flat_map(|n| {
+        let caps = proptest::collection::vec(0.0..500.0f64, n);
+        let edges = proptest::collection::vec((0.0..0.3f64, 0.0..0.6f64, any::<bool>()), n * n);
+        let queues = proptest::collection::vec(0.0..600.0f64, n);
+        (caps, edges, queues).prop_map(move |(caps, edges, queues)| {
+            let mut g = AgreementGraph::new();
+            let ids: Vec<_> = caps
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| g.add_principal(format!("P{i}"), c))
+                .collect();
+            let mut budget = vec![1.0f64; n];
+            for (idx, (lb_raw, width, on)) in edges.into_iter().enumerate() {
+                let (i, j) = (idx / n, idx % n);
+                if !on || i == j {
+                    continue;
+                }
+                let lb = lb_raw.min(budget[i] - 0.02).max(0.0);
+                let ub = (lb + width).min(1.0);
+                if g.add_agreement(ids[i], ids[j], lb, ub).is_ok() {
+                    budget[i] -= lb;
+                }
+            }
+            (g, queues)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Community plans satisfy every safety property on arbitrary systems.
+    #[test]
+    fn community_plan_invariants((g, queues) in graph_and_queues()) {
+        let lv = g.access_levels();
+        let plan = CommunityScheduler::new().plan(&lv, &queues);
+        let n = g.len();
+        for k in 0..n {
+            prop_assert!(plan.server_load(k) <= lv.capacities()[k] + 1e-6);
+        }
+        for i in 0..n {
+            let p = PrincipalId(i);
+            prop_assert!(plan.admitted(p) <= queues[i] + 1e-6);
+            prop_assert!(plan.admitted(p) >= lv.mandatory(p).min(queues[i]) - 1e-6,
+                "P{i} mandatory violated: {} < {}", plan.admitted(p), lv.mandatory(p).min(queues[i]));
+            for k in 0..n {
+                let ub = lv.mand_share(p, PrincipalId(k)) + lv.opt_share(p, PrincipalId(k));
+                prop_assert!(plan.assignments[i][k] <= ub + 1e-6);
+            }
+        }
+        if let Some(theta) = plan.theta {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&theta));
+        }
+    }
+
+    /// Provider plans satisfy the same safety envelope.
+    #[test]
+    fn provider_plan_invariants((g, queues) in graph_and_queues(), seed in 0u64..1000) {
+        let lv = g.access_levels();
+        let n = g.len();
+        let prices: Vec<f64> = (0..n).map(|i| ((seed as usize + i) % 7) as f64).collect();
+        let plan = ProviderScheduler::new(prices).plan(&lv, &queues);
+        let total: f64 = lv.capacities().iter().sum();
+        prop_assert!(plan.total_admitted() <= total + 1e-6);
+        for i in 0..n {
+            let p = PrincipalId(i);
+            prop_assert!(plan.admitted(p) <= queues[i] + 1e-6);
+            prop_assert!(plan.admitted(p) <= lv.mandatory(p) + lv.optional(p) + 1e-6);
+            prop_assert!(plan.admitted(p) >= lv.mandatory(p).min(queues[i]) - 1e-6);
+        }
+        for k in 0..n {
+            prop_assert!(plan.server_load(k) <= lv.capacities()[k] + 1e-6);
+        }
+    }
+
+    /// The distributed scaling rule conserves the global plan: local plans
+    /// over any partition of the queues sum back to the global plan.
+    #[test]
+    fn local_scaling_partitions_global_plan(
+        (g, queues) in graph_and_queues(),
+        splits in proptest::collection::vec(0.0..1.0f64, 2..6),
+    ) {
+        let lv = g.access_levels();
+        let plan = CommunityScheduler::new().plan(&lv, &queues);
+        let n = g.len();
+        // Partition each queue across the redirectors by normalized splits.
+        let total_split: f64 = splits.iter().sum::<f64>().max(1e-9);
+        let mut recon = vec![vec![0.0; n]; n];
+        for s in &splits {
+            let frac = s / total_split;
+            let local: Vec<f64> = queues.iter().map(|q| q * frac).collect();
+            let lp = plan.scale_for_local_queue(&local, &queues);
+            for i in 0..n {
+                for k in 0..n {
+                    recon[i][k] += lp.assignments[i][k];
+                }
+            }
+        }
+        for i in 0..n {
+            for k in 0..n {
+                prop_assert!((recon[i][k] - plan.assignments[i][k]).abs() < 1e-6,
+                    "pair ({i},{k}): {} vs {}", recon[i][k], plan.assignments[i][k]);
+            }
+        }
+    }
+
+    /// The credit gate never admits more than quota + burst headroom, for
+    /// any admission pattern.
+    #[test]
+    fn credit_gate_conservation(
+        quotas in proptest::collection::vec(0.0..20.0f64, 1..5),
+        pattern in proptest::collection::vec(0usize..5, 0..200),
+    ) {
+        let windows = 8usize;
+        let n = quotas.len();
+        let mut gate = CreditGate::new(n, n);
+        let plan = Plan {
+            assignments: quotas.iter().map(|&q| {
+                let mut row = vec![0.0; n];
+                row[0] = q;
+                row
+            }).collect(),
+            theta: None,
+            income: None,
+        };
+        let mut admitted = vec![0u64; n];
+        let mut id = 0;
+        for _ in 0..windows {
+            gate.roll_window(&plan);
+            for &p in &pattern {
+                if p < n {
+                    if matches!(gate.admit(&Request::unit(id, PrincipalId(p), 0.0)), Admission::Admit { .. }) {
+                        admitted[p] += 1;
+                    }
+                    id += 1;
+                }
+            }
+        }
+        for i in 0..n {
+            // Total admitted ≤ windows × quota + burst headroom (2 windows).
+            let cap = (windows as f64 + 2.0) * quotas[i];
+            prop_assert!(admitted[i] as f64 <= cap + 1e-6,
+                "principal {i}: {} > {}", admitted[i], cap);
+        }
+    }
+
+    /// Explicit queues release in FIFO order, never exceed the budget, and
+    /// never lose requests.
+    #[test]
+    fn explicit_queue_conservation(
+        pushes in proptest::collection::vec(0usize..3, 0..120),
+        budget in 0.0..30.0f64,
+    ) {
+        let n = 3;
+        let mut q = PrincipalQueues::new(n);
+        for (id, &p) in pushes.iter().enumerate() {
+            q.push(Request::unit(id as u64, PrincipalId(p), 0.0));
+        }
+        let before = q.total_len();
+        let plan = Plan {
+            assignments: (0..n).map(|_| vec![budget / n as f64; n]).collect(),
+            theta: None,
+            income: None,
+        };
+        let released = q.release(&plan);
+        prop_assert_eq!(released.len() + q.total_len(), before);
+        // Per principal: released ≤ budget (unit costs).
+        for i in 0..n {
+            let cnt = released.iter().filter(|d| d.request.principal.0 == i).count();
+            prop_assert!(cnt as f64 <= budget + 1e-9);
+            // FIFO within principal: ids increasing.
+            let ids: Vec<u64> = released
+                .iter()
+                .filter(|d| d.request.principal.0 == i)
+                .map(|d| d.request.id.0)
+                .collect();
+            prop_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

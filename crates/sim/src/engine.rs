@@ -1,0 +1,632 @@
+//! The simulation main loop.
+
+use crate::config::{QueueMode, RequestCost, SimConfig};
+use crate::events::{Event, EventQueue};
+use crate::metrics::{RateSeries, ResponseStats};
+use crate::redirector::{ArrivalOutcome, SimRedirector};
+use crate::server::{Accept, Server};
+use covenant_sched::{Request, RequestId, SchedulerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Per-request bookkeeping for response times and closed-loop accounting.
+#[derive(Debug, Clone, Copy)]
+struct RequestMeta {
+    client: usize,
+    first_arrival: f64,
+}
+
+/// Aggregated results of one run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-principal completed-request rates (the paper's plotted series).
+    pub rates: RateSeries,
+    /// Per-principal response-time statistics.
+    pub response: Vec<ResponseStats>,
+    /// Requests offered per principal (original arrivals, not retries).
+    pub offered: Vec<u64>,
+    /// Requests forwarded to servers, per principal.
+    pub admitted: Vec<u64>,
+    /// Self-redirect deferrals issued, per principal.
+    pub deferred: Vec<u64>,
+    /// Requests dropped at server backlogs.
+    pub dropped_server: u64,
+    /// Deferred requests abandoned after exhausting retries.
+    pub abandoned: u64,
+    /// Scheduled sends skipped because a closed-loop client was at its
+    /// outstanding limit.
+    pub skipped_closed_loop: u64,
+    /// Per-server utilization over the run.
+    pub server_utilization: Vec<f64>,
+    /// Total coordination messages exchanged over the combining tree.
+    pub tree_messages: u64,
+    /// Coordination messages a pairwise scheme would have needed.
+    pub pairwise_messages_equivalent: u64,
+}
+
+impl SimReport {
+    /// Total completed requests for principal `i`.
+    pub fn completed(&self, i: usize) -> u64 {
+        self.response[i].count
+    }
+}
+
+/// A configured simulation, ready to run.
+pub struct Simulation {
+    cfg: SimConfig,
+}
+
+impl Simulation {
+    /// Wraps a configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        Simulation { cfg }
+    }
+
+    /// Runs to completion and reports.
+    pub fn run(self) -> SimReport {
+        let cfg = self.cfg;
+        let n = cfg.graph.len();
+        let n_redirectors = cfg.n_redirectors();
+        let levels = cfg.graph.access_levels();
+
+        // Per-redirector scheduler configuration: the policy is shared,
+        // but locality caps (forwarding-cost limits) are per node.
+        let sched_cfg_for = |id: usize| -> SchedulerConfig {
+            let mut policy = cfg.policy.clone();
+            if let (covenant_sched::Policy::Community { locality }, Some(table)) =
+                (&mut policy, &cfg.redirector_locality)
+            {
+                if let Some(caps) = table.get(id).and_then(|c| c.clone()) {
+                    *locality = Some(caps);
+                }
+            }
+            SchedulerConfig {
+                window_secs: cfg.window_secs,
+                policy,
+                conservative_fraction: cfg.conservative_fraction,
+            }
+        };
+        let mut redirectors: Vec<SimRedirector> = (0..n_redirectors)
+            .map(|id| {
+                let lag = cfg.tree.information_lag(id) + cfg.extra_tree_lag;
+                SimRedirector::new(id, &levels, sched_cfg_for(id), cfg.mode.clone(), lag)
+            })
+            .collect();
+
+        let mut servers: Vec<Server> = cfg
+            .graph
+            .capacities()
+            .iter()
+            .map(|&c| Server::new(c, cfg.server_backlog))
+            .collect();
+
+        let mut events = EventQueue::new();
+        // Window ticks: one event per boundary drives every redirector in
+        // lock-step (the paper's redirectors share the 100 ms cadence).
+        let mut t = 0.0;
+        while t <= cfg.duration {
+            events.push(t, Event::WindowTick { redirector: 0 });
+            t += cfg.window_secs;
+        }
+
+        // Client arrivals, with per-client request-cost models.
+        let mut offered = vec![0u64; n];
+        let mut next_id: u64 = 0;
+        let mut client_redirector = Vec::with_capacity(cfg.clients.len());
+        let mut client_limit = Vec::with_capacity(cfg.clients.len());
+        for (ci, c) in cfg.clients.iter().enumerate() {
+            client_redirector.push(c.redirector);
+            client_limit.push(c.max_outstanding);
+            let mut size_rng = match &c.cost {
+                RequestCost::SizeDistributed { seed, .. } => {
+                    Some(StdRng::seed_from_u64(*seed ^ ci as u64))
+                }
+                _ => None,
+            };
+            for a in c.machine.arrivals() {
+                if a.time > cfg.duration {
+                    continue;
+                }
+                let cost = match &c.cost {
+                    RequestCost::Unit => 1.0,
+                    RequestCost::Fixed(x) => *x,
+                    RequestCost::SizeDistributed { sizes, mean_bytes, .. } => {
+                        let rng = size_rng.as_mut().expect("rng for sized client");
+                        let bytes = sizes.sample(rng);
+                        sizes.cost_units(bytes, *mean_bytes)
+                    }
+                };
+                let req = Request { id: RequestId(next_id), principal: a.principal, arrival: a.time, cost };
+                next_id += 1;
+                // The request reaches the redirector one hop later.
+                events.push(
+                    a.time + cfg.network_latency,
+                    Event::Arrival { request: req, redirector: c.redirector, client: ci, retries: 0 },
+                );
+            }
+        }
+
+        // Capacity-change schedule, applied at window boundaries.
+        let mut pending_changes = cfg.capacity_changes.clone();
+        pending_changes.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
+        let mut live_graph = cfg.graph.clone();
+        let mut pending_restarts = cfg.redirector_restarts.clone();
+        pending_restarts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+
+        let mut rates = RateSeries::new(n, cfg.bucket_secs);
+        let mut response: Vec<ResponseStats> = vec![ResponseStats::default(); n];
+        let mut admitted = vec![0u64; n];
+        let mut deferred = vec![0u64; n];
+        let mut dropped_server = 0u64;
+        let mut abandoned = 0u64;
+        let mut skipped = 0u64;
+        let mut tree_messages = 0u64;
+        let mut outstanding: Vec<usize> = vec![0; cfg.clients.len()];
+        let mut meta: HashMap<u64, RequestMeta> = HashMap::new();
+
+        // A self-redirect costs the client one full round trip on top of
+        // its think/retry delay.
+        let retry_delay = match cfg.mode {
+            QueueMode::CreditRetry { retry_delay } => retry_delay + 2.0 * cfg.network_latency,
+            _ => 0.0,
+        };
+        let hop = cfg.network_latency;
+
+        while let Some((now, event)) = events.pop() {
+            if now > cfg.duration + 1e-9 {
+                break;
+            }
+            match event {
+                Event::Arrival { request, redirector, client, retries } => {
+                    if retries == 0 {
+                        // Closed-loop gate on original sends only.
+                        if let Some(limit) = client_limit[client] {
+                            if outstanding[client] >= limit {
+                                skipped += 1;
+                                continue;
+                            }
+                        }
+                        offered[request.principal.0] += 1;
+                        outstanding[client] += 1;
+                        meta.insert(
+                            request.id.0,
+                            RequestMeta { client, first_arrival: request.arrival },
+                        );
+                    }
+                    match redirectors[redirector].on_arrival(request) {
+                        ArrivalOutcome::Forward { server } => {
+                            admitted[request.principal.0] += 1;
+                            match servers[server].offer(now + hop, request) {
+                                Accept::CompletesAt(done) => {
+                                    events.push(done, Event::Completion { server });
+                                }
+                                Accept::Dropped => {
+                                    dropped_server += 1;
+                                    if let Some(m) = meta.remove(&request.id.0) {
+                                        outstanding[m.client] =
+                                            outstanding[m.client].saturating_sub(1);
+                                    }
+                                }
+                            }
+                        }
+                        ArrivalOutcome::Defer => {
+                            deferred[request.principal.0] += 1;
+                            if retries < cfg.max_retries {
+                                events.push(
+                                    now + retry_delay,
+                                    Event::Arrival {
+                                        request,
+                                        redirector,
+                                        client,
+                                        retries: retries + 1,
+                                    },
+                                );
+                            } else {
+                                abandoned += 1;
+                                if let Some(m) = meta.remove(&request.id.0) {
+                                    outstanding[m.client] =
+                                        outstanding[m.client].saturating_sub(1);
+                                }
+                            }
+                        }
+                        ArrivalOutcome::Queued => {}
+                    }
+                }
+                Event::WindowTick { .. } => {
+                    // Apply any due capacity changes: re-flow the agreement
+                    // graph and install fresh levels everywhere.
+                    let mut changed = false;
+                    while pending_changes.first().is_some_and(|c| c.at <= now) {
+                        let c = pending_changes.remove(0);
+                        live_graph
+                            .set_capacity(c.principal, c.capacity)
+                            .expect("valid capacity change");
+                        servers[c.principal.0].set_capacity(c.capacity);
+                        changed = true;
+                    }
+                    if changed {
+                        let fresh = live_graph.access_levels();
+                        for r in redirectors.iter_mut() {
+                            r.update_levels(&fresh);
+                        }
+                    }
+                    // Crash-and-restart injection: replace the redirector
+                    // with a fresh instance; queued/parked requests and all
+                    // learned state are lost, exactly like a process crash.
+                    while pending_restarts.first().is_some_and(|r| r.0 <= now) {
+                        let (_, id) = pending_restarts.remove(0);
+                        let lag = cfg.tree.information_lag(id) + cfg.extra_tree_lag;
+                        redirectors[id] = SimRedirector::new(
+                            id,
+                            &live_graph.access_levels(),
+                            sched_cfg_for(id),
+                            cfg.mode.clone(),
+                            lag,
+                        );
+                    }
+                    // Every redirector rolls its window; collect published
+                    // demand vectors, aggregate over the tree, and deliver
+                    // (with per-node lag) via each node's DelayedView.
+                    let mut demands: Vec<Vec<f64>> = Vec::with_capacity(n_redirectors);
+                    for r in 0..n_redirectors {
+                        let (released, demand) = redirectors[r].on_window_tick(now);
+                        demands.push(demand);
+                        for (req, server) in released {
+                            admitted[req.principal.0] += 1;
+                            match servers[server].offer(now + hop, req) {
+                                Accept::CompletesAt(done) => {
+                                    events.push(done, Event::Completion { server });
+                                }
+                                Accept::Dropped => {
+                                    dropped_server += 1;
+                                    if let Some(m) = meta.remove(&req.id.0) {
+                                        outstanding[m.client] =
+                                            outstanding[m.client].saturating_sub(1);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let round = cfg.tree.aggregate(&demands);
+                    tree_messages += round.messages() as u64;
+                    for r in redirectors.iter_mut() {
+                        r.global_view.publish(now, round.total.clone());
+                    }
+                }
+                Event::Completion { server } => {
+                    let req = servers[server].complete();
+                    rates.record(req.principal, now, req.cost);
+                    if let Some(m) = meta.remove(&req.id.0) {
+                        // The response crosses two hops back to the client.
+                        response[req.principal.0].record(now + 2.0 * hop - m.first_arrival);
+                        outstanding[m.client] = outstanding[m.client].saturating_sub(1);
+                    }
+                }
+            }
+        }
+
+        let windows = (cfg.duration / cfg.window_secs).ceil() as u64 + 1;
+        SimReport {
+            rates,
+            response,
+            offered,
+            admitted,
+            deferred,
+            dropped_server,
+            abandoned,
+            skipped_closed_loop: skipped,
+            server_utilization: servers
+                .iter()
+                .map(|s| s.utilization(cfg.duration))
+                .collect(),
+            tree_messages,
+            pairwise_messages_equivalent: windows * cfg.tree.pairwise_messages() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covenant_agreements::{AgreementGraph, PrincipalId};
+    use covenant_sched::Policy;
+    use covenant_tree::Topology;
+    use covenant_workload::{ClientMachine, PhasedLoad};
+
+    /// Single server 100 req/s shared [0.2,1]/[0.8,1] between A and B.
+    fn small_system() -> AgreementGraph {
+        let mut g = AgreementGraph::new();
+        let s = g.add_principal("S", 100.0);
+        let a = g.add_principal("A", 0.0);
+        let b = g.add_principal("B", 0.0);
+        g.add_agreement(s, a, 0.2, 1.0).unwrap();
+        g.add_agreement(s, b, 0.8, 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn underload_serves_everything() {
+        let g = small_system();
+        let a = PrincipalId(1);
+        let cfg = SimConfig::new(g, 20.0).client(
+            ClientMachine::uniform(0, a, PhasedLoad::constant(30.0, 20.0)),
+            0,
+        );
+        let report = Simulation::new(cfg).run();
+        // 30 req/s for 20 s = 600 offered; nearly all should complete
+        // (minus the cold-start window and in-flight tail).
+        assert_eq!(report.offered[1], 600);
+        assert!(report.completed(1) > 550, "completed {}", report.completed(1));
+        // Steady-state rate ≈ 30 req/s.
+        let mid = report.rates.mean_rate_secs(a, 5.0, 18.0);
+        assert!((mid - 30.0).abs() < 3.0, "rate {mid}");
+    }
+
+    #[test]
+    fn overload_respects_mandatory_shares() {
+        let g = small_system();
+        let a = PrincipalId(1);
+        let b = PrincipalId(2);
+        let cfg = SimConfig::new(g, 30.0)
+            .client(ClientMachine::uniform(0, a, PhasedLoad::constant(200.0, 30.0)), 0)
+            .client(ClientMachine::uniform(1, b, PhasedLoad::constant(200.0, 30.0)), 0);
+        let report = Simulation::new(cfg).run();
+        let rate_a = report.rates.mean_rate_secs(a, 10.0, 28.0);
+        let rate_b = report.rates.mean_rate_secs(b, 10.0, 28.0);
+        // B guaranteed 80 req/s, A 20 req/s under overload.
+        assert!((rate_b - 80.0).abs() < 8.0, "B rate {rate_b}");
+        assert!((rate_a - 20.0).abs() < 8.0, "A rate {rate_a}");
+    }
+
+    #[test]
+    fn idle_partner_capacity_flows_to_active() {
+        let g = small_system();
+        let a = PrincipalId(1);
+        let cfg = SimConfig::new(g, 20.0).client(
+            ClientMachine::uniform(0, a, PhasedLoad::constant(200.0, 20.0)),
+            0,
+        );
+        let report = Simulation::new(cfg).run();
+        // A alone can burst to the full 100 req/s.
+        let rate_a = report.rates.mean_rate_secs(a, 5.0, 18.0);
+        assert!((rate_a - 100.0).abs() < 10.0, "A rate {rate_a}");
+    }
+
+    #[test]
+    fn explicit_mode_also_enforces() {
+        let g = small_system();
+        let a = PrincipalId(1);
+        let b = PrincipalId(2);
+        let cfg = SimConfig::new(g, 30.0)
+            .with_mode(QueueMode::Explicit)
+            .client(ClientMachine::uniform(0, a, PhasedLoad::constant(200.0, 30.0)), 0)
+            .client(ClientMachine::uniform(1, b, PhasedLoad::constant(200.0, 30.0)), 0);
+        let report = Simulation::new(cfg).run();
+        let rate_b = report.rates.mean_rate_secs(b, 10.0, 28.0);
+        assert!((rate_b - 80.0).abs() < 10.0, "B rate {rate_b}");
+    }
+
+    #[test]
+    fn park_mode_also_enforces() {
+        let g = small_system();
+        let a = PrincipalId(1);
+        let b = PrincipalId(2);
+        let cfg = SimConfig::new(g, 30.0)
+            .with_mode(QueueMode::CreditPark)
+            .client(ClientMachine::uniform(0, a, PhasedLoad::constant(200.0, 30.0)), 0)
+            .client(ClientMachine::uniform(1, b, PhasedLoad::constant(200.0, 30.0)), 0);
+        let report = Simulation::new(cfg).run();
+        let rate_b = report.rates.mean_rate_secs(b, 10.0, 28.0);
+        assert!((rate_b - 80.0).abs() < 10.0, "B rate {rate_b}");
+    }
+
+    #[test]
+    fn two_redirectors_coordinate() {
+        let g = small_system();
+        let a = PrincipalId(1);
+        let b = PrincipalId(2);
+        let cfg = SimConfig::new(g, 30.0)
+            .with_tree(Topology::star(2, 0.0), 0.0)
+            .client(ClientMachine::uniform(0, a, PhasedLoad::constant(200.0, 30.0)), 0)
+            .client(ClientMachine::uniform(1, b, PhasedLoad::constant(200.0, 30.0)), 1);
+        let report = Simulation::new(cfg).run();
+        let rate_a = report.rates.mean_rate_secs(a, 10.0, 28.0);
+        let rate_b = report.rates.mean_rate_secs(b, 10.0, 28.0);
+        assert!((rate_b - 80.0).abs() < 10.0, "B rate {rate_b}");
+        assert!((rate_a - 20.0).abs() < 10.0, "A rate {rate_a}");
+        assert!(report.tree_messages > 0);
+        assert!(report.pairwise_messages_equivalent > report.tree_messages);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let g = small_system();
+        let a = PrincipalId(1);
+        let mk = || {
+            let cfg = SimConfig::new(small_system(), 10.0).client(
+                ClientMachine::uniform(0, a, PhasedLoad::constant(50.0, 10.0)),
+                0,
+            );
+            let r = Simulation::new(cfg).run();
+            (r.offered.clone(), r.admitted.clone(), r.completed(1))
+        };
+        assert_eq!(mk(), mk());
+        drop(g);
+    }
+
+    #[test]
+    fn closed_loop_limits_outstanding() {
+        let g = small_system();
+        let a = PrincipalId(1);
+        // Offered 1000 req/s into a 100 req/s system with only 2 slots:
+        // most scheduled sends are skipped.
+        let cfg = SimConfig::new(g, 10.0).closed_loop_client(
+            ClientMachine::uniform(0, a, PhasedLoad::constant(1000.0, 10.0)),
+            0,
+            2,
+        );
+        let report = Simulation::new(cfg).run();
+        assert!(report.skipped_closed_loop > 5000, "skipped {}", report.skipped_closed_loop);
+        assert!(report.completed(1) < 1100);
+    }
+
+    #[test]
+    fn network_latency_raises_response_time_not_rates() {
+        let run = |lat: f64| {
+            let g = small_system();
+            let a = PrincipalId(1);
+            let cfg = SimConfig::new(g, 20.0)
+                .with_network_latency(lat)
+                .client(ClientMachine::uniform(0, a, PhasedLoad::constant(50.0, 20.0)), 0);
+            let r = Simulation::new(cfg).run();
+            (
+                r.rates.mean_rate_secs(a, 5.0, 18.0),
+                r.response[1].mean().unwrap_or(0.0),
+            )
+        };
+        let (rate0, resp0) = run(0.0);
+        let (rate1, resp1) = run(0.04);
+        // Throughput unaffected by latency (open loop, within quota).
+        assert!((rate0 - rate1).abs() < 3.0, "{rate0} vs {rate1}");
+        // Response time grows by at least the 3 extra hops (120 ms).
+        assert!(
+            resp1 - resp0 > 0.10,
+            "latency not reflected: {resp0:.3} -> {resp1:.3}"
+        );
+    }
+
+    #[test]
+    fn per_redirector_locality_caps_bind() {
+        // Two redirectors front a 100 req/s server; R1's locality cap
+        // limits it to 3 requests/window (30 req/s) toward the server,
+        // while R0 is uncapped. A's clients on R1 are throttled by
+        // locality; B's on R0 are not.
+        use covenant_sched::LocalityCaps;
+        let g = small_system();
+        let a = PrincipalId(1);
+        let b = PrincipalId(2);
+        let cfg = SimConfig::new(g, 30.0)
+            .with_tree(Topology::star(2, 0.0), 0.0)
+            .client(ClientMachine::uniform(0, a, PhasedLoad::constant(100.0, 30.0)), 1)
+            .client(ClientMachine::uniform(1, b, PhasedLoad::constant(40.0, 30.0)), 0)
+            .with_redirector_locality(1, LocalityCaps(vec![3.0, 0.0, 0.0]));
+        let report = Simulation::new(cfg).run();
+        let rate_a = report.rates.mean_rate_secs(a, 10.0, 28.0);
+        let rate_b = report.rates.mean_rate_secs(b, 10.0, 28.0);
+        assert!(rate_a <= 33.0, "A exceeded its redirector's locality cap: {rate_a}");
+        assert!((rate_b - 40.0).abs() < 5.0, "B throttled unexpectedly: {rate_b}");
+    }
+
+    #[test]
+    fn redirector_restart_recovers_enforcement() {
+        let g = small_system();
+        let a = PrincipalId(1);
+        let b = PrincipalId(2);
+        let cfg = SimConfig::new(g, 40.0)
+            .client(ClientMachine::uniform(0, a, PhasedLoad::constant(200.0, 40.0)), 0)
+            .client(ClientMachine::uniform(1, b, PhasedLoad::constant(200.0, 40.0)), 0)
+            .with_redirector_restart(20.0, 0);
+        let report = Simulation::new(cfg).run();
+        // Steady enforcement before the crash and after recovery.
+        let b_before = report.rates.mean_rate_secs(b, 10.0, 19.0);
+        let b_after = report.rates.mean_rate_secs(b, 25.0, 39.0);
+        assert!((b_before - 80.0).abs() < 8.0, "before {b_before}");
+        assert!((b_after - 80.0).abs() < 8.0, "after {b_after}");
+        // The restart causes at most a brief dip, never an over-admission:
+        // B's rate in the crash window must not exceed its share by much.
+        let crash_bucket = report.rates.mean_rate_secs(b, 20.0, 22.0);
+        assert!(crash_bucket <= 100.0 + 1.0, "crash bucket {crash_bucket}");
+    }
+
+    #[test]
+    fn provider_income_accounting() {
+        // Provider 100 req/s; A [0.5,1] pays 2, B [0.1,1] pays 1. A idle,
+        // B floods: B beyond mandatory earns income; when both flood, A is
+        // preferred and neither goes far beyond mandatory+leftover.
+        let mut g = AgreementGraph::new();
+        let s = g.add_principal("S", 100.0);
+        let a = g.add_principal("A", 0.0);
+        let b = g.add_principal("B", 0.0);
+        g.add_agreement(s, a, 0.5, 1.0).unwrap();
+        g.add_agreement(s, b, 0.1, 1.0).unwrap();
+        let prices = [0.0, 2.0, 1.0];
+        let mandatory = [0.0, 50.0, 10.0];
+        let cfg = SimConfig::new(g, 30.0)
+            .with_policy(Policy::Provider { prices: prices.to_vec() })
+            .client(ClientMachine::uniform(0, PrincipalId(2), PhasedLoad::constant(200.0, 30.0)), 0);
+        let report = Simulation::new(cfg).run();
+        // B alone: served ~100, beyond mandatory 10 → ~90/s × price 1.
+        let income = report.rates.provider_income(&prices, &mandatory);
+        assert!(income > 80.0 * 25.0, "income {income}");
+        assert!(income < 95.0 * 31.0, "income {income}");
+    }
+
+    #[test]
+    fn capacity_change_reflows_agreements() {
+        // Server 100 → 200 at t=15: B's [0.8,1] share doubles from 80 to
+        // 160 req/s mid-run without reconfiguring the redirector.
+        let g = small_system();
+        let b = PrincipalId(2);
+        let cfg = SimConfig::new(g, 30.0)
+            .client(ClientMachine::uniform(0, b, PhasedLoad::constant(300.0, 30.0)), 0)
+            .client(
+                ClientMachine::uniform(1, PrincipalId(1), PhasedLoad::constant(300.0, 30.0)),
+                0,
+            )
+            .with_capacity_change(15.0, PrincipalId(0), 200.0);
+        let report = Simulation::new(cfg).run();
+        let before = report.rates.mean_rate_secs(b, 5.0, 14.0);
+        let after = report.rates.mean_rate_secs(b, 20.0, 29.0);
+        assert!((before - 80.0).abs() < 8.0, "before {before}");
+        assert!((after - 160.0).abs() < 12.0, "after {after}");
+    }
+
+    #[test]
+    fn sized_requests_enforced_in_cost_units() {
+        // A sends 5-unit requests, B unit requests; both hold [0.5, 0.5] of
+        // a 100-unit/s server. Under overload each gets 50 *units*/s: A
+        // completes ~10 requests/s (50 units), B ~50.
+        let mut g = AgreementGraph::new();
+        let s = g.add_principal("S", 100.0);
+        let a = g.add_principal("A", 0.0);
+        let b = g.add_principal("B", 0.0);
+        g.add_agreement(s, a, 0.5, 0.5).unwrap();
+        g.add_agreement(s, b, 0.5, 0.5).unwrap();
+        let mut cfg = SimConfig::new(g, 30.0)
+            .client(ClientMachine::uniform(1, b, PhasedLoad::constant(100.0, 30.0)), 0);
+        cfg.clients.push(crate::SimClient {
+            machine: ClientMachine::uniform(0, a, PhasedLoad::constant(40.0, 30.0)),
+            redirector: 0,
+            max_outstanding: None,
+            cost: crate::RequestCost::Fixed(5.0),
+        });
+        let report = Simulation::new(cfg).run();
+        // Rates are recorded in cost units: both near 50 units/s.
+        let units_a = report.rates.mean_rate_secs(a, 10.0, 28.0);
+        let units_b = report.rates.mean_rate_secs(b, 10.0, 28.0);
+        assert!((units_a - 50.0).abs() < 10.0, "A units {units_a}");
+        assert!((units_b - 50.0).abs() < 10.0, "B units {units_b}");
+        // Request counts differ 5:1.
+        let req_a = report.completed(1) as f64 / 30.0;
+        assert!((req_a - 10.0).abs() < 2.5, "A req/s {req_a}");
+    }
+
+    #[test]
+    fn provider_policy_runs_in_sim() {
+        let g = small_system();
+        let a = PrincipalId(1);
+        let b = PrincipalId(2);
+        let cfg = SimConfig::new(g, 20.0)
+            .with_policy(Policy::Provider { prices: vec![0.0, 1.0, 3.0] })
+            .client(ClientMachine::uniform(0, a, PhasedLoad::constant(200.0, 20.0)), 0)
+            .client(ClientMachine::uniform(1, b, PhasedLoad::constant(200.0, 20.0)), 0);
+        let report = Simulation::new(cfg).run();
+        // B pays more: under overload B gets its upper bound beyond A's
+        // mandatory floor. A holds its mandatory 20; B gets 80.
+        let rate_a = report.rates.mean_rate_secs(a, 8.0, 18.0);
+        let rate_b = report.rates.mean_rate_secs(b, 8.0, 18.0);
+        assert!((rate_a - 20.0).abs() < 8.0, "A rate {rate_a}");
+        assert!((rate_b - 80.0).abs() < 8.0, "B rate {rate_b}");
+    }
+}

@@ -1,0 +1,148 @@
+//! The event queue: a deterministic min-heap of timestamped events.
+
+use covenant_sched::Request;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A client request reaches a redirector.
+    Arrival {
+        /// The request (arrival field = this event's time).
+        request: Request,
+        /// Redirector receiving it.
+        redirector: usize,
+        /// Generating client machine (for closed-loop accounting);
+        /// `usize::MAX` for retries that lost their slot.
+        client: usize,
+        /// How many times this request has been retried already.
+        retries: u32,
+    },
+    /// A redirector's scheduling window rolls over.
+    WindowTick {
+        /// The redirector whose window ticks.
+        redirector: usize,
+    },
+    /// A server finishes one request.
+    Completion {
+        /// Server index (principal id of the owner).
+        server: usize,
+    },
+}
+
+/// Heap entry ordered by time, then insertion sequence (FIFO among equal
+/// timestamps, making runs deterministic).
+#[derive(Debug, Clone)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("finite event times")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn push(&mut self, time: f64, event: Event) {
+        assert!(time.is_finite(), "event time must be finite");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, Event::WindowTick { redirector: 3 });
+        q.push(1.0, Event::WindowTick { redirector: 1 });
+        q.push(2.0, Event::WindowTick { redirector: 2 });
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for r in 0..5 {
+            q.push(1.0, Event::WindowTick { redirector: r });
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::WindowTick { redirector } => redirector,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1.0, Event::Completion { server: 0 });
+        q.push(2.0, Event::Completion { server: 1 });
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, Event::Completion { server: 0 });
+    }
+}

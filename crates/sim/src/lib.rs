@@ -1,0 +1,39 @@
+//! Discrete-event simulation of the full enforcement architecture.
+//!
+//! The paper evaluates on a physical testbed (WebBench clients, Apache
+//! servers, two redirector machines). This crate is the deterministic
+//! substitute: an event-driven simulator wiring together
+//!
+//! * [`covenant_workload`] client machines (phased loads, rate caps,
+//!   optional closed-loop outstanding-request limits),
+//! * redirectors running the [`covenant_sched`] window schedulers in any of
+//!   three queuing modes (explicit queues, credit + client retry — the L7
+//!   self-redirect scheme — or credit + parking — the L4 kernel-queue
+//!   scheme),
+//! * a [`covenant_tree`] combining tree with per-node information lag (plus
+//!   an optional extra lag, reproducing Figure 8's deliberate 10 s delay),
+//! * capacity-limited servers with finite accept backlogs.
+//!
+//! The output is a per-principal, per-second processing-rate series — the
+//! exact quantity plotted in the paper's Figures 6–10 — plus response-time
+//! and drop statistics.
+//!
+//! Time is `f64` seconds from run start; the event queue breaks ties by
+//! insertion sequence, so runs are fully deterministic for a given seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+pub mod events;
+mod metrics;
+mod redirector;
+mod server;
+
+pub use config::{CapacityChange, QueueMode, RequestCost, SimClient, SimConfig};
+pub use events::{Event, EventQueue};
+pub use engine::{SimReport, Simulation};
+pub use metrics::{RateSeries, ResponseStats};
+pub use redirector::SimRedirector;
+pub use server::Server;

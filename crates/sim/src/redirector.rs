@@ -1,0 +1,174 @@
+//! Redirector state machine shared by all queuing modes.
+
+use crate::config::QueueMode;
+use covenant_agreements::AccessLevels;
+use covenant_sched::{
+    Admission, CreditGate, GlobalView, Plan, PrincipalQueues, RateEstimator, Request,
+    SchedulerConfig, WindowScheduler,
+};
+use covenant_tree::DelayedView;
+
+/// What happened to a request when it reached the redirector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalOutcome {
+    /// Admitted and forwarded to server `server` immediately.
+    Forward {
+        /// Target server index (principal id of the owner).
+        server: usize,
+    },
+    /// Out of quota: tell the client to retry (L7 self-redirect).
+    Defer,
+    /// Held at the redirector (explicit queue or L4 parking queue).
+    Queued,
+}
+
+/// One simulated redirector: a window scheduler plus mode-specific queuing
+/// state and the delayed view of global demand.
+#[derive(Debug)]
+pub struct SimRedirector {
+    /// Node index in the combining tree.
+    pub id: usize,
+    scheduler: WindowScheduler,
+    mode: QueueMode,
+    /// Explicit / parking queues (unused in pure credit-retry mode).
+    queues: PrincipalQueues,
+    /// Credit gate (unused in explicit mode).
+    gate: CreditGate,
+    estimator: RateEstimator,
+    /// Cost-weighted arrivals since the last tick.
+    arrivals_this_window: Vec<f64>,
+    /// What the combining tree has delivered to this node.
+    pub global_view: DelayedView<Vec<f64>>,
+    /// Requests admitted (forwarded) by this redirector.
+    pub admitted: u64,
+    /// Requests deferred (self-redirected).
+    pub deferred: u64,
+}
+
+impl SimRedirector {
+    /// Builds a redirector for `n` principals.
+    pub fn new(
+        id: usize,
+        levels: &AccessLevels,
+        sched_cfg: SchedulerConfig,
+        mode: QueueMode,
+        view_lag: f64,
+    ) -> Self {
+        let n = levels.len();
+        SimRedirector {
+            id,
+            scheduler: WindowScheduler::new(levels, sched_cfg),
+            mode,
+            queues: PrincipalQueues::new(n),
+            gate: CreditGate::new(n, n),
+            estimator: RateEstimator::new(n, 0.5),
+            arrivals_this_window: vec![0.0; n],
+            global_view: DelayedView::new(view_lag),
+            admitted: 0,
+            deferred: 0,
+        }
+    }
+
+    /// Installs new access levels after a capacity or agreement change
+    /// (agreements are interpreted dynamically, §2.2).
+    pub fn update_levels(&mut self, levels: &AccessLevels) {
+        self.scheduler.update_levels(levels);
+    }
+
+    /// Handles an arriving request.
+    pub fn on_arrival(&mut self, req: Request) -> ArrivalOutcome {
+        self.arrivals_this_window[req.principal.0] += req.cost;
+        match self.mode {
+            QueueMode::Explicit => {
+                self.queues.push(req);
+                ArrivalOutcome::Queued
+            }
+            QueueMode::CreditRetry { .. } => match self.gate.admit(&req) {
+                Admission::Admit { server } => {
+                    self.admitted += 1;
+                    ArrivalOutcome::Forward { server }
+                }
+                Admission::Defer => {
+                    self.deferred += 1;
+                    ArrivalOutcome::Defer
+                }
+            },
+            QueueMode::CreditPark => match self.gate.admit(&req) {
+                Admission::Admit { server } => {
+                    self.admitted += 1;
+                    ArrivalOutcome::Forward { server }
+                }
+                Admission::Defer => {
+                    self.queues.push(req);
+                    ArrivalOutcome::Queued
+                }
+            },
+        }
+    }
+
+    /// Rolls the scheduling window at time `now`. Returns the requests
+    /// released from queues (with their target servers) and the demand
+    /// vector this node publishes into the combining tree.
+    pub fn on_window_tick(&mut self, now: f64) -> (Vec<(Request, usize)>, Vec<f64>) {
+        // Fold the finished window's arrivals into the estimator.
+        self.estimator.observe(&self.arrivals_this_window);
+        for a in &mut self.arrivals_this_window {
+            *a = 0.0;
+        }
+
+        // Local demand for the coming window.
+        let demand: Vec<f64> = match self.mode {
+            QueueMode::Explicit => self.queues.lengths(),
+            QueueMode::CreditRetry { .. } => self.estimator.estimates().to_vec(),
+            QueueMode::CreditPark => {
+                // Parked backlog plus expected fresh arrivals.
+                self.queues
+                    .lengths()
+                    .iter()
+                    .zip(self.estimator.estimates())
+                    .map(|(q, e)| q + e)
+                    .collect()
+            }
+        };
+
+        let view = match self.global_view.read(now) {
+            Some(v) => GlobalView::Queues(v.clone()),
+            None => GlobalView::Unknown,
+        };
+        let plan: Plan = self.scheduler.plan_window(&view, &demand);
+
+        let released = match self.mode {
+            QueueMode::Explicit => {
+                let dispatches = self.queues.release(&plan);
+                self.admitted += dispatches.len() as u64;
+                dispatches.into_iter().map(|d| (d.request, d.server)).collect()
+            }
+            QueueMode::CreditRetry { .. } => {
+                self.gate.roll_window(&plan);
+                Vec::new()
+            }
+            QueueMode::CreditPark => {
+                self.gate.roll_window(&plan);
+                // Reinject parked requests through the fresh credit, FIFO
+                // per principal, stopping at the first the gate defers.
+                let mut out = Vec::new();
+                for i in 0..self.queues.n_principals() {
+                    while let Some(head) = self.queues.release_one(i) {
+                        match self.gate.admit(&head) {
+                            Admission::Admit { server } => {
+                                self.admitted += 1;
+                                out.push((head, server));
+                            }
+                            Admission::Defer => {
+                                self.queues.push_front(head);
+                                break;
+                            }
+                        }
+                    }
+                }
+                out
+            }
+        };
+        (released, demand)
+    }
+}

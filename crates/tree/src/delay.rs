@@ -1,0 +1,109 @@
+//! Modelling what a redirector *sees*: aggregates delayed by propagation.
+//!
+//! The combining tree makes global queue information available only after
+//! its round-trip latency; the paper's Figure 8 experiment injects a 10 s
+//! lag and shows the schedulers adapt gracefully. [`DelayedView`] is the
+//! reusable primitive: publish timestamped values, read back the newest
+//! value that is at least `lag` old.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A timestamped single-producer pipeline with a fixed visibility lag.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayedView<T> {
+    lag: f64,
+    pending: VecDeque<(f64, T)>,
+    visible: Option<(f64, T)>,
+}
+
+impl<T> DelayedView<T> {
+    /// Creates a view with the given visibility lag (seconds).
+    pub fn new(lag: f64) -> Self {
+        assert!(lag >= 0.0 && lag.is_finite(), "lag must be finite and >= 0");
+        DelayedView { lag, pending: VecDeque::new(), visible: None }
+    }
+
+    /// The configured lag.
+    pub fn lag(&self) -> f64 {
+        self.lag
+    }
+
+    /// Publishes a value observed at `now`. Timestamps must be
+    /// non-decreasing across calls.
+    pub fn publish(&mut self, now: f64, value: T) {
+        if let Some(&(last, _)) = self.pending.back() {
+            assert!(now >= last, "publish timestamps must be non-decreasing");
+        }
+        self.pending.push_back((now, value));
+    }
+
+    /// Returns the newest value whose publish time is ≤ `now − lag`, or
+    /// `None` if nothing has become visible yet. Values are retained so
+    /// repeated reads at the same time agree.
+    pub fn read(&mut self, now: f64) -> Option<&T> {
+        let cutoff = now - self.lag;
+        while let Some(&(t, _)) = self.pending.front() {
+            if t <= cutoff {
+                self.visible = self.pending.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.visible.as_ref().map(|(_, v)| v)
+    }
+
+    /// Age of the currently visible value at `now`, if any.
+    pub fn visible_age(&self, now: f64) -> Option<f64> {
+        self.visible.as_ref().map(|(t, _)| now - t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nothing_visible_before_lag() {
+        let mut v = DelayedView::new(10.0);
+        v.publish(0.0, 42);
+        assert_eq!(v.read(5.0), None);
+        assert_eq!(v.read(9.99), None);
+        assert_eq!(v.read(10.0), Some(&42));
+    }
+
+    #[test]
+    fn newest_eligible_wins() {
+        let mut v = DelayedView::new(1.0);
+        v.publish(0.0, 1);
+        v.publish(0.5, 2);
+        v.publish(2.0, 3);
+        assert_eq!(v.read(1.6), Some(&2)); // 0.5 ≤ 0.6, 2.0 not yet
+        assert_eq!(v.read(3.0), Some(&3));
+    }
+
+    #[test]
+    fn zero_lag_is_immediate() {
+        let mut v = DelayedView::new(0.0);
+        v.publish(1.0, "x");
+        assert_eq!(v.read(1.0), Some(&"x"));
+    }
+
+    #[test]
+    fn visible_value_is_sticky() {
+        let mut v = DelayedView::new(1.0);
+        v.publish(0.0, 7);
+        assert_eq!(v.read(2.0), Some(&7));
+        // No new publishes: later reads still return the last visible value.
+        assert_eq!(v.read(100.0), Some(&7));
+        assert_eq!(v.visible_age(100.0), Some(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_time_travel() {
+        let mut v = DelayedView::new(1.0);
+        v.publish(5.0, 1);
+        v.publish(4.0, 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! Combining-tree coordination between redirector nodes (§3.2).
+//!
+//! The distributed queuing strategy needs every redirector to know the
+//! *global* per-principal queue lengths, but pairwise exchange costs
+//! `O(n²)` messages per window. Instead, redirectors are organized into a
+//! combining tree: leaves send their queue-length vectors up, interior
+//! nodes fold in their own state and forward the partial sum, and the root
+//! broadcasts the final aggregate back down — `2(n−1)` messages total, at
+//! the price of the aggregate lagging reality by the tree's propagation
+//! delay (evaluated in the paper's Figure 8 with a deliberate 10 s lag).
+//!
+//! This crate provides:
+//!
+//! * [`Topology`] — validated tree shapes (explicit parent arrays, or the
+//!   [`Topology::balanced`] / [`Topology::star`] / [`Topology::chain`]
+//!   constructors) with per-edge delays;
+//! * [`Topology::aggregate`] — one up/down round over per-node vectors,
+//!   reporting the global sum, the exact message count, and the end-to-end
+//!   latency implied by the edge delays;
+//! * [`QueueStats`] — the richer aggregate the paper mentions (max, min,
+//!   average, variance) combined in the same single round;
+//! * [`DelayedView`] — a timestamped pipeline that models what a redirector
+//!   actually *sees*: the newest aggregate older than the propagation lag.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delay;
+mod overlay;
+mod stats;
+mod topology;
+
+pub use delay::DelayedView;
+pub use overlay::{best_root, build_overlay};
+pub use stats::QueueStats;
+pub use topology::{AggregationRound, Topology, TreeError};

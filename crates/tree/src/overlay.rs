@@ -1,0 +1,198 @@
+//! Dynamic combining-tree construction over a WAN latency matrix.
+//!
+//! §3.2: "Several algorithms exist for dynamically overlaying trees on a
+//! set of nodes in a wide area network, so we will not discuss this
+//! further." This module supplies the missing piece so deployments can
+//! derive a topology from measured pairwise latencies instead of writing
+//! parent arrays by hand:
+//!
+//! * [`build_overlay`] — a latency-aware shortest-path tree (Prim/Dijkstra
+//!   hybrid): each node attaches to the already-connected node that
+//!   minimizes its *path latency to the root*, subject to a fan-out cap
+//!   (high fan-out shortens the tree but concentrates message load).
+//! * [`best_root`] — picks the root that minimizes the worst information
+//!   lag over candidate roots.
+
+use crate::{Topology, TreeError};
+
+/// Builds a combining tree over nodes `0..n` from a symmetric pairwise
+/// latency matrix (seconds), rooted at `root`, with at most `max_fanout`
+/// children per node.
+///
+/// Greedy shortest-path attachment: repeatedly connect the unattached node
+/// whose best available parent yields the smallest root-path latency.
+/// With `max_fanout = n` this is exactly Dijkstra's shortest-path tree;
+/// smaller caps trade depth for per-node message concentration.
+pub fn build_overlay(
+    latency: &[Vec<f64>],
+    root: usize,
+    max_fanout: usize,
+) -> Result<Topology, TreeError> {
+    let n = latency.len();
+    if n == 0 {
+        return Err(TreeError::Empty);
+    }
+    assert!(root < n, "root out of range");
+    assert!(max_fanout >= 1, "fan-out must be at least 1");
+    for row in latency {
+        assert_eq!(row.len(), n, "latency matrix must be square");
+        for &d in row {
+            if !d.is_finite() || d < 0.0 {
+                return Err(TreeError::BadDelay(d));
+            }
+        }
+    }
+
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut edge_delay = vec![0.0; n];
+    let mut root_latency = vec![f64::INFINITY; n];
+    let mut attached = vec![false; n];
+    let mut children_count = vec![0usize; n];
+    root_latency[root] = 0.0;
+    attached[root] = true;
+
+    for _ in 1..n {
+        // Pick the unattached node with the cheapest feasible attachment.
+        let mut best: Option<(usize, usize, f64)> = None; // (node, parent, root_lat)
+        for v in 0..n {
+            if attached[v] {
+                continue;
+            }
+            for p in 0..n {
+                if !attached[p] || children_count[p] >= max_fanout {
+                    continue;
+                }
+                let lat = root_latency[p] + latency[v][p];
+                if best.is_none_or(|(_, _, b)| lat < b) {
+                    best = Some((v, p, lat));
+                }
+            }
+        }
+        let Some((v, p, lat)) = best else {
+            // Every attached node is at its fan-out cap: should be
+            // impossible with max_fanout ≥ 1 (a chain always fits), but
+            // guard against latency-matrix degeneracies.
+            return Err(TreeError::RootCount(0));
+        };
+        parent[v] = Some(p);
+        edge_delay[v] = latency[v][p];
+        root_latency[v] = lat;
+        attached[v] = true;
+        children_count[p] += 1;
+    }
+
+    Topology::from_parents(&parent, &edge_delay)
+}
+
+/// Evaluates every node as a candidate root and returns the one whose
+/// overlay minimizes the worst-case information lag, together with the
+/// winning topology.
+pub fn best_root(latency: &[Vec<f64>], max_fanout: usize) -> Result<(usize, Topology), TreeError> {
+    let n = latency.len();
+    if n == 0 {
+        return Err(TreeError::Empty);
+    }
+    let mut best: Option<(usize, Topology, f64)> = None;
+    for root in 0..n {
+        let t = build_overlay(latency, root, max_fanout)?;
+        let worst = (0..n).map(|i| t.information_lag(i)).fold(0.0, f64::max);
+        if best.as_ref().is_none_or(|(_, _, b)| worst < *b) {
+            best = Some((root, t, worst));
+        }
+    }
+    let (root, t, _) = best.expect("n >= 1");
+    Ok((root, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Symmetric matrix helper.
+    fn matrix(n: usize, f: impl Fn(usize, usize) -> f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 0.0 } else { f(i.min(j), i.max(j)) }).collect())
+            .collect()
+    }
+
+    #[test]
+    fn uniform_latency_high_fanout_builds_star() {
+        let m = matrix(6, |_, _| 0.05);
+        let t = build_overlay(&m, 0, 8).unwrap();
+        assert_eq!(t.root(), 0);
+        for i in 1..6 {
+            assert_eq!(t.parent(i), Some(0), "node {i} should attach to root");
+        }
+    }
+
+    #[test]
+    fn fanout_cap_forces_depth() {
+        let m = matrix(7, |_, _| 0.05);
+        let t = build_overlay(&m, 0, 2).unwrap();
+        assert!(t.children(0).len() <= 2);
+        // 7 nodes with fan-out 2: depth ≥ 2.
+        let max_depth = (0..7)
+            .map(|i| {
+                let mut d = 0;
+                let mut at = i;
+                while let Some(p) = t.parent(at) {
+                    d += 1;
+                    at = p;
+                }
+                d
+            })
+            .max()
+            .unwrap();
+        assert!(max_depth >= 2);
+    }
+
+    #[test]
+    fn shortest_path_attachment_prefers_cheap_links() {
+        // Nodes 0,1,2: 0-1 cheap (0.01), 0-2 expensive (1.0), 1-2 cheap
+        // (0.01): node 2 must route via node 1.
+        let mut m = matrix(3, |_, _| 0.0);
+        m[0][1] = 0.01;
+        m[1][0] = 0.01;
+        m[0][2] = 1.0;
+        m[2][0] = 1.0;
+        m[1][2] = 0.01;
+        m[2][1] = 0.01;
+        let t = build_overlay(&m, 0, 8).unwrap();
+        assert_eq!(t.parent(2), Some(1));
+        assert!((t.delay_to_root(2) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_still_exact_on_overlay() {
+        let m = matrix(9, |i, j| 0.01 * (i + j) as f64);
+        let t = build_overlay(&m, 3, 3).unwrap();
+        let locals: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64]).collect();
+        assert_eq!(t.aggregate(&locals).total, vec![36.0]);
+    }
+
+    #[test]
+    fn best_root_minimizes_worst_lag() {
+        // A "line" metric: node i at position i; the middle node is the
+        // best root.
+        let m = matrix(5, |i, j| (j - i) as f64 * 0.1);
+        let (root, t) = best_root(&m, 8).unwrap();
+        assert_eq!(root, 2, "middle of the line minimizes worst lag");
+        let worst = (0..5).map(|i| t.information_lag(i)).fold(0.0, f64::max);
+        // From the middle: worst up-delay 0.2 → lag ≤ 0.4.
+        assert!(worst <= 0.4 + 1e-12, "worst lag {worst}");
+    }
+
+    #[test]
+    fn rejects_bad_matrices() {
+        assert!(matches!(build_overlay(&[], 0, 2), Err(TreeError::Empty)));
+        let m = vec![vec![0.0, -1.0], vec![-1.0, 0.0]];
+        assert!(matches!(build_overlay(&m, 0, 2), Err(TreeError::BadDelay(_))));
+    }
+
+    #[test]
+    fn singleton_overlay() {
+        let t = build_overlay(&[vec![0.0]], 0, 1).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.messages_per_round(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Richer queue aggregates combinable in one tree round.
+//!
+//! §3.2: "In addition to total queue length, other aggregate queue metrics
+//! such as the maximum, minimum, average queue length, and variation in
+//! queue lengths, can also be collected in the same fashion." All of these
+//! are decomposable: each is a fold of per-node summaries that interior
+//! nodes can merge associatively on the way up.
+
+use serde::{Deserialize, Serialize};
+
+/// Combinable summary of a set of queue-length observations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Number of observations folded in.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Sum of squares (for variance).
+    pub sum_sq: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Minimum observation.
+    pub min: f64,
+}
+
+impl QueueStats {
+    /// The identity element for [`QueueStats::merge`].
+    pub fn empty() -> Self {
+        QueueStats {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            max: f64::NEG_INFINITY,
+            min: f64::INFINITY,
+        }
+    }
+
+    /// A summary of one observation.
+    pub fn of(value: f64) -> Self {
+        QueueStats { count: 1, sum: value, sum_sq: value * value, max: value, min: value }
+    }
+
+    /// Builds a summary of a slice.
+    pub fn of_slice(values: &[f64]) -> Self {
+        values.iter().fold(Self::empty(), |acc, &v| acc.merge(&Self::of(v)))
+    }
+
+    /// Associatively merges two summaries (what an interior tree node does
+    /// with a child's message).
+    pub fn merge(&self, other: &QueueStats) -> QueueStats {
+        QueueStats {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            sum_sq: self.sum_sq + other.sum_sq,
+            max: self.max.max(other.max),
+            min: self.min.min(other.min),
+        }
+    }
+
+    /// Mean queue length, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Population variance, `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        self.mean().map(|m| (self.sum_sq / self.count as f64 - m * m).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_identity() {
+        let s = QueueStats::of(5.0);
+        let merged = QueueStats::empty().merge(&s);
+        assert_eq!(merged, s);
+        assert_eq!(s.merge(&QueueStats::empty()), s);
+    }
+
+    #[test]
+    fn of_slice_matches_manual() {
+        let s = QueueStats::of_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 10.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.mean(), Some(2.5));
+        assert!((s.variance().unwrap() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let a = QueueStats::of_slice(&[1.0, 9.0]);
+        let b = QueueStats::of_slice(&[4.0]);
+        let c = QueueStats::of_slice(&[2.0, 7.0, 0.5]);
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        assert_eq!(left, right);
+        assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn tree_merge_equals_flat_summary() {
+        // Simulate a 2-level combine: leaves {1,2}, {3}, root local {4}.
+        let leaf1 = QueueStats::of_slice(&[1.0, 2.0]);
+        let leaf2 = QueueStats::of(3.0);
+        let root = QueueStats::of(4.0).merge(&leaf1).merge(&leaf2);
+        assert_eq!(root, QueueStats::of_slice(&[1.0, 2.0, 3.0, 4.0]));
+    }
+
+    #[test]
+    fn empty_stats_have_no_mean_or_variance() {
+        let e = QueueStats::empty();
+        assert_eq!(e.mean(), None);
+        assert_eq!(e.variance(), None);
+    }
+
+    #[test]
+    fn variance_never_negative_from_rounding() {
+        let s = QueueStats::of_slice(&[1e8, 1e8, 1e8]);
+        assert!(s.variance().unwrap() >= 0.0);
+    }
+}

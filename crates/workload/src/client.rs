@@ -1,0 +1,194 @@
+//! Client machines: arrival-process generators over phased schedules.
+
+use crate::PhasedLoad;
+use covenant_agreements::PrincipalId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How request inter-arrival times are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Evenly spaced arrivals at the phase rate (WebBench-style closed
+    /// pacing; deterministic, ideal for figure reproduction).
+    Uniform,
+    /// Poisson arrivals with the phase rate as intensity.
+    Poisson {
+        /// RNG seed, so traces are reproducible.
+        seed: u64,
+    },
+}
+
+/// One generated request arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Arrival time, seconds since run start.
+    pub time: f64,
+    /// The principal this client's requests are funded by.
+    pub principal: PrincipalId,
+    /// Index of the generating client machine.
+    pub client: usize,
+}
+
+/// A synthetic client machine bound to one principal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientMachine {
+    /// Client index (for tracing and affinity experiments).
+    pub id: usize,
+    /// Principal whose agreements fund these requests.
+    pub principal: PrincipalId,
+    /// Offered-load schedule (already capped at the machine's ability).
+    pub load: PhasedLoad,
+    /// Arrival process.
+    pub process: ArrivalProcess,
+}
+
+impl ClientMachine {
+    /// A uniformly pacing client.
+    pub fn uniform(id: usize, principal: PrincipalId, load: PhasedLoad) -> Self {
+        ClientMachine { id, principal, load, process: ArrivalProcess::Uniform }
+    }
+
+    /// A Poisson client with a per-client seed.
+    pub fn poisson(id: usize, principal: PrincipalId, load: PhasedLoad, seed: u64) -> Self {
+        ClientMachine { id, principal, load, process: ArrivalProcess::Poisson { seed } }
+    }
+
+    /// Materializes the full arrival trace for this client.
+    pub fn arrivals(&self) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        let end = self.load.total_duration();
+        match self.process {
+            ArrivalProcess::Uniform => {
+                // Phase-aware even spacing, phase-local so rate changes take
+                // effect exactly at phase boundaries.
+                let mut phase_start = 0.0;
+                for p in self.load.phases() {
+                    if p.rate > 0.0 {
+                        let gap = 1.0 / p.rate;
+                        // First arrival half a gap in, to avoid boundary
+                        // bunching across phases.
+                        let mut t = phase_start + gap * 0.5;
+                        while t < phase_start + p.duration {
+                            out.push(Arrival { time: t, principal: self.principal, client: self.id });
+                            t += gap;
+                        }
+                    }
+                    phase_start += p.duration;
+                }
+            }
+            ArrivalProcess::Poisson { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed ^ (self.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                // Piecewise-homogeneous Poisson: sample within the current
+                // phase; an exponential that crosses the phase boundary is
+                // clipped there and resampled at the new rate (valid by
+                // memorylessness). Naively letting it overshoot would
+                // undersample high-rate phases that follow quiet ones.
+                let boundaries: Vec<f64> = self
+                    .load
+                    .phases()
+                    .iter()
+                    .scan(0.0, |acc, p| {
+                        *acc += p.duration;
+                        Some(*acc)
+                    })
+                    .collect();
+                let mut t = 0.0;
+                while t < end {
+                    let phase_end = boundaries.iter().copied().find(|&b| b > t).unwrap_or(end);
+                    let rate = self.load.rate_at(t);
+                    if rate <= 0.0 {
+                        t = phase_end;
+                        continue;
+                    }
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    let dt = -u.ln() / rate;
+                    if t + dt >= phase_end {
+                        t = phase_end;
+                        continue;
+                    }
+                    t += dt;
+                    out.push(Arrival { time: t, principal: self.principal, client: self.id });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Merges per-client arrival traces into one time-ordered trace (stable for
+/// equal timestamps: lower client index first).
+pub fn merge_streams(mut streams: Vec<Vec<Arrival>>) -> Vec<Arrival> {
+    let mut merged: Vec<Arrival> = streams.drain(..).flatten().collect();
+    merged.sort_by(|a, b| {
+        a.time
+            .partial_cmp(&b.time)
+            .expect("finite times")
+            .then(a.client.cmp(&b.client))
+    });
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_client_hits_configured_rate() {
+        let c = ClientMachine::uniform(0, PrincipalId(1), PhasedLoad::constant(135.0, 10.0));
+        let arr = c.arrivals();
+        assert_eq!(arr.len(), 1350);
+        assert!(arr.windows(2).all(|w| w[0].time < w[1].time));
+    }
+
+    #[test]
+    fn uniform_client_respects_phases() {
+        let load = PhasedLoad::new().then(10.0, 100.0).idle(10.0).then(10.0, 100.0);
+        let c = ClientMachine::uniform(0, PrincipalId(0), load);
+        let arr = c.arrivals();
+        assert_eq!(arr.len(), 2000);
+        // Nothing arrives in the idle phase.
+        assert!(!arr.iter().any(|a| (10.0..20.0).contains(&a.time)));
+    }
+
+    #[test]
+    fn poisson_client_rate_is_approximately_right() {
+        let c = ClientMachine::poisson(3, PrincipalId(0), PhasedLoad::constant(200.0, 50.0), 11);
+        let arr = c.arrivals();
+        let rate = arr.len() as f64 / 50.0;
+        assert!((170.0..=230.0).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn poisson_skips_idle_phases() {
+        let load = PhasedLoad::new().idle(5.0).then(5.0, 100.0);
+        let c = ClientMachine::poisson(0, PrincipalId(0), load, 5);
+        let arr = c.arrivals();
+        assert!(arr.iter().all(|a| a.time >= 5.0));
+        assert!(arr.len() > 300);
+    }
+
+    #[test]
+    fn poisson_is_reproducible() {
+        let mk = || {
+            ClientMachine::poisson(1, PrincipalId(0), PhasedLoad::constant(50.0, 10.0), 99)
+                .arrivals()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn merge_orders_globally() {
+        let a = ClientMachine::uniform(0, PrincipalId(0), PhasedLoad::constant(10.0, 5.0));
+        let b = ClientMachine::uniform(1, PrincipalId(1), PhasedLoad::constant(7.0, 5.0));
+        let merged = merge_streams(vec![a.arrivals(), b.arrivals()]);
+        assert_eq!(merged.len(), 50 + 35);
+        assert!(merged.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn empty_schedule_generates_nothing() {
+        let c = ClientMachine::uniform(0, PrincipalId(0), PhasedLoad::new());
+        assert!(c.arrivals().is_empty());
+    }
+}

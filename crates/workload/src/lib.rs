@@ -1,0 +1,27 @@
+//! Synthetic workload generation in the style of WebBench.
+//!
+//! The paper evaluates with WebBench 4.01: client machines generating
+//! static/dynamic web requests with an average reply size of 6 KB
+//! (individual responses 200 B – 500 KB), phased on and off to exercise the
+//! schedulers' adaptivity. This crate reproduces that substrate:
+//!
+//! * [`PhasedLoad`] — a piecewise-constant request-rate schedule (the
+//!   "phase 1 / phase 2 / phase 3" structures of Figures 6–10);
+//! * [`ClientMachine`] — one load generator with a per-client rate cap
+//!   (135 req/s for the L7 experiments' proxied WebBench clients, 400 req/s
+//!   for L4) and a deterministic or Poisson arrival process;
+//! * [`ReplySizes`] — the reply-size distribution (log-normal body clamped
+//!   to [200 B, 500 KB], calibrated to a ~6 KB mean);
+//! * [`merge_streams`] — a k-way merge of client arrival streams into one
+//!   time-ordered request trace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod phases;
+mod sizes;
+
+pub use client::{merge_streams, Arrival, ArrivalProcess, ClientMachine};
+pub use phases::{Phase, PhasedLoad};
+pub use sizes::ReplySizes;

@@ -1,0 +1,150 @@
+//! Piecewise-constant load schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// One phase of a load schedule: a constant request rate for a duration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Length of the phase in seconds.
+    pub duration: f64,
+    /// Offered request rate during the phase, requests/second.
+    pub rate: f64,
+}
+
+/// A piecewise-constant request-rate schedule (the experiment phases of the
+/// paper's Figures 6–10).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhasedLoad {
+    phases: Vec<Phase>,
+}
+
+impl PhasedLoad {
+    /// An empty (always-zero) schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A single constant-rate phase.
+    pub fn constant(rate: f64, duration: f64) -> Self {
+        PhasedLoad::new().then(duration, rate)
+    }
+
+    /// Appends a phase; builder style.
+    pub fn then(mut self, duration: f64, rate: f64) -> Self {
+        assert!(duration >= 0.0 && duration.is_finite(), "bad duration {duration}");
+        assert!(rate >= 0.0 && rate.is_finite(), "bad rate {rate}");
+        self.phases.push(Phase { duration, rate });
+        self
+    }
+
+    /// Appends an idle (zero-rate) phase.
+    pub fn idle(self, duration: f64) -> Self {
+        self.then(duration, 0.0)
+    }
+
+    /// The phases.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total schedule length in seconds.
+    pub fn total_duration(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// The offered rate at time `t` (0 beyond the schedule end).
+    pub fn rate_at(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for p in &self.phases {
+            if t < acc + p.duration {
+                return p.rate;
+            }
+            acc += p.duration;
+        }
+        0.0
+    }
+
+    /// Index of the phase containing time `t`, if any.
+    pub fn phase_at(&self, t: f64) -> Option<usize> {
+        if t < 0.0 {
+            return None;
+        }
+        let mut acc = 0.0;
+        for (i, p) in self.phases.iter().enumerate() {
+            if t < acc + p.duration {
+                return Some(i);
+            }
+            acc += p.duration;
+        }
+        None
+    }
+
+    /// Expected total number of requests over the whole schedule.
+    pub fn expected_requests(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration * p.rate).sum()
+    }
+
+    /// Caps every phase's rate at `cap` (the per-client machine limit: the
+    /// paper's proxied WebBench clients top out at 135 req/s on L7 and
+    /// 400 req/s on L4).
+    pub fn capped(&self, cap: f64) -> PhasedLoad {
+        PhasedLoad {
+            phases: self
+                .phases
+                .iter()
+                .map(|p| Phase { duration: p.duration, rate: p.rate.min(cap) })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_lookup_per_phase() {
+        let l = PhasedLoad::new().then(10.0, 100.0).idle(5.0).then(10.0, 50.0);
+        assert_eq!(l.rate_at(-1.0), 0.0);
+        assert_eq!(l.rate_at(0.0), 100.0);
+        assert_eq!(l.rate_at(9.999), 100.0);
+        assert_eq!(l.rate_at(10.0), 0.0);
+        assert_eq!(l.rate_at(15.0), 50.0);
+        assert_eq!(l.rate_at(24.999), 50.0);
+        assert_eq!(l.rate_at(25.0), 0.0);
+        assert_eq!(l.total_duration(), 25.0);
+    }
+
+    #[test]
+    fn phase_index() {
+        let l = PhasedLoad::new().then(10.0, 1.0).then(10.0, 2.0);
+        assert_eq!(l.phase_at(5.0), Some(0));
+        assert_eq!(l.phase_at(15.0), Some(1));
+        assert_eq!(l.phase_at(25.0), None);
+        assert_eq!(l.phase_at(-0.1), None);
+    }
+
+    #[test]
+    fn expected_request_count() {
+        let l = PhasedLoad::new().then(10.0, 100.0).idle(100.0).then(2.0, 5.0);
+        assert_eq!(l.expected_requests(), 1010.0);
+    }
+
+    #[test]
+    fn capping_limits_rates() {
+        let l = PhasedLoad::new().then(10.0, 400.0).then(10.0, 50.0);
+        let c = l.capped(135.0);
+        assert_eq!(c.rate_at(5.0), 135.0);
+        assert_eq!(c.rate_at(15.0), 50.0);
+    }
+
+    #[test]
+    fn constant_schedule() {
+        let l = PhasedLoad::constant(320.0, 60.0);
+        assert_eq!(l.rate_at(30.0), 320.0);
+        assert_eq!(l.total_duration(), 60.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Reply-size distribution: log-normal clamped to [200 B, 500 KB], with a
+//! ~6 KB mean — matching the paper's WebBench configuration ("static and
+//! dynamic web page requests with an average reply size of 6 KB; individual
+//! responses range from 200 bytes to 500 KB").
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Reply-size sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplySizes {
+    /// μ of the underlying normal (of ln size-in-bytes).
+    pub mu: f64,
+    /// σ of the underlying normal.
+    pub sigma: f64,
+    /// Lower clamp, bytes.
+    pub min_bytes: u64,
+    /// Upper clamp, bytes.
+    pub max_bytes: u64,
+}
+
+impl Default for ReplySizes {
+    /// Parameters calibrated so the clamped mean lands near 6 KB: web reply
+    /// sizes are heavy-tailed, so the median (~e^μ ≈ 2.7 KB) sits well below
+    /// the mean.
+    fn default() -> Self {
+        ReplySizes { mu: 7.9, sigma: 1.25, min_bytes: 200, max_bytes: 500 * 1024 }
+    }
+}
+
+impl ReplySizes {
+    /// Samples one reply size in bytes.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Box–Muller: two uniforms → one standard normal.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let size = (self.mu + self.sigma * z).exp();
+        (size as u64).clamp(self.min_bytes, self.max_bytes)
+    }
+
+    /// Scheduling cost of a reply of `bytes`, in average-request units
+    /// ("large requests are treated as multiple small ones"): 1 unit per
+    /// average reply, rounded up in units of the mean.
+    pub fn cost_units(&self, bytes: u64, mean_bytes: f64) -> f64 {
+        (bytes as f64 / mean_bytes).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_respect_clamps() {
+        let d = ReplySizes::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((200..=500 * 1024).contains(&s), "size {s} out of range");
+        }
+    }
+
+    #[test]
+    fn mean_is_near_six_kb() {
+        let d = ReplySizes::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let total: u64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        // WebBench's configured mean is 6 KB = 6144 B; accept ±25%.
+        assert!(
+            (4600.0..=7700.0).contains(&mean),
+            "sampled mean {mean:.0} B too far from 6 KB"
+        );
+    }
+
+    #[test]
+    fn sizes_are_heavy_tailed() {
+        let d = ReplySizes::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sizes: Vec<u64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2] as f64;
+        let mean = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
+        assert!(mean > 1.3 * median, "mean {mean:.0} vs median {median:.0}: not heavy-tailed");
+    }
+
+    #[test]
+    fn cost_units_scale_with_size() {
+        let d = ReplySizes::default();
+        assert_eq!(d.cost_units(1000, 6144.0), 1.0); // small requests cost 1
+        assert!((d.cost_units(61440, 6144.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let d = ReplySizes::default();
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

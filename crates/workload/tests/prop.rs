@@ -1,0 +1,85 @@
+//! Property tests for workload generation.
+
+use covenant_agreements::PrincipalId;
+use covenant_workload::{merge_streams, ClientMachine, PhasedLoad, ReplySizes};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn load_strategy() -> impl Strategy<Value = PhasedLoad> {
+    proptest::collection::vec((0.1..20.0f64, 0.0..300.0f64), 1..5).prop_map(|phases| {
+        phases
+            .into_iter()
+            .fold(PhasedLoad::new(), |l, (d, r)| l.then(d, r))
+    })
+}
+
+proptest! {
+    /// Uniform arrivals are strictly increasing, inside the schedule, and
+    /// match the expected count within one request per phase.
+    #[test]
+    fn uniform_arrivals_match_schedule(load in load_strategy()) {
+        let c = ClientMachine::uniform(0, PrincipalId(0), load.clone());
+        let arr = c.arrivals();
+        prop_assert!(arr.windows(2).all(|w| w[0].time < w[1].time));
+        for a in &arr {
+            prop_assert!(a.time >= 0.0 && a.time <= load.total_duration());
+            prop_assert!(load.rate_at(a.time) > 0.0, "arrival in idle phase at {}", a.time);
+        }
+        let expected = load.expected_requests();
+        let slack = load.phases().len() as f64 + 1.0;
+        prop_assert!((arr.len() as f64 - expected).abs() <= slack,
+            "count {} vs expected {expected}", arr.len());
+    }
+
+    /// Poisson arrivals stay inside active phases and land within 20% of
+    /// the expected request count (for schedules with enough mass).
+    #[test]
+    fn poisson_arrivals_match_rate(load in load_strategy(), seed in 0u64..1000) {
+        let c = ClientMachine::poisson(1, PrincipalId(0), load.clone(), seed);
+        let arr = c.arrivals();
+        for a in &arr {
+            prop_assert!(load.rate_at(a.time) > 0.0);
+        }
+        let expected = load.expected_requests();
+        if expected > 500.0 {
+            prop_assert!((arr.len() as f64 - expected).abs() < expected * 0.2,
+                "count {} vs expected {expected}", arr.len());
+        }
+    }
+
+    /// Merging preserves every arrival and produces global time order.
+    #[test]
+    fn merge_preserves_and_orders(loads in proptest::collection::vec(load_strategy(), 1..4)) {
+        let streams: Vec<_> = loads
+            .iter()
+            .enumerate()
+            .map(|(i, l)| ClientMachine::uniform(i, PrincipalId(i), l.clone()).arrivals())
+            .collect();
+        let total: usize = streams.iter().map(|s| s.len()).sum();
+        let merged = merge_streams(streams);
+        prop_assert_eq!(merged.len(), total);
+        prop_assert!(merged.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    /// Capping a schedule caps every phase's realized rate.
+    #[test]
+    fn capped_schedule_respects_cap(load in load_strategy(), cap in 1.0..50.0f64) {
+        let capped = load.capped(cap);
+        for p in capped.phases() {
+            prop_assert!(p.rate <= cap);
+        }
+        prop_assert!(capped.expected_requests() <= load.expected_requests() + 1e-9);
+    }
+
+    /// Reply sizes always honor the clamp bounds.
+    #[test]
+    fn reply_sizes_clamped(seed in any::<u64>()) {
+        let d = ReplySizes::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..256 {
+            let s = d.sample(&mut rng);
+            prop_assert!((d.min_bytes..=d.max_bytes).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! `covenant` — distributed enforcement of resource sharing agreements.
+//!
+//! Umbrella crate re-exporting the full workspace: the ticket/currency
+//! agreement model, the simplex LP solver, window-based schedulers, the
+//! combining-tree coordination layer, the discrete-event simulator, the
+//! HTTP substrate, the Layer-7 and Layer-4 redirector prototypes, the
+//! synthetic workload generator, and the deployment facade.
+//!
+//! This is a from-scratch Rust reproduction of Tao Zhao and Vijay
+//! Karamcheti, *Enforcing Resource Sharing Agreements among Distributed
+//! Server Clusters* (IPDPS 2002). See `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+
+pub use covenant_agreements as agreements;
+pub use covenant_coord as coord;
+pub use covenant_core as core;
+pub use covenant_http as http;
+pub use covenant_l4 as l4;
+pub use covenant_l7 as l7;
+pub use covenant_lp as lp;
+pub use covenant_sched as sched;
+pub use covenant_sim as sim;
+pub use covenant_tree as tree;
+pub use covenant_workload as workload;

@@ -1,0 +1,147 @@
+//! `covenant` CLI: run agreement-enforcement deployments from JSON specs
+//! and regenerate the paper's experiments.
+//!
+//! ```text
+//! covenant example-spec                 # print a starter deployment spec
+//! covenant levels deployment.json      # entitlement table for a spec
+//! covenant run deployment.json [--csv] # simulate a spec and report rates
+//! covenant figures                     # reproduce Figures 1 and 6-10
+//! ```
+
+use covenant::agreements::PrincipalId;
+use covenant::core::scenarios;
+use covenant::core::DeploymentSpec;
+use covenant::sim::Simulation;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("example-spec") => {
+            println!("{EXAMPLE_SPEC}");
+            ExitCode::SUCCESS
+        }
+        Some("levels") => with_spec(args.get(1), |spec| {
+            let g = spec.build_graph()?;
+            let lv = g.access_levels();
+            println!(
+                "{:<16}{:>12}{:>14}{:>14}",
+                "principal", "capacity", "mandatory", "optional"
+            );
+            for (i, p) in g.principals().iter().enumerate() {
+                let id = PrincipalId(i);
+                println!(
+                    "{:<16}{:>12.1}{:>14.1}{:>14.1}",
+                    p.name,
+                    p.capacity,
+                    lv.mandatory(id),
+                    lv.optional(id)
+                );
+            }
+            Ok(())
+        }),
+        Some("run") => with_spec(args.get(1), |spec| {
+            let csv = args.iter().any(|a| a == "--csv");
+            let cfg = spec.build_sim()?;
+            let names: Vec<String> = spec.principals.iter().map(|p| p.name.clone()).collect();
+            let duration = cfg.duration;
+            let report = Simulation::new(cfg).run();
+            if csv {
+                print!("time_s,principal,rate_req_s\n");
+                for (i, name) in names.iter().enumerate() {
+                    for (t, r) in report.rates.series(PrincipalId(i)) {
+                        println!("{t},{name},{r}");
+                    }
+                }
+                return Ok(());
+            }
+            println!(
+                "{:<16}{:>12}{:>12}{:>12}{:>14}",
+                "principal", "offered", "served/s", "deferred", "mean resp ms"
+            );
+            for (i, name) in names.iter().enumerate() {
+                let id = PrincipalId(i);
+                println!(
+                    "{:<16}{:>12}{:>12.1}{:>12}{:>14.1}",
+                    name,
+                    report.offered[i],
+                    report.rates.mean_rate_secs(id, duration * 0.2, duration),
+                    report.deferred[i],
+                    report.response[i].mean().unwrap_or(0.0) * 1000.0
+                );
+            }
+            println!(
+                "\nserver drops: {}; tree messages: {} (pairwise equivalent {})",
+                report.dropped_server, report.tree_messages, report.pairwise_messages_equivalent
+            );
+            Ok(())
+        }),
+        Some("figures") => {
+            let f1 = scenarios::fig1();
+            println!("== Figure 1 ==");
+            println!(
+                "uncoordinated (A {:.0}, B {:.0})  coordinated (A {:.0}, B {:.0})\n",
+                f1.uncoordinated.0, f1.uncoordinated.1, f1.coordinated.0, f1.coordinated.1
+            );
+            for (name, scenario) in [
+                ("Figure 6", scenarios::fig6(30.0)),
+                ("Figure 7", scenarios::fig7(30.0)),
+                ("Figure 8", scenarios::fig8(10.0)),
+                ("Figure 9", scenarios::fig9(30.0)),
+                ("Figure 10", scenarios::fig10(30.0)),
+            ] {
+                println!("== {name} ==");
+                println!("{}", scenario.run().phase_table());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "usage: covenant <example-spec | levels <spec.json> | run <spec.json> [--csv] | figures>"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn with_spec(
+    path: Option<&String>,
+    f: impl FnOnce(&DeploymentSpec) -> Result<(), Box<dyn std::error::Error>>,
+) -> ExitCode {
+    let Some(path) = path else {
+        eprintln!("missing spec path");
+        return ExitCode::FAILURE;
+    };
+    let run = || -> Result<(), Box<dyn std::error::Error>> {
+        let json = std::fs::read_to_string(path)?;
+        let spec = DeploymentSpec::from_json(&json)?;
+        f(&spec)
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const EXAMPLE_SPEC: &str = r#"{
+  "principals": [
+    {"name": "provider", "capacity": 320.0},
+    {"name": "gold"},
+    {"name": "bronze"}
+  ],
+  "agreements": [
+    {"issuer": "provider", "holder": "gold", "lb": 0.7, "ub": 1.0},
+    {"issuer": "provider", "holder": "bronze", "lb": 0.1, "ub": 1.0}
+  ],
+  "redirector_tree": [null, 0],
+  "policy": {"kind": "community"},
+  "queue_mode": {"kind": "credit_retry", "retry_delay": 0.05},
+  "clients": [
+    {"principal": "gold", "redirector": 0, "phases": [[60.0, 300.0]], "max_outstanding": 64},
+    {"principal": "bronze", "redirector": 1, "phases": [[60.0, 300.0]], "max_outstanding": 64}
+  ],
+  "duration": 60.0
+}"#;
