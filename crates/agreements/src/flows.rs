@@ -63,8 +63,8 @@ impl FlowMatrices {
         let n = graph.len();
         let mut mt = vec![vec![0.0; n]; n];
         let mut ot = vec![vec![0.0; n]; n];
-        for j in 0..n {
-            mt[j][j] = 1.0;
+        for (j, row) in mt.iter_mut().enumerate() {
+            row[j] = 1.0;
         }
 
         // Adjacency: edges[i] = list of (holder, lb, ub) issued by i.

@@ -3,28 +3,74 @@
 //! The paper argues per-window LP solves are cheap because "the complexity
 //! of this strategy only depends on the number of principals". This bench
 //! quantifies that: community-model solve time for n ∈ {2..32} principals
-//! (n² + 1 variables), plus raw simplex throughput on a fixed small model.
+//! (n² + 1 variables), the optimized flat-tableau/Dantzig solver against
+//! the retained naive reference on the identical window LPs, and raw
+//! simplex throughput on a fixed small model.
+//!
+//! The run ends by writing its means — plus the steady-state plan-cache hit
+//! rate — into the repo-root `BENCH_lp.json` so the perf trajectory is
+//! tracked across PRs.
 
-use covenant_agreements::PrincipalId;
-use covenant_bench::random_graph;
-use covenant_lp::{Problem, Relation};
-use covenant_sched::CommunityScheduler;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use covenant_agreements::{AgreementGraph, PrincipalId};
+use covenant_bench::{emit_bench_section, random_graph};
+use covenant_lp::{Problem, Relation, SimplexWorkspace};
+use covenant_sched::{
+    CommunityScheduler, GlobalView, PreparedCommunity, SchedulerConfig, WindowScheduler,
+};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
+
+/// Principal counts reported in `BENCH_lp.json`.
+const JSON_SIZES: [usize; 4] = [4, 8, 16, 32];
+
+fn scaling_workload(n: usize) -> (AgreementGraph, Vec<f64>) {
+    // Keep out-degree ~3: agreement graphs are sparse in practice,
+    // and the exact simple-path closure is exponential in density.
+    let g = random_graph(n, (3.0 / n as f64).min(0.3), 42);
+    let queues: Vec<f64> = (0..n).map(|i| 10.0 + (i as f64) * 3.0).collect();
+    (g, queues)
+}
 
 fn community_lp_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("community_lp_solve");
     for n in [2usize, 4, 8, 16, 32] {
-        // Keep out-degree ~3: agreement graphs are sparse in practice,
-        // and the exact simple-path closure is exponential in density.
-        let g = random_graph(n, (3.0 / n as f64).min(0.3), 42);
+        let (g, queues) = scaling_workload(n);
         let levels = g.access_levels().scaled(0.1);
-        let queues: Vec<f64> = (0..n).map(|i| 10.0 + (i as f64) * 3.0).collect();
         let sched = CommunityScheduler::new();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let plan = sched.plan(black_box(&levels), black_box(&queues));
                 black_box(plan.admitted(PrincipalId(0)))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The tentpole comparison: prepared skeleton + reused workspace (fast
+/// path) vs the retained pre-optimization solver on the same window LP.
+fn community_lp_fast_vs_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("community_lp_fast");
+    for n in JSON_SIZES {
+        let (g, queues) = scaling_workload(n);
+        let levels = g.access_levels().scaled(0.1);
+        let mut prepared = PreparedCommunity::new(&levels, None);
+        let mut ws = SimplexWorkspace::new();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(prepared.plan_with(&mut ws, black_box(&queues))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("community_lp_reference");
+    for n in JSON_SIZES {
+        let (g, queues) = scaling_workload(n);
+        let levels = g.access_levels().scaled(0.1);
+        let mut prepared = PreparedCommunity::new(&levels, None);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let problem = prepared.window_problem(black_box(&queues));
+                black_box(problem.solve_reference())
             })
         });
     }
@@ -46,5 +92,48 @@ fn simplex_small(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, community_lp_scaling, simplex_small);
-criterion_main!(benches);
+/// Steady-state plan-cache hit rate: a window scheduler fed the same demand
+/// vector for many consecutive windows, as happens in the flat phases of
+/// Figures 6–10 once the EWMA estimator converges.
+fn plan_cache_hit_rate() -> f64 {
+    let (g, queues) = scaling_workload(16);
+    let mut ws =
+        WindowScheduler::new(&g.access_levels(), SchedulerConfig::community_default());
+    let view = GlobalView::Queues(queues.clone());
+    for _ in 0..256 {
+        black_box(ws.plan_window(&view, &queues));
+    }
+    let (hits, misses) = ws.cache_stats();
+    hits as f64 / (hits + misses).max(1) as f64
+}
+
+fn mean_ns(c: &Criterion, id: &str) -> f64 {
+    c.results()
+        .iter()
+        .find(|m| m.id == id)
+        .map(|m| m.mean_ns)
+        .unwrap_or(f64::NAN)
+}
+
+criterion_group!(benches, community_lp_scaling, community_lp_fast_vs_reference, simplex_small);
+
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+
+    let mut body = String::from("{\"solve_ns\": {");
+    for (i, n) in JSON_SIZES.iter().enumerate() {
+        let fast = mean_ns(&c, &format!("community_lp_fast/{n}"));
+        let reference = mean_ns(&c, &format!("community_lp_reference/{n}"));
+        let sep = if i + 1 < JSON_SIZES.len() { ", " } else { "" };
+        body.push_str(&format!(
+            "\"{n}\": {{\"fast\": {fast:.1}, \"reference\": {reference:.1}, \
+             \"speedup\": {:.2}}}{sep}",
+            reference / fast
+        ));
+    }
+    let hit_rate = plan_cache_hit_rate();
+    body.push_str(&format!("}}, \"plan_cache_hit_rate\": {hit_rate:.4}}}"));
+    emit_bench_section("lp", &body).expect("write BENCH_lp.json");
+    println!("BENCH_lp.json \"lp\" section updated (cache hit rate {hit_rate:.4})");
+}

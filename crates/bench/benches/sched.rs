@@ -3,11 +3,15 @@
 //!
 //! The paper reports <15% redirector CPU at full load; here the admit path
 //! must be tens of nanoseconds and the window roll (one LP solve) tens of
-//! microseconds, making 100 ms windows essentially free.
+//! microseconds, making 100 ms windows essentially free. The plan benches
+//! disable the plan cache so they time actual solving; the `_cached`
+//! variant shows the steady-state replay cost. The run appends its means
+//! to the repo-root `BENCH_lp.json`.
 
 use covenant_agreements::{AgreementGraph, PrincipalId};
+use covenant_bench::emit_bench_section;
 use covenant_sched::{CreditGate, GlobalView, Plan, Request, SchedulerConfig, WindowScheduler};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 fn provider_system() -> AgreementGraph {
@@ -18,6 +22,10 @@ fn provider_system() -> AgreementGraph {
     g.add_agreement(s, a, 0.2, 1.0).unwrap();
     g.add_agreement(s, b, 0.8, 1.0).unwrap();
     g
+}
+
+fn uncached(cfg: SchedulerConfig) -> SchedulerConfig {
+    SchedulerConfig { plan_cache: false, ..cfg }
 }
 
 fn admit_path(c: &mut Criterion) {
@@ -38,16 +46,24 @@ fn admit_path(c: &mut Criterion) {
 
 fn window_roll(c: &mut Criterion) {
     let g = provider_system();
-    let ws = WindowScheduler::new(&g.access_levels(), SchedulerConfig::community_default());
     let view = GlobalView::Queues(vec![0.0, 40.0, 25.0]);
     let local = vec![0.0, 20.0, 10.0];
+
+    let mut ws =
+        WindowScheduler::new(&g.access_levels(), uncached(SchedulerConfig::community_default()));
     c.bench_function("window_plan_community_n3", |b| {
         b.iter(|| black_box(ws.plan_window(black_box(&view), black_box(&local))))
     });
 
-    let ws = WindowScheduler::new(
+    let mut ws =
+        WindowScheduler::new(&g.access_levels(), SchedulerConfig::community_default());
+    c.bench_function("window_plan_community_n3_cached", |b| {
+        b.iter(|| black_box(ws.plan_window(black_box(&view), black_box(&local))))
+    });
+
+    let mut ws = WindowScheduler::new(
         &g.access_levels(),
-        SchedulerConfig::provider(vec![0.0, 2.0, 1.0]),
+        uncached(SchedulerConfig::provider(vec![0.0, 2.0, 1.0])),
     );
     c.bench_function("window_plan_provider_n3", |b| {
         b.iter(|| black_box(ws.plan_window(black_box(&view), black_box(&local))))
@@ -56,7 +72,8 @@ fn window_roll(c: &mut Criterion) {
 
 fn conservative_fallback(c: &mut Criterion) {
     let g = provider_system();
-    let ws = WindowScheduler::new(&g.access_levels(), SchedulerConfig::community_default());
+    let mut ws =
+        WindowScheduler::new(&g.access_levels(), uncached(SchedulerConfig::community_default()));
     let local = vec![0.0, 20.0, 10.0];
     c.bench_function("window_plan_conservative_n3", |b| {
         b.iter(|| black_box(ws.plan_window(black_box(&GlobalView::Unknown), black_box(&local))))
@@ -64,4 +81,30 @@ fn conservative_fallback(c: &mut Criterion) {
 }
 
 criterion_group!(benches, admit_path, window_roll, conservative_fallback);
-criterion_main!(benches);
+
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+
+    let ids = [
+        "credit_gate_admit",
+        "window_plan_community_n3",
+        "window_plan_community_n3_cached",
+        "window_plan_provider_n3",
+        "window_plan_conservative_n3",
+    ];
+    let mut body = String::from("{");
+    for (i, id) in ids.iter().enumerate() {
+        let mean = c
+            .results()
+            .iter()
+            .find(|m| &m.id == id)
+            .map(|m| m.mean_ns)
+            .unwrap_or(f64::NAN);
+        let sep = if i + 1 < ids.len() { ", " } else { "" };
+        body.push_str(&format!("\"{id}_ns\": {mean:.1}{sep}"));
+    }
+    body.push('}');
+    emit_bench_section("sched", &body).expect("write BENCH_lp.json");
+    println!("BENCH_lp.json \"sched\" section updated");
+}

@@ -35,7 +35,6 @@ fn client_thread(
             max_redirects: 64,
             self_redirect_pause: Duration::from_millis(5),
             timeout: Duration::from_millis(800),
-            ..HttpClient::new()
         };
         let interval = Duration::from_secs_f64(1.0 / rate);
         // Wait for the phase start.

@@ -57,6 +57,58 @@ mod rand_free {
 
 pub use rand_free::SmallLcg;
 
+mod perfjson {
+    use std::fs;
+    use std::io;
+    use std::path::PathBuf;
+
+    /// Repo-root path of the machine-readable perf log.
+    pub fn bench_json_path() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_lp.json")
+    }
+
+    /// Writes or replaces one top-level section of `BENCH_lp.json`.
+    ///
+    /// The file is a JSON object with one section per line (`"name": {…},`),
+    /// a format this emitter both writes and re-reads so the `lp` and
+    /// `sched` benches can update their own sections independently.
+    /// `body_json` must be a JSON value serialized on a single line.
+    pub fn emit_bench_section(section: &str, body_json: &str) -> io::Result<()> {
+        emit_section_at(&bench_json_path(), section, body_json)
+    }
+
+    pub(super) fn emit_section_at(
+        path: &std::path::Path,
+        section: &str,
+        body_json: &str,
+    ) -> io::Result<()> {
+        assert!(!body_json.contains('\n'), "section body must be one line");
+        let mut sections: Vec<(String, String)> = Vec::new();
+        if let Ok(existing) = fs::read_to_string(path) {
+            for line in existing.lines() {
+                let line = line.trim().trim_end_matches(',');
+                if let Some(rest) = line.strip_prefix('"') {
+                    if let Some((name, body)) = rest.split_once("\": ") {
+                        sections.push((name.to_string(), body.to_string()));
+                    }
+                }
+            }
+        }
+        sections.retain(|(name, _)| name != section);
+        sections.push((section.to_string(), body_json.to_string()));
+        sections.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::from("{\n");
+        for (i, (name, body)) in sections.iter().enumerate() {
+            let sep = if i + 1 < sections.len() { "," } else { "" };
+            out.push_str(&format!("\"{name}\": {body}{sep}\n"));
+        }
+        out.push_str("}\n");
+        fs::write(path, out)
+    }
+}
+
+pub use perfjson::{bench_json_path, emit_bench_section};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +127,17 @@ mod tests {
     fn density_zero_means_no_agreements() {
         let g = random_graph(5, 0.0, 1);
         assert!(g.agreements().is_empty());
+    }
+
+    #[test]
+    fn bench_json_sections_merge_and_replace() {
+        let path = std::env::temp_dir().join("covenant_bench_json_test.json");
+        let _ = std::fs::remove_file(&path);
+        crate::perfjson::emit_section_at(&path, "lp", r#"{"a": 1}"#).unwrap();
+        crate::perfjson::emit_section_at(&path, "sched", r#"{"b": 2}"#).unwrap();
+        crate::perfjson::emit_section_at(&path, "lp", r#"{"a": 3}"#).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\n\"lp\": {\"a\": 3},\n\"sched\": {\"b\": 2}\n}\n");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -10,6 +10,8 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 struct Inner {
+    /// Owns prepared LP matrices and the plan cache, so planning is `&mut`.
+    scheduler: WindowScheduler,
     gate: CreditGate,
     estimator: RateEstimator,
     arrivals_this_window: Vec<f64>,
@@ -27,7 +29,9 @@ struct Inner {
 pub struct AdmissionControl {
     node: usize,
     coordinator: Coordinator,
-    scheduler: WindowScheduler,
+    /// The window length, duplicated out of the scheduler so daemons can
+    /// read it without taking the admission lock.
+    window_secs: f64,
     inner: Mutex<Inner>,
 }
 
@@ -43,8 +47,9 @@ impl AdmissionControl {
         Arc::new(AdmissionControl {
             node,
             coordinator,
-            scheduler: WindowScheduler::new(levels, cfg),
+            window_secs: cfg.window_secs,
             inner: Mutex::new(Inner {
+                scheduler: WindowScheduler::new(levels, cfg),
                 gate: CreditGate::new(n, n),
                 estimator: RateEstimator::new(n, 0.5),
                 arrivals_this_window: vec![0.0; n],
@@ -64,7 +69,7 @@ impl AdmissionControl {
     /// The scheduling window length, seconds (daemons must tick at exactly
     /// this cadence — quotas are scaled to it).
     pub fn window_secs(&self) -> f64 {
-        self.scheduler.config().window_secs
+        self.window_secs
     }
 
     /// The shared coordinator.
@@ -143,9 +148,14 @@ impl AdmissionControl {
             Some(v) => GlobalView::Queues(v),
             None => GlobalView::Unknown,
         };
-        let plan = self.scheduler.plan_window(&view, &demand);
+        let plan = inner.scheduler.plan_window(&view, &demand);
         inner.gate.roll_window(&plan);
         inner.last_plan = plan;
+    }
+
+    /// `(hits, misses)` of the scheduler's plan cache since start.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        self.inner.lock().scheduler.cache_stats()
     }
 
     /// The most recent installed plan (per-window request budgets).

@@ -76,7 +76,29 @@ impl ScenarioOutcome {
 
     /// Per-phase summary serialized as JSON.
     pub fn phases_json(&self) -> String {
-        serde_json::to_string_pretty(&self.phases).expect("phases serialize")
+        use crate::json::Value;
+        Value::Arr(
+            self.phases
+                .iter()
+                .map(|ph| {
+                    Value::Obj(vec![
+                        ("name".into(), ph.name.as_str().into()),
+                        ("start".into(), ph.start.into()),
+                        ("end".into(), ph.end.into()),
+                        (
+                            "rates".into(),
+                            Value::Arr(
+                                ph.rates
+                                    .iter()
+                                    .map(|(n, r)| Value::Arr(vec![n.as_str().into(), (*r).into()]))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+        .to_pretty()
     }
 }
 
@@ -135,7 +157,7 @@ mod tests {
     #[test]
     fn phases_json_parses_back() {
         let o = outcome();
-        let parsed: serde_json::Value = serde_json::from_str(&o.phases_json()).unwrap();
+        let parsed = crate::json::Value::parse(&o.phases_json()).unwrap();
         assert_eq!(parsed[0]["name"], "steady");
         assert!(parsed[0]["rates"][0][1].as_f64().unwrap() > 20.0);
     }

@@ -357,6 +357,33 @@ mod tests {
     }
 
     #[test]
+    fn fig6_steady_state_hits_plan_cache_without_changing_rates() {
+        // Once the EWMA demand estimates converge inside each flat phase,
+        // consecutive windows pose identical LPs and the plan cache must
+        // serve them — without altering a single admitted request relative
+        // to solving every window from scratch.
+        let cached = fig6(20.0).run();
+        assert!(
+            cached.report.plan_cache_hits > 0,
+            "no cache hits in steady state: {:?}",
+            (cached.report.plan_cache_hits, cached.report.plan_cache_misses)
+        );
+        let mut scenario = fig6(20.0);
+        scenario.cfg.plan_cache = false;
+        let solved = scenario.run();
+        assert_eq!(solved.report.plan_cache_hits, 0);
+        assert_eq!(solved.report.plan_cache_misses, 0);
+        assert_eq!(cached.report.admitted, solved.report.admitted);
+        assert_eq!(cached.report.deferred, solved.report.deferred);
+        for (cp, sp) in cached.phases.iter().zip(&solved.phases) {
+            for ((cn, cr), (sn, sr)) in cp.rates.iter().zip(&sp.rates) {
+                assert_eq!(cn, sn);
+                assert_eq!(cr, sr, "{cn} rate differs in {}", cp.name);
+            }
+        }
+    }
+
+    #[test]
     fn fig7_a_served_at_twice_b() {
         let outcome = fig7(30.0).run();
         let a = outcome.phases[0].rate("A");

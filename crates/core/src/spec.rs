@@ -147,8 +147,8 @@ pub enum SpecError {
     Tree(TreeError),
     /// A client referenced a redirector index outside the tree.
     BadRedirector(usize),
-    /// JSON parse failure.
-    Json(serde_json::Error),
+    /// JSON parse or shape failure.
+    Json(crate::json::JsonError),
 }
 
 impl fmt::Display for SpecError {
@@ -168,12 +168,12 @@ impl std::error::Error for SpecError {}
 impl DeploymentSpec {
     /// Parses a spec from JSON.
     pub fn from_json(json: &str) -> Result<Self, SpecError> {
-        serde_json::from_str(json).map_err(SpecError::Json)
+        decode::deployment(json).map_err(SpecError::Json)
     }
 
     /// Serializes the spec to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("spec serializes")
+        encode::deployment(self).to_pretty()
     }
 
     /// Builds just the agreement graph.
@@ -247,6 +247,279 @@ impl DeploymentSpec {
             };
         }
         Ok(cfg)
+    }
+}
+
+mod decode {
+    //! JSON → spec mapping (replaces the serde derive path so the
+    //! workspace builds offline). Field defaults mirror the `#[serde]`
+    //! attributes on the spec types.
+
+    use super::*;
+    use crate::json::{JsonError, Value};
+
+    pub fn deployment(text: &str) -> Result<DeploymentSpec, JsonError> {
+        let v = Value::parse(text)?;
+        if !matches!(v, Value::Obj(_)) {
+            return Err(JsonError::msg("spec must be a JSON object"));
+        }
+        Ok(DeploymentSpec {
+            principals: list(&v, "principals", principal)?,
+            agreements: list(&v, "agreements", agreement)?,
+            redirector_tree: match v.get("redirector_tree") {
+                None => default_tree(),
+                Some(t) => tree(t)?,
+            },
+            tree_edge_delay: opt_f64(&v, "tree_edge_delay", 0.0)?,
+            extra_tree_lag: opt_f64(&v, "extra_tree_lag", 0.0)?,
+            policy: match v.get("policy") {
+                None => PolicySpec::default(),
+                Some(p) => policy(p)?,
+            },
+            window_secs: opt_f64(&v, "window_secs", default_window())?,
+            queue_mode: match v.get("queue_mode") {
+                None => QueueModeSpec::default(),
+                Some(q) => queue_mode(q)?,
+            },
+            clients: list(&v, "clients", client)?,
+            duration: req_f64(&v, "duration")?,
+        })
+    }
+
+    fn principal(v: &Value) -> Result<PrincipalSpec, JsonError> {
+        Ok(PrincipalSpec {
+            name: req_str(v, "name")?,
+            capacity: opt_f64(v, "capacity", 0.0)?,
+        })
+    }
+
+    fn agreement(v: &Value) -> Result<AgreementSpec, JsonError> {
+        Ok(AgreementSpec {
+            issuer: req_str(v, "issuer")?,
+            holder: req_str(v, "holder")?,
+            lb: req_f64(v, "lb")?,
+            ub: req_f64(v, "ub")?,
+        })
+    }
+
+    fn tree(v: &Value) -> Result<Vec<Option<usize>>, JsonError> {
+        v.as_array()
+            .ok_or_else(|| JsonError::msg("redirector_tree must be an array"))?
+            .iter()
+            .map(|e| {
+                if e.is_null() {
+                    Ok(None)
+                } else {
+                    e.as_usize()
+                        .map(Some)
+                        .ok_or_else(|| JsonError::msg("redirector_tree entries must be null or an index"))
+                }
+            })
+            .collect()
+    }
+
+    fn policy(v: &Value) -> Result<PolicySpec, JsonError> {
+        match v["kind"].as_str() {
+            Some("community") => Ok(PolicySpec::Community),
+            Some("community_with_locality") => Ok(PolicySpec::CommunityWithLocality {
+                caps: f64_array(&v["caps"], "policy caps")?,
+            }),
+            Some("provider") => Ok(PolicySpec::Provider {
+                prices: f64_array(&v["prices"], "policy prices")?,
+            }),
+            _ => Err(JsonError::msg("policy kind must be community, community_with_locality, or provider")),
+        }
+    }
+
+    fn queue_mode(v: &Value) -> Result<QueueModeSpec, JsonError> {
+        match v["kind"].as_str() {
+            Some("explicit") => Ok(QueueModeSpec::Explicit),
+            Some("credit_retry") => Ok(QueueModeSpec::CreditRetry {
+                retry_delay: opt_f64(v, "retry_delay", default_retry())?,
+            }),
+            Some("credit_park") => Ok(QueueModeSpec::CreditPark),
+            _ => Err(JsonError::msg("queue_mode kind must be explicit, credit_retry, or credit_park")),
+        }
+    }
+
+    fn client(v: &Value) -> Result<ClientSpec, JsonError> {
+        let phases = v["phases"]
+            .as_array()
+            .ok_or_else(|| JsonError::msg("client phases must be an array"))?
+            .iter()
+            .map(|ph| {
+                match (ph[0].as_f64(), ph[1].as_f64()) {
+                    (Some(d), Some(r)) if ph.as_array().is_some_and(|a| a.len() == 2) => Ok((d, r)),
+                    _ => Err(JsonError::msg("each phase must be a [duration, rate] pair")),
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let max_outstanding = match v.get("max_outstanding") {
+            None | Some(Value::Null) => None,
+            Some(m) => Some(
+                m.as_usize()
+                    .ok_or_else(|| JsonError::msg("max_outstanding must be a non-negative integer"))?,
+            ),
+        };
+        Ok(ClientSpec {
+            principal: req_str(v, "principal")?,
+            redirector: match v.get("redirector") {
+                None => 0,
+                Some(r) => r
+                    .as_usize()
+                    .ok_or_else(|| JsonError::msg("redirector must be a non-negative integer"))?,
+            },
+            phases,
+            max_outstanding,
+        })
+    }
+
+    fn list<T>(
+        v: &Value,
+        key: &str,
+        item: fn(&Value) -> Result<T, JsonError>,
+    ) -> Result<Vec<T>, JsonError> {
+        v.get(key)
+            .and_then(Value::as_array)
+            .ok_or_else(|| JsonError::msg(format!("'{key}' must be an array")))?
+            .iter()
+            .map(item)
+            .collect()
+    }
+
+    fn f64_array(v: &Value, what: &str) -> Result<Vec<f64>, JsonError> {
+        v.as_array()
+            .ok_or_else(|| JsonError::msg(format!("{what} must be an array of numbers")))?
+            .iter()
+            .map(|e| e.as_f64().ok_or_else(|| JsonError::msg(format!("{what} must be numeric"))))
+            .collect()
+    }
+
+    fn req_f64(v: &Value, key: &str) -> Result<f64, JsonError> {
+        v.get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| JsonError::msg(format!("'{key}' must be a number")))
+    }
+
+    fn opt_f64(v: &Value, key: &str, default: f64) -> Result<f64, JsonError> {
+        match v.get(key) {
+            None => Ok(default),
+            Some(n) => n
+                .as_f64()
+                .ok_or_else(|| JsonError::msg(format!("'{key}' must be a number"))),
+        }
+    }
+
+    fn req_str(v: &Value, key: &str) -> Result<String, JsonError> {
+        v.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::msg(format!("'{key}' must be a string")))
+    }
+}
+
+mod encode {
+    //! Spec → JSON mapping, shape-compatible with [`decode`].
+
+    use super::*;
+    use crate::json::Value;
+
+    pub fn deployment(spec: &DeploymentSpec) -> Value {
+        Value::Obj(vec![
+            (
+                "principals".into(),
+                Value::Arr(spec.principals.iter().map(principal).collect()),
+            ),
+            (
+                "agreements".into(),
+                Value::Arr(spec.agreements.iter().map(agreement).collect()),
+            ),
+            (
+                "redirector_tree".into(),
+                Value::Arr(
+                    spec.redirector_tree
+                        .iter()
+                        .map(|p| p.map_or(Value::Null, Value::from))
+                        .collect(),
+                ),
+            ),
+            ("tree_edge_delay".into(), spec.tree_edge_delay.into()),
+            ("extra_tree_lag".into(), spec.extra_tree_lag.into()),
+            ("policy".into(), policy(&spec.policy)),
+            ("window_secs".into(), spec.window_secs.into()),
+            ("queue_mode".into(), queue_mode(&spec.queue_mode)),
+            (
+                "clients".into(),
+                Value::Arr(spec.clients.iter().map(client).collect()),
+            ),
+            ("duration".into(), spec.duration.into()),
+        ])
+    }
+
+    fn principal(p: &PrincipalSpec) -> Value {
+        Value::Obj(vec![
+            ("name".into(), p.name.as_str().into()),
+            ("capacity".into(), p.capacity.into()),
+        ])
+    }
+
+    fn agreement(a: &AgreementSpec) -> Value {
+        Value::Obj(vec![
+            ("issuer".into(), a.issuer.as_str().into()),
+            ("holder".into(), a.holder.as_str().into()),
+            ("lb".into(), a.lb.into()),
+            ("ub".into(), a.ub.into()),
+        ])
+    }
+
+    fn policy(p: &PolicySpec) -> Value {
+        match p {
+            PolicySpec::Community => Value::Obj(vec![("kind".into(), "community".into())]),
+            PolicySpec::CommunityWithLocality { caps } => Value::Obj(vec![
+                ("kind".into(), "community_with_locality".into()),
+                ("caps".into(), f64_array(caps)),
+            ]),
+            PolicySpec::Provider { prices } => Value::Obj(vec![
+                ("kind".into(), "provider".into()),
+                ("prices".into(), f64_array(prices)),
+            ]),
+        }
+    }
+
+    fn queue_mode(q: &QueueModeSpec) -> Value {
+        match q {
+            QueueModeSpec::Explicit => Value::Obj(vec![("kind".into(), "explicit".into())]),
+            QueueModeSpec::CreditRetry { retry_delay } => Value::Obj(vec![
+                ("kind".into(), "credit_retry".into()),
+                ("retry_delay".into(), (*retry_delay).into()),
+            ]),
+            QueueModeSpec::CreditPark => Value::Obj(vec![("kind".into(), "credit_park".into())]),
+        }
+    }
+
+    fn client(c: &ClientSpec) -> Value {
+        let mut fields = vec![
+            ("principal".into(), c.principal.as_str().into()),
+            ("redirector".into(), c.redirector.into()),
+            (
+                "phases".into(),
+                Value::Arr(
+                    c.phases
+                        .iter()
+                        .map(|&(d, r)| Value::Arr(vec![d.into(), r.into()]))
+                        .collect(),
+                ),
+            ),
+        ];
+        fields.push((
+            "max_outstanding".into(),
+            c.max_outstanding.map_or(Value::Null, Value::from),
+        ));
+        Value::Obj(fields)
+    }
+
+    fn f64_array(xs: &[f64]) -> Value {
+        Value::Arr(xs.iter().map(|&x| x.into()).collect())
     }
 }
 

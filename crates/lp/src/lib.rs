@@ -36,7 +36,9 @@
 #![warn(missing_docs)]
 
 mod problem;
+pub mod reference;
 mod simplex;
 
 pub use problem::{Constraint, LpError, Problem, Relation};
-pub use simplex::{LpOutcome, Solution, EPS};
+pub use reference::solve_reference;
+pub use simplex::{LpOutcome, LpStatus, SimplexWorkspace, Solution, DEFAULT_BLAND_AFTER, EPS};

@@ -1,6 +1,6 @@
 //! Problem construction API.
 
-use crate::simplex::{solve_tableau, LpOutcome};
+use crate::simplex::{self, LpOutcome, LpStatus, SimplexWorkspace};
 use std::fmt;
 
 /// Relation of a linear constraint to its right-hand side.
@@ -157,6 +157,31 @@ impl Problem {
         self.upper_bounds[var] = Some(b);
     }
 
+    /// Replaces the upper bound of `x_var` outright (unlike
+    /// [`Self::set_upper_bound`], which keeps the tighter of old and new).
+    /// Used by prepared problem skeletons whose bounds change every window.
+    pub fn set_upper_bound_exact(&mut self, var: usize, bound: f64) {
+        assert!(var < self.n_vars, "variable {var} out of range");
+        assert!(bound.is_finite() && bound >= 0.0, "bad upper bound {bound}");
+        self.upper_bounds[var] = Some(bound);
+    }
+
+    /// Overwrites the right-hand side of constraint `idx` in place. The
+    /// constraint's coefficients and relation are untouched — this is the
+    /// cheap per-window update path for prepared problem skeletons.
+    pub fn set_constraint_rhs(&mut self, idx: usize, rhs: f64) {
+        assert!(rhs.is_finite(), "non-finite rhs");
+        self.constraints[idx].rhs = rhs;
+    }
+
+    /// Overwrites coefficient `slot` (positional, not variable index) of
+    /// constraint `row`. The variable the slot refers to stays the same;
+    /// only its multiplier changes.
+    pub fn set_constraint_coeff(&mut self, row: usize, slot: usize, value: f64) {
+        assert!(value.is_finite(), "non-finite coefficient");
+        self.constraints[row].coeffs[slot].1 = value;
+    }
+
     /// The objective vector.
     pub fn objective(&self) -> &[f64] {
         &self.objective
@@ -172,9 +197,31 @@ impl Problem {
         &self.upper_bounds
     }
 
-    /// Solves the program with the two-phase simplex method.
+    /// Solves the program with the two-phase simplex method (fresh
+    /// workspace; see [`Self::solve_with`] to amortize allocations).
     pub fn solve(&self) -> LpOutcome {
-        solve_tableau(self)
+        simplex::solve_tableau(self)
+    }
+
+    /// Solves through a caller-owned [`SimplexWorkspace`], reusing its
+    /// buffers. The returned outcome owns its solution vector.
+    pub fn solve_with(&self, ws: &mut SimplexWorkspace) -> LpOutcome {
+        simplex::solve_with(self, ws)
+    }
+
+    /// Allocation-free solve: on [`LpStatus::Optimal`] the solution is read
+    /// from the workspace ([`SimplexWorkspace::x`],
+    /// [`SimplexWorkspace::objective_value`]). After the first solve of a
+    /// given shape, re-solving same-shaped problems performs no heap
+    /// allocation at all.
+    pub fn solve_in_place(&self, ws: &mut SimplexWorkspace) -> LpStatus {
+        simplex::solve_in_place(self, ws)
+    }
+
+    /// Solves with the retained naive reference implementation
+    /// ([`crate::reference::solve_reference`]) — the correctness oracle.
+    pub fn solve_reference(&self) -> LpOutcome {
+        crate::reference::solve_reference(self)
     }
 
     /// Checks whether `x` satisfies every constraint and bound within `tol`.

@@ -2,6 +2,7 @@
 
 use covenant_lp::{LpOutcome, Problem, Relation};
 use proptest::prelude::*;
+use proptest::TestCaseError;
 
 /// Strategy: a random LP with n vars, m `≤` constraints with non-negative
 /// coefficients and rhs (always feasible at x = 0, always bounded when all
@@ -30,7 +31,83 @@ fn bounded_lp() -> impl Strategy<Value = Problem> {
     })
 }
 
+/// Strategy: a random LP mixing all three relation kinds, with upper bounds
+/// on every variable. May be infeasible (tight `≥`/`=` rows) — exercises
+/// phase 1 and outcome classification, not just the happy path.
+fn mixed_lp() -> impl Strategy<Value = Problem> {
+    (2usize..6, 1usize..6).prop_flat_map(|(n, m)| {
+        let obj = proptest::collection::vec(-5.0..5.0f64, n);
+        let rows = proptest::collection::vec(
+            (
+                proptest::collection::vec(0.0..4.0f64, n),
+                0usize..3, // 0 = Le, 1 = Ge, 2 = Eq
+                0.5..30.0f64,
+            ),
+            m,
+        );
+        let ubs = proptest::collection::vec(0.0..20.0f64, n);
+        (obj, rows, ubs).prop_map(move |(obj, rows, ubs)| {
+            let mut p = Problem::new(n);
+            p.set_objective(obj);
+            for (coeffs, rel, rhs) in rows {
+                let rel = match rel {
+                    0 => Relation::Le,
+                    1 => Relation::Ge,
+                    _ => Relation::Eq,
+                };
+                let sparse: Vec<(usize, f64)> =
+                    coeffs.into_iter().enumerate().collect();
+                p.add_constraint(sparse, rel, rhs);
+            }
+            for (i, ub) in ubs.into_iter().enumerate() {
+                p.set_upper_bound(i, ub);
+            }
+            p
+        })
+    })
+}
+
+/// Asserts the optimized solver and the retained naive reference agree on
+/// outcome classification, and on the objective within `1e-6` when optimal.
+fn assert_matches_reference(p: &Problem) -> Result<(), TestCaseError> {
+    let fast = p.solve();
+    let slow = p.solve_reference();
+    match (&fast, &slow) {
+        (LpOutcome::Optimal(a), LpOutcome::Optimal(b)) => {
+            prop_assert!(
+                (a.objective - b.objective).abs() < 1e-6,
+                "fast {} vs reference {}",
+                a.objective,
+                b.objective
+            );
+            prop_assert!(p.is_feasible(&a.x, 1e-6), "fast optimum infeasible");
+        }
+        _ => prop_assert_eq!(
+            std::mem::discriminant(&fast),
+            std::mem::discriminant(&slow),
+            "fast {:?} vs reference {:?}",
+            fast,
+            slow
+        ),
+    }
+    Ok(())
+}
+
 proptest! {
+    /// The Dantzig/flat-tableau solver must classify and value every
+    /// bounded-feasible LP exactly as the retained reference does.
+    #[test]
+    fn optimized_matches_reference_on_bounded_lps(p in bounded_lp()) {
+        assert_matches_reference(&p)?;
+    }
+
+    /// Same equivalence on LPs with `≥`/`=` rows, where phase 1 (artificial
+    /// variables) and infeasibility detection come into play.
+    #[test]
+    fn optimized_matches_reference_on_mixed_lps(p in mixed_lp()) {
+        assert_matches_reference(&p)?;
+    }
+
     /// Every bounded-feasible LP must solve to Optimal, and the solution
     /// must satisfy every constraint.
     #[test]

@@ -1,0 +1,172 @@
+//! Memoization of per-window plans.
+//!
+//! In steady state the EWMA demand estimator converges to a floating-point
+//! fixpoint, so consecutive windows solve the LP on *identical* queue
+//! vectors. [`PlanCache`] memoizes the last solved
+//! `(access-levels fingerprint, quantized queue vector) → Plan` so those
+//! windows skip the simplex entirely. Queue lengths are quantized at
+//! [`PlanCache::QUANTUM`] (`1e-6` requests) before comparison: differences
+//! below the quantum cannot move any plan by a meaningful amount, while the
+//! key stays an exact integer comparison (no tolerance-chaining bugs).
+//!
+//! The cache holds a single entry — per-window demand walks, it does not
+//! oscillate between a working set of vectors — and is invalidated
+//! whenever the access levels change.
+
+use crate::Plan;
+use covenant_agreements::{AccessLevels, PrincipalId};
+
+/// Incremental FNV-1a over the raw bits of an `f64` sequence.
+fn fnv1a_f64(mut h: u64, values: impl IntoIterator<Item = f64>) -> u64 {
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// A stable fingerprint of everything the scheduling LPs read from the
+/// access levels: principal count, pairwise mandatory/optional shares, and
+/// capacities. Two level tables with equal fingerprints produce identical
+/// constraint matrices.
+pub fn levels_fingerprint(levels: &AccessLevels) -> u64 {
+    let n = levels.len();
+    let mut h = 0xcbf29ce484222325u64 ^ (n as u64).wrapping_mul(0x9e3779b97f4a7c15);
+    for i in 0..n {
+        let pi = PrincipalId(i);
+        h = fnv1a_f64(
+            h,
+            (0..n).flat_map(|j| {
+                let pj = PrincipalId(j);
+                [levels.mand_share(pi, pj), levels.opt_share(pi, pj)]
+            }),
+        );
+    }
+    fnv1a_f64(h, levels.capacities().iter().copied())
+}
+
+/// Single-entry memo of the last solved window.
+#[derive(Debug, Clone)]
+pub struct PlanCache {
+    fingerprint: u64,
+    key: Vec<i64>,
+    plan: Option<Plan>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// Queue-length quantization step for cache keys, in requests.
+    pub const QUANTUM: f64 = 1e-6;
+
+    /// An empty cache bound to the given levels fingerprint.
+    pub fn new(fingerprint: u64) -> Self {
+        PlanCache { fingerprint, key: Vec::new(), plan: None, hits: 0, misses: 0 }
+    }
+
+    /// Drops the stored plan and rebinds to a new levels fingerprint
+    /// (call when capacities or agreements change).
+    pub fn invalidate(&mut self, fingerprint: u64) {
+        self.fingerprint = fingerprint;
+        self.plan = None;
+        self.key.clear();
+    }
+
+    fn quantized(q: f64) -> i64 {
+        // Saturating cast: demands far beyond i64 range all collapse to the
+        // same key, which only costs a cache miss, never a wrong plan.
+        (q / Self::QUANTUM).round() as i64
+    }
+
+    /// Returns the memoized plan if `queues` quantizes to the stored key.
+    /// Counts a hit or a miss either way.
+    pub fn lookup(&mut self, queues: &[f64]) -> Option<Plan> {
+        if let Some(plan) = &self.plan {
+            if self.key.len() == queues.len()
+                && queues.iter().zip(&self.key).all(|(&q, &k)| Self::quantized(q) == k)
+            {
+                self.hits += 1;
+                return Some(plan.clone());
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Stores the freshly solved plan for `queues`.
+    pub fn store(&mut self, queues: &[f64], plan: &Plan) {
+        self.key.clear();
+        self.key.extend(queues.iter().map(|&q| Self::quantized(q)));
+        self.plan = Some(plan.clone());
+    }
+
+    /// The levels fingerprint this cache is bound to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Lookups that returned the memoized plan.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that fell through to the solver.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covenant_agreements::AgreementGraph;
+
+    fn levels() -> AccessLevels {
+        let mut g = AgreementGraph::new();
+        let s = g.add_principal("S", 100.0);
+        let a = g.add_principal("A", 0.0);
+        g.add_agreement(s, a, 0.5, 0.5).unwrap();
+        g.access_levels()
+    }
+
+    #[test]
+    fn identical_queues_hit() {
+        let mut c = PlanCache::new(levels_fingerprint(&levels()));
+        let plan = Plan::zero(2, 2);
+        assert!(c.lookup(&[1.0, 2.0]).is_none());
+        c.store(&[1.0, 2.0], &plan);
+        assert_eq!(c.lookup(&[1.0, 2.0]), Some(plan));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn sub_quantum_differences_still_hit() {
+        let mut c = PlanCache::new(0);
+        c.store(&[10.0], &Plan::zero(1, 1));
+        assert!(c.lookup(&[10.0 + 1e-9]).is_some());
+        assert!(c.lookup(&[10.0 + 1e-5]).is_none());
+    }
+
+    #[test]
+    fn invalidation_clears_the_entry() {
+        let mut c = PlanCache::new(1);
+        c.store(&[5.0], &Plan::zero(1, 1));
+        c.invalidate(2);
+        assert!(c.lookup(&[5.0]).is_none());
+        assert_eq!(c.fingerprint(), 2);
+    }
+
+    #[test]
+    fn fingerprint_tracks_level_changes() {
+        let a = levels_fingerprint(&levels());
+        let mut g = AgreementGraph::new();
+        let s = g.add_principal("S", 200.0);
+        let x = g.add_principal("A", 0.0);
+        g.add_agreement(s, x, 0.5, 0.5).unwrap();
+        let b = levels_fingerprint(&g.access_levels());
+        assert_ne!(a, b);
+        assert_eq!(a, levels_fingerprint(&levels()));
+    }
+}

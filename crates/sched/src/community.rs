@@ -28,7 +28,7 @@
 
 use crate::Plan;
 use covenant_agreements::{AccessLevels, PrincipalId};
-use covenant_lp::{LpOutcome, Problem, Relation};
+use covenant_lp::{LpStatus, Problem, Relation, SimplexWorkspace};
 
 /// Per-server locality caps: `caps[k]` limits how many requests this
 /// redirector may push to principal `k`'s servers in one window (modelling
@@ -68,68 +68,130 @@ impl CommunityScheduler {
     /// under tight locality caps), they are dropped and the program re-solved;
     /// a still-infeasible program yields the zero plan.
     pub fn plan(&self, levels: &AccessLevels, queues: &[f64]) -> Plan {
-        let n = levels.len();
-        assert_eq!(queues.len(), n, "queue vector length must match principal count");
-        if n == 0 || queues.iter().all(|&q| q <= 0.0) {
-            return Plan::zero(n, n);
-        }
-        match self.solve(levels, queues, true) {
-            Some(plan) => plan,
-            None => self.solve(levels, queues, false).unwrap_or_else(|| Plan::zero(n, n)),
-        }
+        let mut prepared = PreparedCommunity::new(levels, self.locality.clone());
+        prepared.plan_with(&mut SimplexWorkspace::new(), queues)
     }
+}
 
-    fn solve(&self, levels: &AccessLevels, queues: &[f64], mandatory_floors: bool) -> Option<Plan> {
+/// The community LP with its constraint matrix built once and reused.
+///
+/// All rows exist for every window: principals with an empty queue keep a
+/// trivially-satisfied coverage row (θ-coefficient 0) and floor row
+/// (rhs 0), so the tableau shape is identical across windows and
+/// [`SimplexWorkspace`] reuse never reallocates. Per window only the
+/// right-hand sides and the queue-derived θ-coefficients are rewritten.
+///
+/// Row layout: for principal `i`, rows `3i` (queue limit `≤ n_i`),
+/// `3i + 1` (θ coverage `≥ 0`), `3i + 2` (mandatory floor `≥ floor_i`);
+/// then one capacity row per server (each followed by its locality row
+/// when caps are configured).
+#[derive(Debug, Clone)]
+pub struct PreparedCommunity {
+    n: usize,
+    base: Problem,
+    /// Window-scaled mandatory level `MC_i` per principal.
+    mandatory: Vec<f64>,
+}
+
+impl PreparedCommunity {
+    /// Builds the skeleton from window-scaled access levels.
+    pub fn new(levels: &AccessLevels, locality: Option<LocalityCaps>) -> Self {
         let n = levels.len();
         let caps = levels.capacities();
         // Variable layout: 0 = θ, then x_{ik} at 1 + i·n + k.
         let xv = |i: usize, k: usize| 1 + i * n + k;
         let mut p = Problem::new(1 + n * n);
         p.set_objective_coeff(0, 1.0);
-        p.set_upper_bound(0, 1.0); // θ ≤ 1: cannot serve more than the queue
-
+        if n > 0 {
+            p.set_upper_bound(0, 1.0); // θ ≤ 1: cannot serve more than the queue
+        }
+        let mut mandatory = Vec::with_capacity(n);
         for i in 0..n {
-            let ni = queues[i].max(0.0);
+            let pi = PrincipalId(i);
             // Queue limit: Σ_k x_ik ≤ n_i.
             let row: Vec<(usize, f64)> = (0..n).map(|k| (xv(i, k), 1.0)).collect();
-            p.add_constraint(row, Relation::Le, ni);
-            // θ coverage: Σ_k x_ik − θ n_i ≥ 0 (only meaningful when n_i > 0).
-            if ni > 0.0 {
-                let mut row: Vec<(usize, f64)> = (0..n).map(|k| (xv(i, k), 1.0)).collect();
-                row.push((0, -ni));
-                p.add_constraint(row, Relation::Ge, 0.0);
-            }
-            let pi = PrincipalId(i);
+            p.add_constraint(row.clone(), Relation::Le, 0.0);
+            // θ coverage: Σ_k x_ik − θ n_i ≥ 0. The θ coefficient (slot n,
+            // after the n x-coefficients) is rewritten each window.
+            let mut cov = row.clone();
+            cov.push((0, 0.0));
+            p.add_constraint(cov, Relation::Ge, 0.0);
+            // Mandatory guarantee: demand up to MC_i is always served.
+            p.add_constraint(row, Relation::Ge, 0.0);
             for k in 0..n {
                 let pk = PrincipalId(k);
                 let upper = levels.mand_share(pi, pk) + levels.opt_share(pi, pk);
                 p.set_upper_bound(xv(i, k), upper.max(0.0));
             }
-            // Mandatory guarantee: demand up to MC_i is always served.
-            let floor = levels.mandatory(pi).min(ni);
-            if mandatory_floors && floor > 0.0 {
-                let row: Vec<(usize, f64)> = (0..n).map(|k| (xv(i, k), 1.0)).collect();
-                p.add_constraint(row, Relation::Ge, floor);
-            }
+            mandatory.push(levels.mandatory(pi));
         }
         // Server capacities: Σ_i x_ik ≤ V_k, plus locality caps.
         for k in 0..n {
             let row: Vec<(usize, f64)> = (0..n).map(|i| (xv(i, k), 1.0)).collect();
             p.add_constraint(row.clone(), Relation::Le, caps[k].max(0.0));
-            if let Some(LocalityCaps(c)) = &self.locality {
+            if let Some(LocalityCaps(c)) = &locality {
                 p.add_constraint(row, Relation::Le, c[k].max(0.0));
             }
         }
+        PreparedCommunity { n, base: p, mandatory }
+    }
 
-        match p.solve() {
-            LpOutcome::Optimal(s) => {
-                let assignments = (0..n)
-                    .map(|i| (0..n).map(|k| s.x[xv(i, k)].max(0.0)).collect())
-                    .collect();
-                Some(Plan { assignments, theta: Some(s.x[0]), income: None })
-            }
-            _ => None,
+    /// Number of principals the skeleton was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the skeleton covers no principals.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn update_queues(&mut self, queues: &[f64], floors: bool) {
+        for (i, &q) in queues.iter().enumerate().take(self.n) {
+            let ni = q.max(0.0);
+            self.base.set_constraint_rhs(3 * i, ni);
+            self.base.set_constraint_coeff(3 * i + 1, self.n, -ni);
+            let floor = if floors { self.mandatory[i].min(ni).max(0.0) } else { 0.0 };
+            self.base.set_constraint_rhs(3 * i + 2, floor);
         }
+    }
+
+    /// Applies `queues` (with mandatory floors) and exposes the underlying
+    /// window LP, so the bench harness can time the retained reference
+    /// solver on exactly the problem the fast path solves.
+    pub fn window_problem(&mut self, queues: &[f64]) -> &Problem {
+        assert_eq!(queues.len(), self.n, "queue vector length must match principal count");
+        self.update_queues(queues, true);
+        &self.base
+    }
+
+    fn extract(&self, ws: &SimplexWorkspace) -> Plan {
+        let n = self.n;
+        let x = ws.x();
+        let assignments = (0..n)
+            .map(|i| (0..n).map(|k| x[1 + i * n + k].max(0.0)).collect())
+            .collect();
+        Plan { assignments, theta: Some(x[0]), income: None }
+    }
+
+    /// Solves one window through `ws`, with the same semantics as
+    /// [`CommunityScheduler::plan`] (floors dropped on infeasibility, zero
+    /// plan as the last resort).
+    pub fn plan_with(&mut self, ws: &mut SimplexWorkspace, queues: &[f64]) -> Plan {
+        let n = self.n;
+        assert_eq!(queues.len(), n, "queue vector length must match principal count");
+        if n == 0 || queues.iter().all(|&q| q <= 0.0) {
+            return Plan::zero(n, n);
+        }
+        self.update_queues(queues, true);
+        if self.base.solve_in_place(ws) == LpStatus::Optimal {
+            return self.extract(ws);
+        }
+        self.update_queues(queues, false);
+        if self.base.solve_in_place(ws) == LpStatus::Optimal {
+            return self.extract(ws);
+        }
+        Plan::zero(n, n)
     }
 }
 

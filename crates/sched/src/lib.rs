@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod community;
 mod credit;
 mod estimator;
@@ -48,12 +49,13 @@ mod request;
 mod vclock;
 mod window;
 
-pub use community::{CommunityScheduler, LocalityCaps};
+pub use cache::{levels_fingerprint, PlanCache};
+pub use community::{CommunityScheduler, LocalityCaps, PreparedCommunity};
 pub use credit::{Admission, CreditGate};
 pub use estimator::RateEstimator;
-pub use multi::MultiCommunityScheduler;
+pub use multi::{MultiCommunityScheduler, PreparedMulti};
 pub use plan::Plan;
-pub use provider::ProviderScheduler;
+pub use provider::{PreparedProvider, ProviderScheduler};
 pub use queue::PrincipalQueues;
 pub use request::{Request, RequestId};
 pub use vclock::VirtualClock;

@@ -8,7 +8,7 @@
 
 use crate::Plan;
 use covenant_agreements::{MultiAccessLevels, PrincipalId, ResourceKind, ResourceVector};
-use covenant_lp::{LpOutcome, Problem, Relation};
+use covenant_lp::{LpStatus, Problem, Relation, SimplexWorkspace};
 
 /// Community scheduler over multiple resource kinds.
 #[derive(Debug, Clone)]
@@ -36,68 +36,80 @@ impl MultiCommunityScheduler {
         for c in &self.costs {
             assert_eq!(c.len(), kinds, "cost vector must cover every kind");
         }
-        if n == 0 || queues.iter().all(|&q| q <= 0.0) {
-            return Plan::zero(n, n);
-        }
-        match self.solve(levels, queues, true) {
-            Some(p) => p,
-            None => self.solve(levels, queues, false).unwrap_or_else(|| Plan::zero(n, n)),
-        }
+        let mut prepared = PreparedMulti::new(levels, &self.costs);
+        prepared.plan_with(&mut SimplexWorkspace::new(), queues)
     }
+}
 
-    fn solve(
-        &self,
-        levels: &MultiAccessLevels,
-        queues: &[f64],
-        floors: bool,
-    ) -> Option<Plan> {
+/// The multi-resource community LP with its constraint matrix built once.
+///
+/// Same row discipline as [`crate::community::PreparedCommunity`]: rows
+/// `3i` / `3i + 1` / `3i + 2` are principal `i`'s queue limit, θ coverage,
+/// and mandatory floor, followed by the static per-server per-kind
+/// capacity rows. Upper bounds are static except for zero-cost principals,
+/// whose only ceiling is their queue length.
+#[derive(Debug, Clone)]
+pub struct PreparedMulti {
+    n: usize,
+    base: Problem,
+    /// Per-principal mandatory admission rate at the binding kind.
+    floors: Vec<f64>,
+    /// Principals whose cost vector has no positive entry (queue-bounded).
+    zero_cost: Vec<bool>,
+}
+
+impl PreparedMulti {
+    /// Builds the skeleton from window-scaled multi-kind access levels and
+    /// per-principal request cost vectors.
+    pub fn new(levels: &MultiAccessLevels, costs: &[ResourceVector]) -> Self {
         let n = levels.len();
         let kinds = levels.n_kinds();
+        assert_eq!(costs.len(), n);
+        for c in costs {
+            assert_eq!(c.len(), kinds, "cost vector must cover every kind");
+        }
         let xv = |i: usize, k: usize| 1 + i * n + k;
         let mut p = Problem::new(1 + n * n);
         p.set_objective_coeff(0, 1.0);
-        p.set_upper_bound(0, 1.0);
-
-        for i in 0..n {
-            let ni = queues[i].max(0.0);
+        if n > 0 {
+            p.set_upper_bound(0, 1.0);
+        }
+        let mut floors = Vec::with_capacity(n);
+        let mut zero_cost = Vec::with_capacity(n);
+        for (i, cost) in costs.iter().enumerate() {
             let row: Vec<(usize, f64)> = (0..n).map(|k| (xv(i, k), 1.0)).collect();
-            p.add_constraint(row.clone(), Relation::Le, ni);
-            if ni > 0.0 {
-                let mut cov = row.clone();
-                cov.push((0, -ni));
-                p.add_constraint(cov, Relation::Ge, 0.0);
-            }
+            p.add_constraint(row.clone(), Relation::Le, 0.0);
+            let mut cov = row.clone();
+            cov.push((0, 0.0));
+            p.add_constraint(cov, Relation::Ge, 0.0);
+            p.add_constraint(row, Relation::Ge, 0.0);
             let pi = PrincipalId(i);
             // Pairwise ceilings: binding kind per (i, server) pair.
             for k in 0..n {
                 let pk = PrincipalId(k);
                 let mut ub = f64::INFINITY;
                 for r in 0..kinds {
-                    let c = self.costs[i].0[r];
+                    let c = cost.0[r];
                     if c > 0.0 {
                         let lv = levels.kind(ResourceKind(r));
                         ub = ub.min((lv.mand_share(pi, pk) + lv.opt_share(pi, pk)) / c);
                     }
                 }
-                if ub.is_finite() {
-                    p.set_upper_bound(xv(i, k), ub.max(0.0));
-                } else {
-                    // Zero-cost requests are only bounded by the queue.
-                    p.set_upper_bound(xv(i, k), ni);
-                }
+                // Zero-cost requests are only bounded by the queue; that
+                // bound is installed per window.
+                p.set_upper_bound(xv(i, k), if ub.is_finite() { ub.max(0.0) } else { 0.0 });
             }
+            zero_cost.push(cost.0.iter().all(|&c| c <= 0.0));
             // Mandatory guarantee at the binding-kind rate.
-            let floor = levels.mandatory_rate(pi, &self.costs[i]).min(ni);
-            if floors && floor > 0.0 && floor.is_finite() {
-                p.add_constraint(row, Relation::Ge, floor);
-            }
+            let floor = levels.mandatory_rate(pi, cost);
+            floors.push(if floor.is_finite() { floor } else { 0.0 });
         }
         // Per-server, per-kind capacity.
         for k in 0..n {
             for r in 0..kinds {
                 let lv = levels.kind(ResourceKind(r));
                 let row: Vec<(usize, f64)> = (0..n)
-                    .map(|i| (xv(i, k), self.costs[i].0[r]))
+                    .map(|i| (xv(i, k), costs[i].0[r]))
                     .filter(|(_, c)| *c != 0.0)
                     .collect();
                 if !row.is_empty() {
@@ -105,16 +117,61 @@ impl MultiCommunityScheduler {
                 }
             }
         }
+        PreparedMulti { n, base: p, floors, zero_cost }
+    }
 
-        match p.solve() {
-            LpOutcome::Optimal(s) => {
-                let assignments = (0..n)
-                    .map(|i| (0..n).map(|k| s.x[xv(i, k)].max(0.0)).collect())
-                    .collect();
-                Some(Plan { assignments, theta: Some(s.x[0]), income: None })
+    /// Number of principals the skeleton was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the skeleton covers no principals.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn update_queues(&mut self, queues: &[f64], floors: bool) {
+        let n = self.n;
+        for (i, &q) in queues.iter().enumerate().take(n) {
+            let ni = q.max(0.0);
+            self.base.set_constraint_rhs(3 * i, ni);
+            self.base.set_constraint_coeff(3 * i + 1, n, -ni);
+            let floor = if floors { self.floors[i].min(ni).max(0.0) } else { 0.0 };
+            self.base.set_constraint_rhs(3 * i + 2, floor);
+            if self.zero_cost[i] {
+                for k in 0..n {
+                    self.base.set_upper_bound_exact(1 + i * n + k, ni);
+                }
             }
-            _ => None,
         }
+    }
+
+    fn extract(&self, ws: &SimplexWorkspace) -> Plan {
+        let n = self.n;
+        let x = ws.x();
+        let assignments = (0..n)
+            .map(|i| (0..n).map(|k| x[1 + i * n + k].max(0.0)).collect())
+            .collect();
+        Plan { assignments, theta: Some(x[0]), income: None }
+    }
+
+    /// Solves one window through `ws`, with the same semantics as
+    /// [`MultiCommunityScheduler::plan`].
+    pub fn plan_with(&mut self, ws: &mut SimplexWorkspace, queues: &[f64]) -> Plan {
+        let n = self.n;
+        assert_eq!(queues.len(), n);
+        if n == 0 || queues.iter().all(|&q| q <= 0.0) {
+            return Plan::zero(n, n);
+        }
+        self.update_queues(queues, true);
+        if self.base.solve_in_place(ws) == LpStatus::Optimal {
+            return self.extract(ws);
+        }
+        self.update_queues(queues, false);
+        if self.base.solve_in_place(ws) == LpStatus::Optimal {
+            return self.extract(ws);
+        }
+        Plan::zero(n, n)
     }
 }
 

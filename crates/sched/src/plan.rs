@@ -126,6 +126,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // paired (i, k) matrix indices
     fn sum_of_local_plans_equals_global_plan() {
         let p = Plan {
             assignments: vec![vec![10.0, 6.0], vec![9.0, 3.0]],

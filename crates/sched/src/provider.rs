@@ -13,7 +13,7 @@
 
 use crate::Plan;
 use covenant_agreements::{AccessLevels, PrincipalId};
-use covenant_lp::{LpOutcome, Problem, Relation};
+use covenant_lp::{LpStatus, Problem, Relation, SimplexWorkspace};
 
 /// Solver for the provider model.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,38 +37,82 @@ impl ProviderScheduler {
     /// `levels` must be window-scaled; `queues` are the (global) queue
     /// lengths `n_i`.
     pub fn plan(&self, levels: &AccessLevels, queues: &[f64]) -> Plan {
+        let mut prepared = PreparedProvider::new(levels, self.prices.clone());
+        prepared.plan_with(&mut SimplexWorkspace::new(), queues)
+    }
+}
+
+/// The provider LP with its constraint matrix built once and reused.
+///
+/// Row 0 is the aggregate capacity constraint; row `1 + i` is principal
+/// `i`'s mandatory floor (rhs 0 when it has no demand, so the row set —
+/// and therefore the tableau shape — never changes between windows). Per
+/// window only the floor right-hand sides and the demand-capped upper
+/// bounds are rewritten.
+#[derive(Debug, Clone)]
+pub struct PreparedProvider {
+    n: usize,
+    base: Problem,
+    mandatory: Vec<f64>,
+    optional: Vec<f64>,
+    caps: Vec<f64>,
+    prices: Vec<f64>,
+}
+
+impl PreparedProvider {
+    /// Builds the skeleton from window-scaled access levels and prices.
+    pub fn new(levels: &AccessLevels, prices: Vec<f64>) -> Self {
         let n = levels.len();
+        assert_eq!(prices.len(), n, "price vector length must match principal count");
+        let caps = levels.capacities().to_vec();
+        let v_total: f64 = caps.iter().sum();
+        let mut p = Problem::new(n);
+        p.set_objective(prices.clone());
+        let cap_row: Vec<(usize, f64)> = (0..n).map(|i| (i, 1.0)).collect();
+        p.add_constraint(cap_row, Relation::Le, v_total);
+        let mut mandatory = Vec::with_capacity(n);
+        let mut optional = Vec::with_capacity(n);
+        for i in 0..n {
+            let pi = PrincipalId(i);
+            p.add_constraint(vec![(i, 1.0)], Relation::Ge, 0.0);
+            p.set_upper_bound(i, 0.0);
+            mandatory.push(levels.mandatory(pi));
+            optional.push(levels.optional(pi));
+        }
+        PreparedProvider { n, base: p, mandatory, optional, caps, prices }
+    }
+
+    /// Number of principals the skeleton was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the skeleton covers no principals.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Solves one window through `ws`, with the same semantics as
+    /// [`ProviderScheduler::plan`].
+    pub fn plan_with(&mut self, ws: &mut SimplexWorkspace, queues: &[f64]) -> Plan {
+        let n = self.n;
         assert_eq!(queues.len(), n, "queue vector length must match principal count");
-        assert_eq!(self.prices.len(), n, "price vector length must match principal count");
         if n == 0 || queues.iter().all(|&q| q <= 0.0) {
             return Plan::zero(n, n);
         }
-        let caps = levels.capacities();
-        let v_total: f64 = caps.iter().sum();
-
-        let mut p = Problem::new(n);
-        p.set_objective(self.prices.clone());
-        let cap_row: Vec<(usize, f64)> = (0..n).map(|i| (i, 1.0)).collect();
-        p.add_constraint(cap_row, Relation::Le, v_total);
-        for i in 0..n {
-            let pi = PrincipalId(i);
-            let ni = queues[i].max(0.0);
-            let mc = levels.mandatory(pi);
-            let oc = levels.optional(pi);
-            p.set_upper_bound(i, (mc + oc).min(ni).max(0.0));
-            let floor = mc.min(ni);
-            if floor > 0.0 {
-                p.add_constraint(vec![(i, 1.0)], Relation::Ge, floor);
-            }
+        for (i, &q) in queues.iter().enumerate() {
+            let ni = q.max(0.0);
+            let (mc, oc) = (self.mandatory[i], self.optional[i]);
+            self.base.set_upper_bound_exact(i, (mc + oc).min(ni).max(0.0));
+            self.base.set_constraint_rhs(1 + i, mc.min(ni).max(0.0));
         }
-
-        let totals = match p.solve() {
-            LpOutcome::Optimal(s) => s.x,
-            _ => return Plan::zero(n, n),
-        };
+        if self.base.solve_in_place(ws) != LpStatus::Optimal {
+            return Plan::zero(n, n);
+        }
+        let totals = ws.x();
 
         // Greedy split across servers, never exceeding any single server.
-        let mut remaining: Vec<f64> = caps.to_vec();
+        let mut remaining: Vec<f64> = self.caps.clone();
         let mut assignments = vec![vec![0.0; n]; n];
         for i in 0..n {
             let mut need = totals[i];
@@ -84,7 +128,7 @@ impl ProviderScheduler {
         }
 
         let income: f64 = (0..n)
-            .map(|i| self.prices[i] * (totals[i] - levels.mandatory(PrincipalId(i)).min(queues[i])))
+            .map(|i| self.prices[i] * (totals[i] - self.mandatory[i].min(queues[i])))
             .sum();
         Plan { assignments, theta: None, income: Some(income) }
     }

@@ -137,7 +137,7 @@ impl PrincipalQueues {
 fn first_argmax_positive(row: &[f64]) -> Option<usize> {
     let mut best: Option<(usize, f64)> = None;
     for (k, &v) in row.iter().enumerate() {
-        if v > 0.0 && best.map_or(true, |(_, bv)| v > bv) {
+        if v > 0.0 && best.is_none_or(|(_, bv)| v > bv) {
             best = Some((k, v));
         }
     }

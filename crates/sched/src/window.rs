@@ -1,8 +1,12 @@
 //! Per-window scheduling orchestration: policy dispatch and the
 //! conservative fallback used before coordination data arrives.
 
-use crate::{CommunityScheduler, LocalityCaps, Plan, ProviderScheduler};
+use crate::cache::{levels_fingerprint, PlanCache};
+use crate::community::PreparedCommunity;
+use crate::provider::PreparedProvider;
+use crate::{LocalityCaps, Plan};
 use covenant_agreements::{AccessLevels, PrincipalId};
+use covenant_lp::SimplexWorkspace;
 
 /// Which optimization the redirector runs each window.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +37,12 @@ pub struct SchedulerConfig {
     /// (Figure 8, phase 1); with `r` redirectors the natural choice is
     /// `1/r`.
     pub conservative_fraction: f64,
+    /// Memoize the last solved `(levels, quantized queues) → Plan` and skip
+    /// the LP when consecutive windows see the same demand (exact within
+    /// [`PlanCache::QUANTUM`]). Steady-state EWMA estimates converge to a
+    /// fixpoint, so this short-circuits most windows of a stable phase.
+    /// Never changes admitted plans — a hit replays the identical solve.
+    pub plan_cache: bool,
 }
 
 impl SchedulerConfig {
@@ -43,6 +53,7 @@ impl SchedulerConfig {
             window_secs: 0.1,
             policy: Policy::Community { locality: None },
             conservative_fraction: 0.5,
+            plan_cache: true,
         }
     }
 
@@ -52,6 +63,7 @@ impl SchedulerConfig {
             window_secs: 0.1,
             policy: Policy::Provider { prices },
             conservative_fraction: 0.5,
+            plan_cache: true,
         }
     }
 }
@@ -67,16 +79,41 @@ pub enum GlobalView {
     Queues(Vec<f64>),
 }
 
+/// The prepared (matrix-built-once) LP behind the configured policy.
+#[derive(Debug, Clone)]
+enum Engine {
+    Community(PreparedCommunity),
+    Provider(PreparedProvider),
+}
+
+impl Engine {
+    fn build(levels: &AccessLevels, policy: &Policy) -> Engine {
+        match policy {
+            Policy::Community { locality } => {
+                Engine::Community(PreparedCommunity::new(levels, locality.clone()))
+            }
+            Policy::Provider { prices } => {
+                Engine::Provider(PreparedProvider::new(levels, prices.clone()))
+            }
+        }
+    }
+}
+
 /// One redirector's per-window planning engine.
 ///
 /// Holds the window-scaled [`AccessLevels`] (recomputed only when the
-/// agreement graph or capacities change) and dispatches to the configured
-/// LP each window.
+/// agreement graph or capacities change), the prepared constraint matrix
+/// for the configured policy, a reusable [`SimplexWorkspace`], and the
+/// per-window [`PlanCache`]. Planning therefore needs `&mut self`; wrap in
+/// a lock when shared.
 #[derive(Debug, Clone)]
 pub struct WindowScheduler {
     cfg: SchedulerConfig,
     /// Access levels scaled to one window.
     window_levels: AccessLevels,
+    engine: Engine,
+    lp_ws: SimplexWorkspace,
+    cache: PlanCache,
 }
 
 impl WindowScheduler {
@@ -88,7 +125,10 @@ impl WindowScheduler {
             (0.0..=1.0).contains(&cfg.conservative_fraction),
             "conservative fraction must be in [0,1]"
         );
-        WindowScheduler { window_levels: levels.scaled(cfg.window_secs), cfg }
+        let window_levels = levels.scaled(cfg.window_secs);
+        let engine = Engine::build(&window_levels, &cfg.policy);
+        let cache = PlanCache::new(levels_fingerprint(&window_levels));
+        WindowScheduler { window_levels, engine, lp_ws: SimplexWorkspace::new(), cache, cfg }
     }
 
     /// The configuration in force.
@@ -101,9 +141,22 @@ impl WindowScheduler {
         &self.window_levels
     }
 
-    /// Installs new access levels (capacity or agreement change).
+    /// Installs new access levels (capacity or agreement change): rebuilds
+    /// the prepared constraint matrix and invalidates the plan cache.
     pub fn update_levels(&mut self, levels: &AccessLevels) {
         self.window_levels = levels.scaled(self.cfg.window_secs);
+        self.engine = Engine::build(&self.window_levels, &self.cfg.policy);
+        self.cache.invalidate(levels_fingerprint(&self.window_levels));
+    }
+
+    /// `(hits, misses)` of the plan cache since construction.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
+    }
+
+    /// `(solves, pivots)` of the underlying simplex workspace.
+    pub fn lp_stats(&self) -> (u64, u64) {
+        (self.lp_ws.solves(), self.lp_ws.pivots())
     }
 
     /// Plans one window. `global` is what the combining tree has delivered;
@@ -111,7 +164,7 @@ impl WindowScheduler {
     /// (requests for the coming window). Returns the *local* plan — already
     /// scaled to this redirector's queue fraction when global data is
     /// available.
-    pub fn plan_window(&self, global: &GlobalView, local_queues: &[f64]) -> Plan {
+    pub fn plan_window(&mut self, global: &GlobalView, local_queues: &[f64]) -> Plan {
         let n = self.window_levels.len();
         assert_eq!(local_queues.len(), n);
         match global {
@@ -135,20 +188,24 @@ impl WindowScheduler {
     /// Plans one window against explicit global queues, returning the
     /// *global* (unscaled) plan. Used by single-redirector deployments and
     /// by tests.
-    pub fn plan_global(&self, queues: &[f64]) -> Plan {
+    pub fn plan_global(&mut self, queues: &[f64]) -> Plan {
         self.solve(queues)
     }
 
-    fn solve(&self, queues: &[f64]) -> Plan {
-        match &self.cfg.policy {
-            Policy::Community { locality } => {
-                let sched = CommunityScheduler { locality: locality.clone() };
-                sched.plan(&self.window_levels, queues)
-            }
-            Policy::Provider { prices } => {
-                ProviderScheduler::new(prices.clone()).plan(&self.window_levels, queues)
+    fn solve(&mut self, queues: &[f64]) -> Plan {
+        if self.cfg.plan_cache {
+            if let Some(plan) = self.cache.lookup(queues) {
+                return plan;
             }
         }
+        let plan = match &mut self.engine {
+            Engine::Community(p) => p.plan_with(&mut self.lp_ws, queues),
+            Engine::Provider(p) => p.plan_with(&mut self.lp_ws, queues),
+        };
+        if self.cfg.plan_cache {
+            self.cache.store(queues, &plan);
+        }
+        plan
     }
 
     /// Conservative fallback: admit `conservative_fraction` of each
@@ -167,9 +224,9 @@ impl WindowScheduler {
             if budget <= 0.0 {
                 continue;
             }
-            for k in 0..n {
+            for (k, slot) in assignments[i].iter_mut().enumerate() {
                 let share = self.window_levels.mand_share(pi, PrincipalId(k)) / mc;
-                assignments[i][k] = budget * share;
+                *slot = budget * share;
             }
         }
         Plan { assignments, theta: None, income: None }
@@ -198,7 +255,7 @@ mod tests {
         // of B's 20% of 320 = 32 req/s (the paper measures ~30).
         let (g, _a, b) = figure8();
         let lv = g.access_levels();
-        let ws = WindowScheduler::new(&lv, SchedulerConfig::community_default());
+        let mut ws = WindowScheduler::new(&lv, SchedulerConfig::community_default());
         // B floods locally; nothing known globally.
         let plan = ws.plan_window(&GlobalView::Unknown, &[0.0, 0.0, 100.0]);
         // Per 100 ms window: half of 6.4 = 3.2 requests → 32 req/s.
@@ -209,7 +266,7 @@ mod tests {
     fn conservative_mode_caps_at_local_demand() {
         let (g, _a, b) = figure8();
         let lv = g.access_levels();
-        let ws = WindowScheduler::new(&lv, SchedulerConfig::community_default());
+        let mut ws = WindowScheduler::new(&lv, SchedulerConfig::community_default());
         let plan = ws.plan_window(&GlobalView::Unknown, &[0.0, 0.0, 1.0]);
         assert!((plan.admitted(b) - 1.0).abs() < 1e-9);
     }
@@ -218,7 +275,7 @@ mod tests {
     fn coordinated_mode_scales_to_local_fraction() {
         let (g, a, _b) = figure8();
         let lv = g.access_levels();
-        let ws = WindowScheduler::new(&lv, SchedulerConfig::community_default());
+        let mut ws = WindowScheduler::new(&lv, SchedulerConfig::community_default());
         // Globally A has 40 queued this window; locally we hold 10 (25%).
         let global = GlobalView::Queues(vec![0.0, 40.0, 0.0]);
         let plan = ws.plan_window(&global, &[0.0, 10.0, 0.0]);
@@ -230,7 +287,7 @@ mod tests {
     fn stale_global_view_merges_local_demand() {
         let (g, a, _b) = figure8();
         let lv = g.access_levels();
-        let ws = WindowScheduler::new(&lv, SchedulerConfig::community_default());
+        let mut ws = WindowScheduler::new(&lv, SchedulerConfig::community_default());
         // Tree says zero demand, but we locally hold 10 requests for A.
         let global = GlobalView::Queues(vec![0.0, 0.0, 0.0]);
         let plan = ws.plan_window(&global, &[0.0, 10.0, 0.0]);
@@ -241,7 +298,7 @@ mod tests {
     fn provider_policy_dispatches() {
         let (g, a, b) = figure8();
         let lv = g.access_levels();
-        let ws = WindowScheduler::new(&lv, SchedulerConfig::provider(vec![0.0, 2.0, 1.0]));
+        let mut ws = WindowScheduler::new(&lv, SchedulerConfig::provider(vec![0.0, 2.0, 1.0]));
         let plan = ws.plan_global(&[0.0, 80.0, 40.0]);
         // Per-window capacity 32: A pays more, B pinned at mandatory 6.4.
         assert!((plan.admitted(b) - 6.4).abs() < 1e-6);
@@ -263,5 +320,64 @@ mod tests {
         ws.update_levels(&g2.access_levels());
         let plan = ws.plan_window(&GlobalView::Unknown, &[0.0, 0.0, 100.0]);
         assert!((plan.admitted(b) - 6.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_queues_hit_the_plan_cache() {
+        let (g, ..) = figure8();
+        let lv = g.access_levels();
+        let mut ws = WindowScheduler::new(&lv, SchedulerConfig::community_default());
+        let queues = vec![0.0, 40.0, 25.0];
+        let first = ws.plan_global(&queues);
+        let (solves_after_first, _) = ws.lp_stats();
+        for _ in 0..5 {
+            assert_eq!(ws.plan_global(&queues), first);
+        }
+        let (hits, misses) = ws.cache_stats();
+        assert_eq!(hits, 5);
+        assert_eq!(misses, 1);
+        // Cache hits must not have touched the solver.
+        assert_eq!(ws.lp_stats().0, solves_after_first);
+    }
+
+    #[test]
+    fn plan_cache_never_changes_plans() {
+        let (g, ..) = figure8();
+        let lv = g.access_levels();
+        let mut cached = WindowScheduler::new(&lv, SchedulerConfig::community_default());
+        let mut uncached = WindowScheduler::new(
+            &lv,
+            SchedulerConfig { plan_cache: false, ..SchedulerConfig::community_default() },
+        );
+        // A demand walk with repeats: hits and misses interleave.
+        let walks =
+            [[0.0, 10.0, 5.0], [0.0, 10.0, 5.0], [0.0, 12.0, 5.0], [0.0, 10.0, 5.0 + 1e-9]];
+        for q in &walks {
+            assert_eq!(cached.plan_global(q), uncached.plan_global(q), "queues {q:?}");
+        }
+        assert!(cached.cache_stats().0 > 0, "walk contained repeats; cache must hit");
+        assert_eq!(uncached.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn update_levels_invalidates_the_cache() {
+        let (g, _a, b) = figure8();
+        let lv = g.access_levels();
+        let mut ws = WindowScheduler::new(&lv, SchedulerConfig::community_default());
+        let queues = vec![0.0, 0.0, 100.0];
+        let _ = ws.plan_global(&queues);
+        let mut g2 = AgreementGraph::new();
+        let s = g2.add_principal("S", 640.0);
+        let a2 = g2.add_principal("A", 0.0);
+        let b2 = g2.add_principal("B", 0.0);
+        g2.add_agreement(s, a2, 0.8, 1.0).unwrap();
+        g2.add_agreement(s, b2, 0.2, 1.0).unwrap();
+        ws.update_levels(&g2.access_levels());
+        // Same queue vector, new levels: must re-solve, not replay. Alone on
+        // the doubled server, B bursts to the full 64 per window (a stale
+        // replay would still say 32).
+        let plan = ws.plan_global(&queues);
+        assert!((plan.admitted(b) - 64.0).abs() < 1e-6, "B {}", plan.admitted(b));
+        assert_eq!(ws.cache_stats().0, 0);
     }
 }

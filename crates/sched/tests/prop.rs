@@ -1,5 +1,9 @@
 //! Property tests for the window schedulers and queuing structures.
 
+// Plans are (principal × server) matrices; paired i/k index loops mirror the
+// paper's notation better than nested iterator chains.
+#![allow(clippy::needless_range_loop)]
+
 use covenant_agreements::{AgreementGraph, PrincipalId};
 use covenant_sched::{
     Admission, CommunityScheduler, CreditGate, Plan, PrincipalQueues, ProviderScheduler, Request,

@@ -122,6 +122,11 @@ pub struct SimConfig {
     /// redirector→server), seconds. Deferred retries pay a full extra
     /// round trip on top of `retry_delay`.
     pub network_latency: f64,
+    /// Let redirectors memoize the last solved window (see
+    /// `covenant_sched::SchedulerConfig::plan_cache`). On by default; turn
+    /// off to force an LP solve every window (plans are identical either
+    /// way — the cache only replays exact repeats).
+    pub plan_cache: bool,
 }
 
 impl SimConfig {
@@ -145,6 +150,7 @@ impl SimConfig {
             redirector_restarts: Vec::new(),
             redirector_locality: None,
             network_latency: 0.0,
+            plan_cache: true,
         }
     }
 

@@ -43,6 +43,12 @@ pub struct SimReport {
     pub tree_messages: u64,
     /// Coordination messages a pairwise scheme would have needed.
     pub pairwise_messages_equivalent: u64,
+    /// Plan-cache hits summed over all redirectors (windows that replayed
+    /// the previous solve instead of running the LP).
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses summed over all redirectors (windows that ran the
+    /// LP).
+    pub plan_cache_misses: u64,
 }
 
 impl SimReport {
@@ -85,6 +91,7 @@ impl Simulation {
                 window_secs: cfg.window_secs,
                 policy,
                 conservative_fraction: cfg.conservative_fraction,
+                plan_cache: cfg.plan_cache,
             }
         };
         let mut redirectors: Vec<SimRedirector> = (0..n_redirectors)
@@ -269,8 +276,8 @@ impl Simulation {
                     // demand vectors, aggregate over the tree, and deliver
                     // (with per-node lag) via each node's DelayedView.
                     let mut demands: Vec<Vec<f64>> = Vec::with_capacity(n_redirectors);
-                    for r in 0..n_redirectors {
-                        let (released, demand) = redirectors[r].on_window_tick(now);
+                    for redirector in redirectors.iter_mut() {
+                        let (released, demand) = redirector.on_window_tick(now);
                         demands.push(demand);
                         for (req, server) in released {
                             admitted[req.principal.0] += 1;
@@ -322,6 +329,8 @@ impl Simulation {
                 .collect(),
             tree_messages,
             pairwise_messages_equivalent: windows * cfg.tree.pairwise_messages() as u64,
+            plan_cache_hits: redirectors.iter().map(|r| r.cache_stats().0).sum(),
+            plan_cache_misses: redirectors.iter().map(|r| r.cache_stats().1).sum(),
         }
     }
 }

@@ -75,6 +75,11 @@ impl SimRedirector {
         self.scheduler.update_levels(levels);
     }
 
+    /// `(hits, misses)` of the scheduler's plan cache since construction.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.scheduler.cache_stats()
+    }
+
     /// Handles an arriving request.
     pub fn on_arrival(&mut self, req: Request) -> ArrivalOutcome {
         self.arrivals_this_window[req.principal.0] += req.cost;

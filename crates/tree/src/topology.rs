@@ -94,8 +94,8 @@ impl Topology {
         }
         let root = roots[0];
         let mut children = vec![Vec::new(); n];
-        for i in 0..n {
-            if let Some(p) = parents[i] {
+        for (i, parent) in parents.iter().enumerate() {
+            if let Some(p) = *parent {
                 if p >= n {
                     return Err(TreeError::BadParent { node: i, parent: p });
                 }

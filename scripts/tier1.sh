@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the one entry point builders run before pushing.
+#
+#   build (release) + full test suite + clippy -D warnings on the crates
+#   touched by the LP fast-path work.
+#
+# Usage: scripts/tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test (root package, tier-1)"
+cargo test -q --offline
+
+echo "==> cargo test (workspace)"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy -D warnings (touched crates)"
+cargo clippy --offline \
+    -p covenant-lp \
+    -p covenant-sched \
+    -p covenant-sim \
+    -p covenant-coord \
+    -p covenant-core \
+    -p covenant-bench \
+    --all-targets -- -D warnings
+
+echo "tier-1: OK"

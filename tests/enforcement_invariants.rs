@@ -219,7 +219,7 @@ fn conservative_fallback_is_bounded() {
     let s = g.add_principal("S", 200.0);
     let a = g.add_principal("A", 0.0);
     g.add_agreement(s, a, 0.5, 1.0).unwrap();
-    let ws = WindowScheduler::new(&g.access_levels(), SchedulerConfig::community_default());
+    let mut ws = WindowScheduler::new(&g.access_levels(), SchedulerConfig::community_default());
     for demand in [0.0, 1.0, 5.0, 100.0, 10_000.0] {
         let plan = ws.plan_window(&GlobalView::Unknown, &[0.0, demand]);
         // Half of A's mandatory 100/s = 50/s = 5 per 100 ms window.

@@ -1,0 +1,235 @@
+//! Offline mini benchmark harness exposing the subset of the `criterion`
+//! API this workspace uses: `criterion_group!` / `criterion_main!`,
+//! `Criterion::bench_function`, `benchmark_group` + `bench_with_input`,
+//! `Bencher::iter`, and `BenchmarkId::from_parameter`.
+//!
+//! Timing model: a short warm-up, then a fixed number of timed samples,
+//! reporting the mean ns/iter (median-of-samples is also kept). Results
+//! accumulate on the [`Criterion`] instance so custom `main` functions can
+//! export them (see `covenant-bench`'s JSON emitters).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One recorded benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Fully qualified benchmark id (`group/param` or bare function name).
+    pub id: String,
+    /// Mean nanoseconds per iteration across samples.
+    pub mean_ns: f64,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+}
+
+/// Benchmark identifier, `group_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a displayable parameter (e.g. problem size).
+    pub fn from_parameter<P: fmt::Display>(param: P) -> Self {
+        BenchmarkId { param: param.to_string() }
+    }
+
+    /// Builds an id from a function name and parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(function: S, param: P) -> Self {
+        BenchmarkId { param: format!("{}/{}", function.into(), param) }
+    }
+}
+
+/// Passed to benchmark closures; drives the timing loop.
+pub struct Bencher {
+    warmup: Duration,
+    sample_count: usize,
+    iters_per_sample: u64,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            warmup: Duration::from_millis(50),
+            sample_count: 30,
+            iters_per_sample: 0, // calibrated during warm-up
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, recording ns/iter samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count that makes one
+        // sample take roughly 1 ms, so Instant overhead is negligible.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warmup.as_nanos() as f64 / warm_iters.max(1) as f64;
+        self.iters_per_sample = ((1_000_000.0 / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / self.iters_per_sample as f64);
+        }
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+
+    fn median_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.samples_ns.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+    quiet: bool,
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        self.record(id.to_string(), &b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// All measurements recorded so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    fn record(&mut self, id: String, b: &Bencher) {
+        let m = Measurement {
+            id,
+            mean_ns: b.mean_ns(),
+            median_ns: b.median_ns(),
+            samples: b.samples_ns.len(),
+        };
+        if !self.quiet {
+            println!(
+                "{:<40} mean {:>12.1} ns/iter  median {:>12.1} ns/iter  ({} samples)",
+                m.id, m.mean_ns, m.median_ns, m.samples
+            );
+        }
+        self.results.push(m);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; this harness
+    /// keeps its fixed sampling scheme).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        let full = format!("{}/{}", self.name, id.param);
+        self.criterion.record(full, &b);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<S: fmt::Display, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.record(full, &b);
+        self
+    }
+
+    /// Closes the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group: a runner function invoking each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_measurement() {
+        let mut c = Criterion { results: Vec::new(), quiet: true };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].mean_ns > 0.0);
+    }
+
+    #[test]
+    fn group_ids_are_prefixed() {
+        let mut c = Criterion { results: Vec::new(), quiet: true };
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+        assert_eq!(c.results()[0].id, "grp/4");
+    }
+}

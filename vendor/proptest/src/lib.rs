@@ -1,0 +1,658 @@
+//! Offline property-testing harness with a proptest-compatible API subset.
+//!
+//! Supports the surface this workspace's property tests use:
+//! - [`Strategy`] with `prop_map` / `prop_flat_map`
+//! - numeric [`Range`](std::ops::Range) strategies, tuple strategies,
+//!   [`collection::vec`], [`any`], and `&'static str` regex-subset string
+//!   strategies (char classes with ranges, negation, `&&` intersection,
+//!   and `{n,m}` repetition)
+//! - the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]` header, plus
+//!   [`prop_assert!`] / [`prop_assert_eq!`]
+//!
+//! There is no shrinking: a failing case panics with its case number, and
+//! case generation is deterministic (seeded from the test name), so
+//! failures reproduce exactly on re-run.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod test_runner {
+    //! Deterministic RNG used to drive generation.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Deterministic generator seeded from the test name.
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds from a test name via FNV-1a, so each test gets a stable,
+        /// distinct stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { inner: StdRng::seed_from_u64(h) }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform in `[0.0, 1.0)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Run configuration (case count only).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Error carried by `prop_assert!` failures out of a test case body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail<S: Into<String>>(msg: S) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        (self.start as f64..self.end as f64).generate(rng) as f32
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);
+
+/// Types with a canonical "any value" strategy (see [`any`]).
+pub trait ArbitraryValue: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An unconstrained value of type `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specifications accepted by [`vec`].
+    pub trait IntoSizeRange {
+        /// Lower and upper (inclusive) length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec length range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    /// Strategy for vectors of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.max > self.min {
+                self.min + rng.below((self.max - self.min + 1) as u64) as usize
+            } else {
+                self.min
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector with elements from `element` and a length within `size`.
+    pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+}
+
+mod regex_subset {
+    //! The regex subset accepted by `&'static str` strategies: a sequence
+    //! of atoms (literal chars or `[...]` classes with ranges, `^`
+    //! negation, and `&&`-intersection of a nested class), each followed
+    //! by an optional `{n}` / `{n,m}` repetition. Alternation, anchors,
+    //! `*`/`+`/`?`, and escapes are not supported — the workspace's
+    //! patterns don't use them.
+
+    #[derive(Debug, Clone)]
+    enum ClassItem {
+        Single(char),
+        Range(char, char),
+    }
+
+    #[derive(Debug, Clone)]
+    struct ClassExpr {
+        negated: bool,
+        items: Vec<ClassItem>,
+        intersect: Option<Box<ClassExpr>>,
+    }
+
+    impl ClassExpr {
+        fn matches(&self, c: char) -> bool {
+            let mut hit = self.items.iter().any(|item| match *item {
+                ClassItem::Single(s) => s == c,
+                ClassItem::Range(lo, hi) => (lo..=hi).contains(&c),
+            });
+            if self.negated {
+                hit = !hit;
+            }
+            hit && self.intersect.as_ref().is_none_or(|i| i.matches(c))
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct Atom {
+        /// Characters this atom may produce (pre-expanded for sampling).
+        pub choices: Vec<char>,
+        pub min_rep: usize,
+        pub max_rep: usize,
+    }
+
+    /// Parses `pattern` into atoms; panics on unsupported syntax so that a
+    /// bad pattern fails loudly at test time.
+    pub fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let mut atoms = Vec::new();
+        while pos < chars.len() {
+            let class = if chars[pos] == '[' {
+                parse_class(&chars, &mut pos)
+            } else {
+                let c = chars[pos];
+                assert!(
+                    !"\\^$.|?*+(){}".contains(c),
+                    "unsupported regex metacharacter {c:?} in {pattern:?}"
+                );
+                pos += 1;
+                ClassExpr { negated: false, items: vec![ClassItem::Single(c)], intersect: None }
+            };
+            let (min_rep, max_rep) = parse_repetition(&chars, &mut pos);
+            // Sample space: printable ASCII plus tab, matching what the
+            // workspace's HTTP/text tests can round-trip.
+            let choices: Vec<char> = (0x09u8..0x7f)
+                .map(|b| b as char)
+                .filter(|&c| c == '\t' || (' '..='~').contains(&c))
+                .filter(|&c| class.matches(c))
+                .collect();
+            assert!(!choices.is_empty(), "empty character class in {pattern:?}");
+            atoms.push(Atom { choices, min_rep, max_rep });
+        }
+        atoms
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize) -> ClassExpr {
+        assert_eq!(chars[*pos], '[');
+        *pos += 1;
+        let negated = chars.get(*pos) == Some(&'^');
+        if negated {
+            *pos += 1;
+        }
+        let mut items = Vec::new();
+        let mut intersect = None;
+        loop {
+            match chars.get(*pos) {
+                None => panic!("unterminated character class"),
+                Some(']') => {
+                    *pos += 1;
+                    break;
+                }
+                Some('&') if chars.get(*pos + 1) == Some(&'&') => {
+                    *pos += 2;
+                    assert_eq!(
+                        chars.get(*pos),
+                        Some(&'['),
+                        "expected nested class after && intersection"
+                    );
+                    let nested = parse_class(chars, pos);
+                    intersect = Some(Box::new(nested));
+                }
+                Some(&c) => {
+                    *pos += 1;
+                    // `a-z` range, unless `-` is the last char before `]`.
+                    if chars.get(*pos) == Some(&'-')
+                        && chars.get(*pos + 1).is_some_and(|&n| n != ']')
+                    {
+                        let hi = chars[*pos + 1];
+                        *pos += 2;
+                        items.push(ClassItem::Range(c, hi));
+                    } else {
+                        items.push(ClassItem::Single(c));
+                    }
+                }
+            }
+        }
+        ClassExpr { negated, items, intersect }
+    }
+
+    fn parse_repetition(chars: &[char], pos: &mut usize) -> (usize, usize) {
+        if chars.get(*pos) != Some(&'{') {
+            return (1, 1);
+        }
+        *pos += 1;
+        let read_num = |pos: &mut usize| -> usize {
+            let start = *pos;
+            while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+                *pos += 1;
+            }
+            chars[start..*pos].iter().collect::<String>().parse().expect("repetition count")
+        };
+        let min = read_num(pos);
+        let max = if chars.get(*pos) == Some(&',') {
+            *pos += 1;
+            read_num(pos)
+        } else {
+            min
+        };
+        assert_eq!(chars.get(*pos), Some(&'}'), "unterminated repetition");
+        *pos += 1;
+        assert!(min <= max, "inverted repetition bounds");
+        (min, max)
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = regex_subset::parse(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let reps = if atom.max_rep > atom.min_rep {
+                atom.min_rep + rng.below((atom.max_rep - atom.min_rep + 1) as u64) as usize
+            } else {
+                atom.min_rep
+            };
+            for _ in 0..reps {
+                out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// the process) so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $( let $pat = $crate::Strategy::generate(&($strat), &mut rng); )+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("property {} failed at case {}/{}: {}",
+                        stringify!($name), case, config.cases, e);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (2usize..6).generate(&mut rng);
+            assert!((2..6).contains(&v));
+            let f = (-5.0..5.0f64).generate(&mut rng);
+            assert!((-5.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_honor_range() {
+        let mut rng = TestRng::from_name("vecs");
+        for _ in 0..200 {
+            let v = proptest::collection::vec(0.0..1.0f64, 1..5).generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+        let exact = proptest::collection::vec(0u64..9, 7usize).generate(&mut rng);
+        assert_eq!(exact.len(), 7);
+    }
+
+    #[test]
+    fn regex_subset_classes() {
+        let mut rng = TestRng::from_name("regex");
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9._-]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || ".-_".contains(c)), "{s}");
+
+            let h = "[a-z][a-z0-9-]{0,15}".generate(&mut rng);
+            assert!(h.chars().next().unwrap().is_ascii_lowercase());
+            assert!(h.len() <= 16);
+
+            let v = "[ -~&&[^:]]{0,30}".generate(&mut rng);
+            assert!(v.chars().all(|c| (' '..='~').contains(&c) && c != ':'), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_dependent_values() {
+        let strat = (2usize..5)
+            .prop_flat_map(|n| proptest::collection::vec(0.0..1.0f64, n).prop_map(move |v| (n, v)));
+        let mut rng = TestRng::from_name("flat");
+        for _ in 0..100 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: patterns bind, asserts pass, config honored.
+        #[test]
+        fn macro_smoke((a, b) in (0u64..10, 0u64..10), flip in any::<bool>()) {
+            prop_assert!(a < 10 && b < 10);
+            let _ = flip;
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline facade for `serde`.
+//!
+//! Re-exports no-op `Serialize` / `Deserialize` derive macros so existing
+//! `#[derive(...)]` annotations compile unchanged in this air-gapped
+//! workspace. There is no serialization framework behind them; JSON
+//! handling is hand-rolled in `covenant-core`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

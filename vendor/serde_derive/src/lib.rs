@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derive shims.
+//!
+//! The workspace builds offline without the real serde. Types keep their
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` annotations so
+//! the real crates can be dropped back in later; these shims accept the
+//! attributes and expand to nothing. Actual JSON (de)serialization in the
+//! workspace is hand-rolled in `covenant-core`.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attributes; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attributes; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
