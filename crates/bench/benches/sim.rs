@@ -1,0 +1,135 @@
+//! Simulation-engine throughput: streaming vs the retained reference path.
+//!
+//! The tentpole measurement behind `BENCH_sim.json`: a ~1M-request
+//! underloaded run executed twice — once on [`Simulation::run`] (lazy
+//! arrival streaming, slab metadata, bounded heap) and once on
+//! [`Simulation::run_reference`] (the pre-optimization engine: full trace
+//! materialized and heap-scheduled up front, `HashMap` metadata). Both
+//! must report identical behavior ([`SimReport::outcome_eq`]); the wall
+//! clock and peak-heap numbers quantify the win.
+//!
+//! A second section records streaming-engine event throughput per queuing
+//! mode on a contended two-redirector scenario.
+//!
+//! Multi-second whole-run measurements don't fit criterion's
+//! sample-iteration model, so this bench times runs directly with
+//! `Instant` (same `harness = false` setup as the other benches).
+
+use covenant_agreements::{AgreementGraph, PrincipalId};
+use covenant_bench::emit_sim_bench_section;
+use covenant_sim::{QueueMode, SimConfig, SimReport, Simulation};
+use covenant_tree::Topology;
+use covenant_workload::{ClientMachine, PhasedLoad};
+
+/// ~1M original arrivals: 4 uniform clients × 500 req/s × 500 s against a
+/// 3000 unit/s server pool (underloaded, so the event count is dominated
+/// by arrivals + completions, and in-flight stays small — the regime where
+/// the heap/metadata structures are the cost).
+fn million_request_config() -> SimConfig {
+    let mut g = AgreementGraph::new();
+    let s = g.add_principal("S", 3000.0);
+    let a = g.add_principal("A", 0.0);
+    let b = g.add_principal("B", 0.0);
+    g.add_agreement(s, a, 0.2, 1.0).unwrap();
+    g.add_agreement(s, b, 0.8, 1.0).unwrap();
+    let dur = 500.0;
+    let mut cfg = SimConfig::new(g, dur);
+    for (i, p) in [(0, a), (1, a), (2, b), (3, b)] {
+        cfg = cfg.client(ClientMachine::uniform(i, p, PhasedLoad::constant(500.0, dur)), 0);
+    }
+    cfg
+}
+
+/// Figure-6-style contention: two redirectors, offered load ~3× capacity,
+/// so deferrals/retries and queue churn dominate.
+fn contended_config(mode: QueueMode) -> SimConfig {
+    let mut g = AgreementGraph::new();
+    let s = g.add_principal("S", 100.0);
+    let a = g.add_principal("A", 0.0);
+    let b = g.add_principal("B", 0.0);
+    g.add_agreement(s, a, 0.2, 1.0).unwrap();
+    g.add_agreement(s, b, 0.8, 1.0).unwrap();
+    SimConfig::new(g, 30.0)
+        .with_mode(mode)
+        .with_tree(Topology::star(2, 0.0), 0.0)
+        .closed_loop_client(ClientMachine::uniform(0, a, PhasedLoad::constant(150.0, 30.0)), 0, 64)
+        .closed_loop_client(ClientMachine::uniform(1, b, PhasedLoad::constant(150.0, 30.0)), 1, 64)
+}
+
+fn fmt_streaming(stream: &SimReport, reference: &SimReport) -> String {
+    format!(
+        "{{\"offered_requests\": {}, \"events_processed\": {}, \
+         \"stream_wall_s\": {:.3}, \"reference_wall_s\": {:.3}, \"speedup\": {:.2}, \
+         \"stream_events_per_sec\": {:.0}, \"reference_events_per_sec\": {:.0}, \
+         \"stream_peak_event_queue\": {}, \"reference_peak_event_queue\": {}}}",
+        stream.offered.iter().sum::<u64>(),
+        stream.events_processed,
+        stream.wall_secs,
+        reference.wall_secs,
+        reference.wall_secs / stream.wall_secs,
+        stream.events_per_sec(),
+        reference.events_per_sec(),
+        stream.peak_event_queue,
+        reference.peak_event_queue,
+    )
+}
+
+fn main() {
+    println!("running 1M-request streaming engine...");
+    let stream = Simulation::new(million_request_config()).run();
+    println!(
+        "  streamed: {:.2} s wall, {:.0} events/s, peak queue {}",
+        stream.wall_secs,
+        stream.events_per_sec(),
+        stream.peak_event_queue
+    );
+    println!("running 1M-request reference engine...");
+    let reference = Simulation::new(million_request_config()).run_reference();
+    println!(
+        "  reference: {:.2} s wall, {:.0} events/s, peak queue {}",
+        reference.wall_secs,
+        reference.events_per_sec(),
+        reference.peak_event_queue
+    );
+    assert!(
+        stream.outcome_eq(&reference),
+        "streaming and reference engines diverged at the 1M-request scale"
+    );
+    println!(
+        "  speedup {:.2}x, heap shrink {:.0}x, A served {:.0} req/s",
+        reference.wall_secs / stream.wall_secs,
+        reference.peak_event_queue as f64 / stream.peak_event_queue as f64,
+        stream.rates.mean_rate_secs(PrincipalId(1), 50.0, 450.0)
+    );
+    emit_sim_bench_section("streaming", &fmt_streaming(&stream, &reference))
+        .expect("write BENCH_sim.json");
+
+    let mut modes = String::from("{");
+    for (i, (name, mode)) in [
+        ("explicit", QueueMode::Explicit),
+        ("credit_retry", QueueMode::CreditRetry { retry_delay: 0.05 }),
+        ("credit_park", QueueMode::CreditPark),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let r = Simulation::new(contended_config(mode)).run();
+        println!(
+            "contended {name}: {:.0} events/s ({} events, peak queue {})",
+            r.events_per_sec(),
+            r.events_processed,
+            r.peak_event_queue
+        );
+        let sep = if i < 2 { ", " } else { "" };
+        modes.push_str(&format!(
+            "\"{name}\": {{\"events_per_sec\": {:.0}, \"events_processed\": {}, \
+             \"peak_event_queue\": {}}}{sep}",
+            r.events_per_sec(),
+            r.events_processed,
+            r.peak_event_queue
+        ));
+    }
+    modes.push('}');
+    emit_sim_bench_section("contended_modes", &modes).expect("write BENCH_sim.json");
+    println!("BENCH_sim.json updated");
+}

@@ -4,8 +4,13 @@
 //! will push there. The sweep shows the enforcement/locality trade-off:
 //! tight caps keep traffic local (cheap forwarding) at the price of unused
 //! remote capacity; loose caps recover full utilization.
+//!
+//! Points fan out across worker threads like the other sweeps
+//! (`COVENANT_SWEEP_THREADS` overrides the count) — each point is one LP
+//! solve, so this mostly demonstrates the harness on cheap work.
 
 use covenant_agreements::{AgreementGraph, PrincipalId};
+use covenant_bench::run_sweep;
 use covenant_sched::{CommunityScheduler, LocalityCaps};
 
 fn main() {
@@ -23,19 +28,26 @@ fn main() {
         "{:>14} {:>10} {:>10} {:>12} {:>12}",
         "remote cap/w", "A req/w", "B req/w", "remote load", "total util %"
     );
-    for cap in [0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0, f64::INFINITY] {
-        let sched = CommunityScheduler::with_locality(LocalityCaps(vec![f64::MAX.min(1e12), cap.min(1e12)]));
+    let caps = vec![0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0, f64::INFINITY];
+    let rows = run_sweep(caps, |_, &cap| {
+        let sched = CommunityScheduler::with_locality(LocalityCaps(vec![
+            f64::MAX.min(1e12),
+            cap.min(1e12),
+        ]));
         let plan = sched.plan(&lv, &[30.0, 30.0]);
         let remote = plan.server_load(1);
         let total = plan.total_admitted();
-        println!(
+        format!(
             "{:>14} {:>10.2} {:>10.2} {:>12.2} {:>12.0}",
             if cap.is_infinite() { "inf".to_string() } else { format!("{cap:.0}") },
             plan.admitted(PrincipalId(0)),
             plan.admitted(PrincipalId(1)),
             remote,
             total / 20.0 * 100.0
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!("\n(20 requests/window = both servers fully used)");
 }

@@ -6,18 +6,24 @@
 //! shortfall across principals — enforcement quality — and (b) the
 //! wall-clock cost of the whole simulated run (dominated by per-window LP
 //! solves).
+//!
+//! Sweep points run in parallel across worker threads
+//! (`COVENANT_SWEEP_THREADS` overrides the count) and print in sweep
+//! order; note the per-point wall-clock column measures a possibly-shared
+//! core when workers > 1.
 
 use covenant_agreements::{AgreementGraph, PrincipalId};
+use covenant_bench::run_sweep;
 use covenant_sim::{SimConfig, Simulation};
 use covenant_workload::{ClientMachine, PhasedLoad};
-use std::time::Instant;
 
 fn main() {
     println!(
         "{:>12} {:>14} {:>18} {:>16}",
         "principals", "pool req/s", "worst floor miss", "sim wall ms"
     );
-    for n in [2usize, 4, 8, 12, 16, 20] {
+    let sizes = vec![2usize, 4, 8, 12, 16, 20];
+    let rows = run_sweep(sizes, |_, &n| {
         // Provider with V = 100·n; customer i holds lb = 0.9/n, ub = 1.
         let mut g = AgreementGraph::new();
         let pool = 100.0 * n as f64;
@@ -39,9 +45,8 @@ fn main() {
                 0,
             );
         }
-        let start = Instant::now();
         let report = Simulation::new(cfg).run();
-        let wall = start.elapsed().as_secs_f64() * 1000.0;
+        let wall = report.wall_secs * 1000.0;
 
         let worst_miss = customers
             .iter()
@@ -50,7 +55,10 @@ fn main() {
                 (mandatory - rate).max(0.0)
             })
             .fold(0.0, f64::max);
-        println!("{n:>12} {pool:>14.0} {worst_miss:>18.2} {wall:>16.0}");
+        format!("{n:>12} {pool:>14.0} {worst_miss:>18.2} {wall:>16.0}")
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!("\nfloor miss ≈ 0 at every size: guarantees hold as the community grows;");
     println!("wall time grows with the LP (n²+1 variables), not with traffic volume.");

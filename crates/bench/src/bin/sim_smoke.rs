@@ -1,0 +1,58 @@
+//! CI smoke check for simulation-engine throughput.
+//!
+//! Runs a ~100k-request underloaded scenario on the streaming engine and
+//! fails (nonzero exit) if event throughput drops below a conservative
+//! floor or the event heap stops being concurrency-bounded. Wired into
+//! `scripts/tier1.sh`; the floor errs far on the low side so slow CI
+//! machines don't flake, while still catching order-of-magnitude
+//! regressions (e.g. reintroducing O(total requests) heap behavior).
+//!
+//! `COVENANT_SMOKE_MIN_EPS` overrides the events/sec floor.
+
+use covenant_agreements::AgreementGraph;
+use covenant_sim::{SimConfig, Simulation};
+use covenant_workload::{ClientMachine, PhasedLoad};
+
+fn main() {
+    let min_eps: f64 = std::env::var("COVENANT_SMOKE_MIN_EPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000.0);
+
+    // ~100k requests: 4 clients × 250 req/s × 100 s, underloaded pool.
+    let mut g = AgreementGraph::new();
+    let s = g.add_principal("S", 1500.0);
+    let a = g.add_principal("A", 0.0);
+    let b = g.add_principal("B", 0.0);
+    g.add_agreement(s, a, 0.2, 1.0).unwrap();
+    g.add_agreement(s, b, 0.8, 1.0).unwrap();
+    let dur = 100.0;
+    let mut cfg = SimConfig::new(g, dur);
+    for (i, p) in [(0, a), (1, a), (2, b), (3, b)] {
+        cfg = cfg.client(ClientMachine::uniform(i, p, PhasedLoad::constant(250.0, dur)), 0);
+    }
+
+    let report = Simulation::new(cfg).run();
+    let eps = report.events_per_sec();
+    println!(
+        "sim smoke: {} events in {:.2} s wall = {:.0} events/s (floor {:.0}), peak queue {}",
+        report.events_processed, report.wall_secs, eps, min_eps, report.peak_event_queue
+    );
+    let offered: u64 = report.offered.iter().sum();
+    assert!(offered >= 99_000, "scenario generated only {offered} requests");
+    if eps < min_eps {
+        eprintln!("FAIL: engine throughput {eps:.0} events/s below floor {min_eps:.0}");
+        std::process::exit(1);
+    }
+    // The streaming engine's heap must stay bounded by concurrency, never
+    // by run length (clients + in-flight + tick; 4096 allows deep server
+    // backlogs but is far below the 100k-event materialized trace).
+    if report.peak_event_queue > 4096 {
+        eprintln!(
+            "FAIL: peak event queue {} suggests O(total requests) scheduling",
+            report.peak_event_queue
+        );
+        std::process::exit(1);
+    }
+    println!("sim smoke OK");
+}

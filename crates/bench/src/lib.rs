@@ -62,9 +62,18 @@ mod perfjson {
     use std::io;
     use std::path::PathBuf;
 
-    /// Repo-root path of the machine-readable perf log.
+    /// Repo-root path of the machine-readable LP/scheduler perf log.
     pub fn bench_json_path() -> PathBuf {
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_lp.json")
+        repo_root_file("BENCH_lp.json")
+    }
+
+    /// Repo-root path of the machine-readable simulation perf log.
+    pub fn sim_bench_json_path() -> PathBuf {
+        repo_root_file("BENCH_sim.json")
+    }
+
+    fn repo_root_file(name: &str) -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join(name)
     }
 
     /// Writes or replaces one top-level section of `BENCH_lp.json`.
@@ -75,6 +84,12 @@ mod perfjson {
     /// `body_json` must be a JSON value serialized on a single line.
     pub fn emit_bench_section(section: &str, body_json: &str) -> io::Result<()> {
         emit_section_at(&bench_json_path(), section, body_json)
+    }
+
+    /// Writes or replaces one top-level section of `BENCH_sim.json` (same
+    /// one-section-per-line format as [`emit_bench_section`]).
+    pub fn emit_sim_bench_section(section: &str, body_json: &str) -> io::Result<()> {
+        emit_section_at(&sim_bench_json_path(), section, body_json)
     }
 
     pub(super) fn emit_section_at(
@@ -107,7 +122,100 @@ mod perfjson {
     }
 }
 
-pub use perfjson::{bench_json_path, emit_bench_section};
+pub use perfjson::{
+    bench_json_path, emit_bench_section, emit_sim_bench_section, sim_bench_json_path,
+};
+
+mod sweep {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Deterministic seed for sweep point `index` under base seed `base`
+    /// (splitmix64 finalizer). Depends only on the inputs — never on which
+    /// worker thread runs the point — so parallel sweeps reproduce serial
+    /// ones exactly.
+    pub fn point_seed(base: u64, index: usize) -> u64 {
+        let mut z = base
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((index as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Worker-thread count for a sweep of `points` points: the
+    /// `COVENANT_SWEEP_THREADS` environment variable if set (≥ 1), else the
+    /// machine's available parallelism, never more than `points`.
+    pub fn sweep_threads(points: usize) -> usize {
+        let requested = std::env::var("COVENANT_SWEEP_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            });
+        requested.min(points.max(1))
+    }
+
+    /// Runs `f(index, &point)` for every point, fanning the points across
+    /// [`sweep_threads`] scoped worker threads, and returns the results in
+    /// input order. Points are claimed from a shared counter (work
+    /// stealing), so uneven point costs still keep all workers busy.
+    ///
+    /// Determinism contract: `f` must derive any randomness from its
+    /// arguments (e.g. [`point_seed`]) — then the result vector is
+    /// identical for any worker count, including the serial fallback.
+    pub fn run_sweep<T, R, F>(points: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = sweep_threads(points.len());
+        run_sweep_with(points, workers, f)
+    }
+
+    /// [`run_sweep`] with an explicit worker count.
+    pub fn run_sweep_with<T, R, F>(points: Vec<T>, workers: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = points.len();
+        if workers <= 1 || n <= 1 {
+            return points.iter().enumerate().map(|(i, p)| f(i, p)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let points = &points;
+        let slots_ref = &slots;
+        let f = &f;
+        let next = &next;
+        std::thread::scope(|s| {
+            for _ in 0..workers.min(n) {
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i, &points[i]);
+                    *slots_ref[i].lock().expect("no poisoned sweep slot") = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("no poisoned sweep slot")
+                    .expect("every sweep point produces a result")
+            })
+            .collect()
+    }
+}
+
+pub use sweep::{point_seed, run_sweep, run_sweep_with, sweep_threads};
 
 #[cfg(test)]
 mod tests {
@@ -127,6 +235,46 @@ mod tests {
     fn density_zero_means_no_agreements() {
         let g = random_graph(5, 0.0, 1);
         assert!(g.agreements().is_empty());
+    }
+
+    #[test]
+    fn sweep_returns_results_in_input_order() {
+        let points: Vec<u64> = (0..37).collect();
+        let serial = run_sweep_with(points.clone(), 1, |i, p| (i as u64) * 1000 + p * p);
+        let parallel = run_sweep_with(points, 4, |i, p| (i as u64) * 1000 + p * p);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[3], 3009);
+    }
+
+    #[test]
+    fn sweep_seeds_are_deterministic_and_distinct() {
+        let seeds: Vec<u64> = (0..64).map(|i| point_seed(42, i)).collect();
+        assert_eq!(seeds, (0..64).map(|i| point_seed(42, i)).collect::<Vec<_>>());
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "per-point seeds must not collide");
+        assert_ne!(point_seed(42, 0), point_seed(43, 0), "base seed must matter");
+    }
+
+    #[test]
+    fn sweep_parallel_matches_serial_with_seeded_points() {
+        // The contract users rely on: deriving randomness from point_seed
+        // makes the sweep result independent of the worker count.
+        let run = |workers| {
+            run_sweep_with((0..16).collect::<Vec<usize>>(), workers, |i, _| {
+                let mut lcg = SmallLcg::new(point_seed(7, i));
+                (0..100).map(|_| lcg.next_f64()).sum::<f64>()
+            })
+        };
+        assert_eq!(run(1), run(5));
+    }
+
+    #[test]
+    fn sweep_handles_empty_and_single_point() {
+        let empty: Vec<i32> = run_sweep_with(Vec::<i32>::new(), 4, |_, p| *p);
+        assert!(empty.is_empty());
+        assert_eq!(run_sweep_with(vec![9], 4, |_, p| p + 1), vec![10]);
     }
 
     #[test]

@@ -28,6 +28,28 @@ impl PhaseRates {
     }
 }
 
+/// Engine and coordination counters of a simulator report as a JSON
+/// object: event-loop performance profile (`events_processed`,
+/// `peak_event_queue`, wall-clock `events_per_sec`), plan-cache
+/// effectiveness, and message/drop accounting. Shared by the CLI's
+/// `run --json` output and any tooling that tracks engine health.
+pub fn sim_counters_json(report: &SimReport) -> crate::json::Value {
+    use crate::json::Value;
+    Value::Obj(vec![
+        ("events_processed".into(), (report.events_processed as f64).into()),
+        ("peak_event_queue".into(), report.peak_event_queue.into()),
+        ("events_per_sec".into(), report.events_per_sec().into()),
+        ("plan_cache_hits".into(), (report.plan_cache_hits as f64).into()),
+        ("plan_cache_misses".into(), (report.plan_cache_misses as f64).into()),
+        ("tree_messages".into(), (report.tree_messages as f64).into()),
+        (
+            "pairwise_messages_equivalent".into(),
+            (report.pairwise_messages_equivalent as f64).into(),
+        ),
+        ("dropped_server".into(), (report.dropped_server as f64).into()),
+    ])
+}
+
 /// The outcome of one figure scenario.
 pub struct ScenarioOutcome {
     /// Scenario identifier ("fig6", …).
@@ -167,5 +189,23 @@ mod tests {
     fn rate_lookup_panics_on_unknown_name() {
         let o = outcome();
         let _ = o.phases[0].rate("nobody");
+    }
+
+    #[test]
+    fn sim_counters_json_roundtrips() {
+        let o = outcome();
+        let v = sim_counters_json(&o.report);
+        let parsed = crate::json::Value::parse(&v.to_pretty()).unwrap();
+        assert!(parsed["events_processed"].as_f64().unwrap() > 100.0);
+        assert!(parsed["peak_event_queue"].as_usize().unwrap() > 0);
+        assert!(parsed["events_per_sec"].as_f64().unwrap() > 0.0);
+        assert_eq!(
+            parsed["plan_cache_hits"].as_f64().unwrap()
+                + parsed["plan_cache_misses"].as_f64().unwrap(),
+            (o.report.plan_cache_hits + o.report.plan_cache_misses) as f64
+        );
+        // The heap must be concurrency-bounded in this tiny scenario,
+        // far below its ~150 total requests.
+        assert!(parsed["peak_event_queue"].as_usize().unwrap() < 64);
     }
 }

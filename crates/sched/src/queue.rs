@@ -49,10 +49,16 @@ impl PrincipalQueues {
 
     /// Cost-weighted queue lengths `n_i` (the LP inputs).
     pub fn lengths(&self) -> Vec<f64> {
-        self.queues
-            .iter()
-            .map(|q| q.iter().map(|r| r.cost).sum())
-            .collect()
+        let mut out = Vec::new();
+        self.lengths_into(&mut out);
+        out
+    }
+
+    /// Writes the cost-weighted queue lengths into `out` (cleared first),
+    /// reusing its allocation.
+    pub fn lengths_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.queues.iter().map(|q| q.iter().map(|r| r.cost).sum::<f64>()));
     }
 
     /// Number of queued requests for one principal.

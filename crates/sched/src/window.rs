@@ -114,6 +114,9 @@ pub struct WindowScheduler {
     engine: Engine,
     lp_ws: SimplexWorkspace,
     cache: PlanCache,
+    /// Scratch for the global/local demand merge, reused across windows so
+    /// steady-state planning allocates nothing.
+    merged_buf: Vec<f64>,
 }
 
 impl WindowScheduler {
@@ -128,7 +131,14 @@ impl WindowScheduler {
         let window_levels = levels.scaled(cfg.window_secs);
         let engine = Engine::build(&window_levels, &cfg.policy);
         let cache = PlanCache::new(levels_fingerprint(&window_levels));
-        WindowScheduler { window_levels, engine, lp_ws: SimplexWorkspace::new(), cache, cfg }
+        WindowScheduler {
+            window_levels,
+            engine,
+            lp_ws: SimplexWorkspace::new(),
+            cache,
+            cfg,
+            merged_buf: Vec::new(),
+        }
     }
 
     /// The configuration in force.
@@ -165,22 +175,36 @@ impl WindowScheduler {
     /// scaled to this redirector's queue fraction when global data is
     /// available.
     pub fn plan_window(&mut self, global: &GlobalView, local_queues: &[f64]) -> Plan {
+        match global {
+            GlobalView::Unknown => self.plan_window_shared(None, local_queues),
+            GlobalView::Queues(global_queues) => {
+                self.plan_window_shared(Some(global_queues), local_queues)
+            }
+        }
+    }
+
+    /// [`WindowScheduler::plan_window`] over borrowed global data: `None`
+    /// means the tree has delivered nothing yet. Callers holding the
+    /// aggregate behind a shared pointer (the simulator's `DelayedView`)
+    /// plan without materializing a `GlobalView`, and the global/local
+    /// merge reuses an internal scratch buffer instead of allocating.
+    pub fn plan_window_shared(&mut self, global: Option<&[f64]>, local_queues: &[f64]) -> Plan {
         let n = self.window_levels.len();
         assert_eq!(local_queues.len(), n);
         match global {
-            GlobalView::Unknown => self.conservative_plan(local_queues),
-            GlobalView::Queues(global_queues) => {
+            None => self.conservative_plan(local_queues),
+            Some(global_queues) => {
                 assert_eq!(global_queues.len(), n);
                 // Never plan below local knowledge: a redirector always
                 // knows at least its own demand even if the aggregate is
                 // stale or hasn't folded it in yet.
-                let merged: Vec<f64> = global_queues
-                    .iter()
-                    .zip(local_queues)
-                    .map(|(g, l)| g.max(*l))
-                    .collect();
+                let mut merged = std::mem::take(&mut self.merged_buf);
+                merged.clear();
+                merged.extend(global_queues.iter().zip(local_queues).map(|(g, l)| g.max(*l)));
                 let global_plan = self.solve(&merged);
-                global_plan.scale_for_local_queue(local_queues, &merged)
+                let plan = global_plan.scale_for_local_queue(local_queues, &merged);
+                self.merged_buf = merged;
+                plan
             }
         }
     }

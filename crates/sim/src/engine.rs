@@ -1,4 +1,25 @@
 //! The simulation main loop.
+//!
+//! Two execution paths share the same event semantics:
+//!
+//! * [`Simulation::run`] — the production engine. Client arrivals are
+//!   *streamed*: the event heap holds at most one pending arrival per
+//!   client (plus in-flight completions/retries and the next window tick),
+//!   so memory is bounded by concurrency, not run length. Per-request
+//!   metadata lives in a dense free-list slab keyed by the sequential
+//!   [`RequestId`]s the engine itself assigns.
+//! * [`Simulation::run_reference`] — the pre-optimization engine, retained
+//!   as a correctness oracle and benchmark baseline (the same role
+//!   `solve_reference` plays for the LP). It materializes every arrival up
+//!   front, pushes all of them into the heap before the clock starts, and
+//!   tracks metadata in a `HashMap` — the seed's O(total requests) cost
+//!   profile.
+//!
+//! The [`EventQueue`](crate::events::EventQueue)'s class-keyed ordering
+//! guarantees both paths pop the identical event sequence, so their
+//! reports agree on every behavioral observable (see
+//! [`SimReport::outcome_eq`] and the `streaming_matches_reference_*`
+//! tests).
 
 use crate::config::{QueueMode, RequestCost, SimConfig};
 use crate::events::{Event, EventQueue};
@@ -6,15 +27,127 @@ use crate::metrics::{RateSeries, ResponseStats};
 use crate::redirector::{ArrivalOutcome, SimRedirector};
 use crate::server::{Accept, Server};
 use covenant_sched::{Request, RequestId, SchedulerConfig};
+use covenant_workload::ArrivalStream;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
 
 /// Per-request bookkeeping for response times and closed-loop accounting.
 #[derive(Debug, Clone, Copy)]
 struct RequestMeta {
     client: usize,
     first_arrival: f64,
+}
+
+/// Dense free-list slab for in-flight request metadata.
+///
+/// Request IDs are slot indices: allocated when the engine first sees a
+/// request, recycled when it completes, drops, or is abandoned. Lookup is
+/// an array index instead of a hash, and occupancy never exceeds the number
+/// of requests simultaneously in flight.
+#[derive(Debug, Default)]
+struct MetaSlab {
+    slots: Vec<Option<RequestMeta>>,
+    free: Vec<usize>,
+}
+
+impl MetaSlab {
+    fn insert(&mut self, meta: RequestMeta) -> u64 {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot].is_none());
+                self.slots[slot] = Some(meta);
+                slot as u64
+            }
+            None => {
+                self.slots.push(Some(meta));
+                (self.slots.len() - 1) as u64
+            }
+        }
+    }
+
+    fn remove(&mut self, id: u64) -> Option<RequestMeta> {
+        let slot = id as usize;
+        let meta = self.slots.get_mut(slot)?.take();
+        if meta.is_some() {
+            self.free.push(slot);
+        }
+        meta
+    }
+}
+
+/// One client's lazy request source: the arrival stream plus the cost
+/// model, consumed in generation order so sampled costs match a
+/// pre-materialized trace exactly.
+struct ClientGen {
+    stream: ArrivalStream,
+    cost: RequestCost,
+    size_rng: Option<StdRng>,
+    /// Per-client arrival sequence number (the event queue's tie-break).
+    next_index: u64,
+    /// Target redirector (cached from the config).
+    redirector: usize,
+    done: bool,
+}
+
+impl ClientGen {
+    fn new(ci: usize, client: &crate::config::SimClient) -> Self {
+        let size_rng = match &client.cost {
+            RequestCost::SizeDistributed { seed, .. } => {
+                Some(StdRng::seed_from_u64(*seed ^ ci as u64))
+            }
+            _ => None,
+        };
+        ClientGen {
+            stream: client.machine.stream(),
+            cost: client.cost.clone(),
+            size_rng,
+            next_index: 0,
+            redirector: client.redirector,
+            done: false,
+        }
+    }
+
+    /// Pushes this client's next arrival (if any remains within the run)
+    /// into the event queue. Arrival times are monotone per client, so the
+    /// first one past `duration` ends the stream.
+    fn refill(&mut self, ci: usize, duration: f64, latency: f64, events: &mut EventQueue) {
+        if self.done {
+            return;
+        }
+        match self.stream.next() {
+            Some(a) if a.time <= duration => {
+                let cost = match &self.cost {
+                    RequestCost::Unit => 1.0,
+                    RequestCost::Fixed(x) => *x,
+                    RequestCost::SizeDistributed { sizes, mean_bytes, .. } => {
+                        let rng = self.size_rng.as_mut().expect("rng for sized client");
+                        let bytes = sizes.sample(rng);
+                        sizes.cost_units(bytes, *mean_bytes)
+                    }
+                };
+                // The id is assigned from the slab when the event pops.
+                let req = Request {
+                    id: RequestId(u64::MAX),
+                    principal: a.principal,
+                    arrival: a.time,
+                    cost,
+                };
+                let index = self.next_index;
+                self.next_index += 1;
+                // The request reaches the redirector one hop later.
+                events.push_arrival(
+                    a.time + latency,
+                    ci,
+                    index,
+                    Event::Arrival { request: req, redirector: self.redirector, client: ci, retries: 0 },
+                );
+            }
+            _ => self.done = true,
+        }
+    }
 }
 
 /// Aggregated results of one run.
@@ -49,12 +182,51 @@ pub struct SimReport {
     /// Plan-cache misses summed over all redirectors (windows that ran the
     /// LP).
     pub plan_cache_misses: u64,
+    /// Discrete events the engine processed (arrivals, ticks, completions,
+    /// retries) — identical for both execution paths.
+    pub events_processed: u64,
+    /// High-water mark of the pending-event queue: O(clients + in-flight)
+    /// for the streaming engine, O(total requests) for the reference path.
+    pub peak_event_queue: usize,
+    /// Wall-clock seconds the run took (machine-dependent; excluded from
+    /// [`SimReport::outcome_eq`]).
+    pub wall_secs: f64,
 }
 
 impl SimReport {
     /// Total completed requests for principal `i`.
     pub fn completed(&self, i: usize) -> u64 {
         self.response[i].count
+    }
+
+    /// Engine throughput: events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events_processed as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// True when two reports describe the same simulated behavior: every
+    /// observable is compared except the performance profile
+    /// (`peak_event_queue`, `wall_secs`), which legitimately differs
+    /// between the streaming and reference paths.
+    pub fn outcome_eq(&self, other: &SimReport) -> bool {
+        self.rates == other.rates
+            && self.response == other.response
+            && self.offered == other.offered
+            && self.admitted == other.admitted
+            && self.deferred == other.deferred
+            && self.dropped_server == other.dropped_server
+            && self.abandoned == other.abandoned
+            && self.skipped_closed_loop == other.skipped_closed_loop
+            && self.server_utilization == other.server_utilization
+            && self.tree_messages == other.tree_messages
+            && self.pairwise_messages_equivalent == other.pairwise_messages_equivalent
+            && self.plan_cache_hits == other.plan_cache_hits
+            && self.plan_cache_misses == other.plan_cache_misses
+            && self.events_processed == other.events_processed
     }
 }
 
@@ -63,68 +235,372 @@ pub struct Simulation {
     cfg: SimConfig,
 }
 
+/// Shared per-run state that is identical between the two execution paths.
+struct RunState {
+    redirectors: Vec<SimRedirector>,
+    servers: Vec<Server>,
+    /// Capacity changes sorted by time; consumed via `change_cursor`.
+    changes: Vec<crate::config::CapacityChange>,
+    change_cursor: usize,
+    /// Redirector restarts sorted by time; consumed via `restart_cursor`.
+    restarts: Vec<(f64, usize)>,
+    restart_cursor: usize,
+    live_graph: covenant_agreements::AgreementGraph,
+    rates: RateSeries,
+    response: Vec<ResponseStats>,
+    offered: Vec<u64>,
+    admitted: Vec<u64>,
+    deferred: Vec<u64>,
+    dropped_server: u64,
+    abandoned: u64,
+    skipped: u64,
+    tree_messages: u64,
+    outstanding: Vec<usize>,
+    client_limit: Vec<Option<usize>>,
+    retry_delay: f64,
+    hop: f64,
+}
+
 impl Simulation {
     /// Wraps a configuration.
     pub fn new(cfg: SimConfig) -> Self {
         Simulation { cfg }
     }
 
-    /// Runs to completion and reports.
-    pub fn run(self) -> SimReport {
-        let cfg = self.cfg;
+    fn sched_cfg_for(cfg: &SimConfig, id: usize) -> SchedulerConfig {
+        // Per-redirector scheduler configuration: the policy is shared,
+        // but locality caps (forwarding-cost limits) are per node.
+        let mut policy = cfg.policy.clone();
+        if let (covenant_sched::Policy::Community { locality }, Some(table)) =
+            (&mut policy, &cfg.redirector_locality)
+        {
+            if let Some(caps) = table.get(id).and_then(|c| c.clone()) {
+                *locality = Some(caps);
+            }
+        }
+        SchedulerConfig {
+            window_secs: cfg.window_secs,
+            policy,
+            conservative_fraction: cfg.conservative_fraction,
+            plan_cache: cfg.plan_cache,
+        }
+    }
+
+    fn init_state(cfg: &SimConfig) -> RunState {
         let n = cfg.graph.len();
         let n_redirectors = cfg.n_redirectors();
         let levels = cfg.graph.access_levels();
-
-        // Per-redirector scheduler configuration: the policy is shared,
-        // but locality caps (forwarding-cost limits) are per node.
-        let sched_cfg_for = |id: usize| -> SchedulerConfig {
-            let mut policy = cfg.policy.clone();
-            if let (covenant_sched::Policy::Community { locality }, Some(table)) =
-                (&mut policy, &cfg.redirector_locality)
-            {
-                if let Some(caps) = table.get(id).and_then(|c| c.clone()) {
-                    *locality = Some(caps);
-                }
-            }
-            SchedulerConfig {
-                window_secs: cfg.window_secs,
-                policy,
-                conservative_fraction: cfg.conservative_fraction,
-                plan_cache: cfg.plan_cache,
-            }
-        };
-        let mut redirectors: Vec<SimRedirector> = (0..n_redirectors)
+        let redirectors: Vec<SimRedirector> = (0..n_redirectors)
             .map(|id| {
                 let lag = cfg.tree.information_lag(id) + cfg.extra_tree_lag;
-                SimRedirector::new(id, &levels, sched_cfg_for(id), cfg.mode.clone(), lag)
+                SimRedirector::new(id, &levels, Self::sched_cfg_for(cfg, id), cfg.mode.clone(), lag)
             })
             .collect();
-
-        let mut servers: Vec<Server> = cfg
+        let servers: Vec<Server> = cfg
             .graph
             .capacities()
             .iter()
             .map(|&c| Server::new(c, cfg.server_backlog))
             .collect();
 
+        // Capacity-change / restart schedules, applied at window boundaries
+        // by advancing a cursor over the pre-sorted lists.
+        let mut changes = cfg.capacity_changes.clone();
+        changes.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
+        let mut restarts = cfg.redirector_restarts.clone();
+        restarts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+
+        // A self-redirect costs the client one full round trip on top of
+        // its think/retry delay.
+        let retry_delay = match cfg.mode {
+            QueueMode::CreditRetry { retry_delay } => retry_delay + 2.0 * cfg.network_latency,
+            _ => 0.0,
+        };
+
+        RunState {
+            redirectors,
+            servers,
+            changes,
+            change_cursor: 0,
+            restarts,
+            restart_cursor: 0,
+            live_graph: cfg.graph.clone(),
+            rates: RateSeries::new(n, cfg.bucket_secs),
+            response: vec![ResponseStats::default(); n],
+            offered: vec![0u64; n],
+            admitted: vec![0u64; n],
+            deferred: vec![0u64; n],
+            dropped_server: 0,
+            abandoned: 0,
+            skipped: 0,
+            tree_messages: 0,
+            outstanding: vec![0; cfg.clients.len()],
+            client_limit: cfg.clients.iter().map(|c| c.max_outstanding).collect(),
+            retry_delay,
+            hop: cfg.network_latency,
+        }
+    }
+
+    /// Applies any due capacity changes and redirector restarts at a window
+    /// boundary (cursor walk over the pre-sorted schedules).
+    fn apply_boundary_schedules(cfg: &SimConfig, st: &mut RunState, now: f64) {
+        // Apply any due capacity changes: re-flow the agreement graph and
+        // install fresh levels everywhere.
+        let mut changed = false;
+        while st.change_cursor < st.changes.len() && st.changes[st.change_cursor].at <= now {
+            let c = &st.changes[st.change_cursor];
+            st.change_cursor += 1;
+            st.live_graph
+                .set_capacity(c.principal, c.capacity)
+                .expect("valid capacity change");
+            st.servers[c.principal.0].set_capacity(c.capacity);
+            changed = true;
+        }
+        if changed {
+            let fresh = st.live_graph.access_levels();
+            for r in st.redirectors.iter_mut() {
+                r.update_levels(&fresh);
+            }
+        }
+        // Crash-and-restart injection: replace the redirector with a fresh
+        // instance; queued/parked requests and all learned state are lost,
+        // exactly like a process crash.
+        while st.restart_cursor < st.restarts.len() && st.restarts[st.restart_cursor].0 <= now {
+            let (_, id) = st.restarts[st.restart_cursor];
+            st.restart_cursor += 1;
+            let lag = cfg.tree.information_lag(id) + cfg.extra_tree_lag;
+            st.redirectors[id] = SimRedirector::new(
+                id,
+                &st.live_graph.access_levels(),
+                Self::sched_cfg_for(cfg, id),
+                cfg.mode.clone(),
+                lag,
+            );
+        }
+    }
+
+    fn finish(
+        cfg: &SimConfig,
+        st: RunState,
+        events_processed: u64,
+        peak_event_queue: usize,
+        wall_secs: f64,
+    ) -> SimReport {
+        let windows = (cfg.duration / cfg.window_secs).ceil() as u64 + 1;
+        SimReport {
+            rates: st.rates,
+            response: st.response,
+            offered: st.offered,
+            admitted: st.admitted,
+            deferred: st.deferred,
+            dropped_server: st.dropped_server,
+            abandoned: st.abandoned,
+            skipped_closed_loop: st.skipped,
+            server_utilization: st
+                .servers
+                .iter()
+                .map(|s| s.utilization(cfg.duration))
+                .collect(),
+            tree_messages: st.tree_messages,
+            pairwise_messages_equivalent: windows * cfg.tree.pairwise_messages() as u64,
+            plan_cache_hits: st.redirectors.iter().map(|r| r.cache_stats().0).sum(),
+            plan_cache_misses: st.redirectors.iter().map(|r| r.cache_stats().1).sum(),
+            events_processed,
+            peak_event_queue,
+            wall_secs,
+        }
+    }
+
+    /// Runs to completion and reports (streaming engine).
+    pub fn run(self) -> SimReport {
+        let start = Instant::now();
+        let cfg = self.cfg;
+        let n_redirectors = cfg.n_redirectors();
+        let n = cfg.graph.len();
+        let mut st = Self::init_state(&cfg);
+
         let mut events = EventQueue::new();
-        // Window ticks: one event per boundary drives every redirector in
-        // lock-step (the paper's redirectors share the 100 ms cadence).
-        let mut t = 0.0;
-        while t <= cfg.duration {
-            events.push(t, Event::WindowTick { redirector: 0 });
-            t += cfg.window_secs;
+        // Window ticks stream one at a time: tick `i` lands exactly at
+        // `i * window_secs` (integer-index multiplication — no float-drift
+        // accumulation), and pushing tick `i+1` is part of handling tick
+        // `i`. One event per boundary drives every redirector in lock-step
+        // (the paper's redirectors share the 100 ms cadence).
+        let mut tick_index: u64 = 0;
+        events.push_tick(0.0, 0, Event::WindowTick { redirector: 0 });
+
+        // One lazy arrival source per client; the heap holds at most one
+        // pending original arrival per client at any time.
+        let mut clients: Vec<ClientGen> = cfg
+            .clients
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| ClientGen::new(ci, c))
+            .collect();
+        for (ci, c) in clients.iter_mut().enumerate() {
+            c.refill(ci, cfg.duration, cfg.network_latency, &mut events);
         }
 
-        // Client arrivals, with per-client request-cost models.
-        let mut offered = vec![0u64; n];
+        let mut meta = MetaSlab::default();
+        // Reused per-tick buffers: one demand vector per redirector (also
+        // the combining tree's input layout) and one release list.
+        let mut demand_bufs: Vec<Vec<f64>> = vec![vec![0.0; n]; n_redirectors];
+        let mut released: Vec<(Request, usize)> = Vec::new();
+        let mut events_processed: u64 = 0;
+
+        while let Some((now, event)) = events.pop() {
+            if now > cfg.duration + 1e-9 {
+                break;
+            }
+            events_processed += 1;
+            match event {
+                Event::Arrival { mut request, redirector, client, retries } => {
+                    if retries == 0 {
+                        // This client's next arrival takes the vacated
+                        // pending slot (before any early-out below).
+                        clients[client].refill(
+                            client,
+                            cfg.duration,
+                            cfg.network_latency,
+                            &mut events,
+                        );
+                        // Closed-loop gate on original sends only.
+                        if let Some(limit) = st.client_limit[client] {
+                            if st.outstanding[client] >= limit {
+                                st.skipped += 1;
+                                continue;
+                            }
+                        }
+                        st.offered[request.principal.0] += 1;
+                        st.outstanding[client] += 1;
+                        request.id = RequestId(
+                            meta.insert(RequestMeta { client, first_arrival: request.arrival }),
+                        );
+                    }
+                    match st.redirectors[redirector].on_arrival(request) {
+                        ArrivalOutcome::Forward { server } => {
+                            st.admitted[request.principal.0] += 1;
+                            match st.servers[server].offer(now + st.hop, request) {
+                                Accept::CompletesAt(done) => {
+                                    events.push(done, Event::Completion { server });
+                                }
+                                Accept::Dropped => {
+                                    st.dropped_server += 1;
+                                    if let Some(m) = meta.remove(request.id.0) {
+                                        st.outstanding[m.client] =
+                                            st.outstanding[m.client].saturating_sub(1);
+                                    }
+                                }
+                            }
+                        }
+                        ArrivalOutcome::Defer => {
+                            st.deferred[request.principal.0] += 1;
+                            if retries < cfg.max_retries {
+                                events.push(
+                                    now + st.retry_delay,
+                                    Event::Arrival {
+                                        request,
+                                        redirector,
+                                        client,
+                                        retries: retries + 1,
+                                    },
+                                );
+                            } else {
+                                st.abandoned += 1;
+                                if let Some(m) = meta.remove(request.id.0) {
+                                    st.outstanding[m.client] =
+                                        st.outstanding[m.client].saturating_sub(1);
+                                }
+                            }
+                        }
+                        ArrivalOutcome::Queued => {}
+                    }
+                }
+                Event::WindowTick { .. } => {
+                    tick_index += 1;
+                    let next_t = tick_index as f64 * cfg.window_secs;
+                    if next_t <= cfg.duration {
+                        events.push_tick(next_t, tick_index, Event::WindowTick { redirector: 0 });
+                    }
+                    Self::apply_boundary_schedules(&cfg, &mut st, now);
+                    // Every redirector rolls its window; collect published
+                    // demand vectors, aggregate over the tree, and deliver
+                    // (with per-node lag) via each node's DelayedView.
+                    for (ri, demand) in demand_bufs.iter_mut().enumerate() {
+                        st.redirectors[ri].on_window_tick(now, &mut released, demand);
+                        for (req, server) in released.drain(..) {
+                            st.admitted[req.principal.0] += 1;
+                            match st.servers[server].offer(now + st.hop, req) {
+                                Accept::CompletesAt(done) => {
+                                    events.push(done, Event::Completion { server });
+                                }
+                                Accept::Dropped => {
+                                    st.dropped_server += 1;
+                                    if let Some(m) = meta.remove(req.id.0) {
+                                        st.outstanding[m.client] =
+                                            st.outstanding[m.client].saturating_sub(1);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let round = cfg.tree.aggregate(&demand_bufs);
+                    st.tree_messages += round.messages() as u64;
+                    // One shared aggregate; each node's DelayedView holds a
+                    // cheap reference instead of its own copy.
+                    let total = Rc::new(round.total);
+                    for r in st.redirectors.iter_mut() {
+                        r.global_view.publish(now, Rc::clone(&total));
+                    }
+                }
+                Event::Completion { server } => {
+                    let req = st.servers[server].complete();
+                    st.rates.record(req.principal, now, req.cost);
+                    if let Some(m) = meta.remove(req.id.0) {
+                        // The response crosses two hops back to the client.
+                        st.response[req.principal.0].record(now + 2.0 * st.hop - m.first_arrival);
+                        st.outstanding[m.client] = st.outstanding[m.client].saturating_sub(1);
+                    }
+                }
+            }
+        }
+
+        let peak = events.peak_len();
+        let wall = start.elapsed().as_secs_f64();
+        Self::finish(&cfg, st, events_processed, peak, wall)
+    }
+
+    /// Runs to completion on the pre-optimization path: every arrival is
+    /// materialized and heap-scheduled up front and request metadata lives
+    /// in a `HashMap` — the seed engine's O(total requests) memory and
+    /// cost profile.
+    ///
+    /// Retained as (a) the oracle the determinism tests compare
+    /// [`Simulation::run`] against, and (b) the baseline `benches/sim.rs`
+    /// measures speedups over. Not for production use.
+    #[doc(hidden)]
+    pub fn run_reference(self) -> SimReport {
+        let start = Instant::now();
+        let cfg = self.cfg;
+        let n = cfg.graph.len();
+        let n_redirectors = cfg.n_redirectors();
+        let mut st = Self::init_state(&cfg);
+
+        let mut events = EventQueue::new();
+        // All window ticks up front (same drift-free boundary times as the
+        // streaming path: tick i at exactly i * window_secs).
+        let mut i: u64 = 0;
+        loop {
+            let t = i as f64 * cfg.window_secs;
+            if t > cfg.duration {
+                break;
+            }
+            events.push(t, Event::WindowTick { redirector: 0 });
+            i += 1;
+        }
+
+        // Client arrivals, fully materialized with per-client cost models.
         let mut next_id: u64 = 0;
-        let mut client_redirector = Vec::with_capacity(cfg.clients.len());
-        let mut client_limit = Vec::with_capacity(cfg.clients.len());
         for (ci, c) in cfg.clients.iter().enumerate() {
-            client_redirector.push(c.redirector);
-            client_limit.push(c.max_outstanding);
             let mut size_rng = match &c.cost {
                 RequestCost::SizeDistributed { seed, .. } => {
                     Some(StdRng::seed_from_u64(*seed ^ ci as u64))
@@ -144,9 +620,9 @@ impl Simulation {
                         sizes.cost_units(bytes, *mean_bytes)
                     }
                 };
-                let req = Request { id: RequestId(next_id), principal: a.principal, arrival: a.time, cost };
+                let req =
+                    Request { id: RequestId(next_id), principal: a.principal, arrival: a.time, cost };
                 next_id += 1;
-                // The request reaches the redirector one hop later.
                 events.push(
                     a.time + cfg.network_latency,
                     Event::Arrival { request: req, redirector: c.redirector, client: ci, retries: 0 },
@@ -154,74 +630,51 @@ impl Simulation {
             }
         }
 
-        // Capacity-change schedule, applied at window boundaries.
-        let mut pending_changes = cfg.capacity_changes.clone();
-        pending_changes.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
-        let mut live_graph = cfg.graph.clone();
-        let mut pending_restarts = cfg.redirector_restarts.clone();
-        pending_restarts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
-
-        let mut rates = RateSeries::new(n, cfg.bucket_secs);
-        let mut response: Vec<ResponseStats> = vec![ResponseStats::default(); n];
-        let mut admitted = vec![0u64; n];
-        let mut deferred = vec![0u64; n];
-        let mut dropped_server = 0u64;
-        let mut abandoned = 0u64;
-        let mut skipped = 0u64;
-        let mut tree_messages = 0u64;
-        let mut outstanding: Vec<usize> = vec![0; cfg.clients.len()];
         let mut meta: HashMap<u64, RequestMeta> = HashMap::new();
-
-        // A self-redirect costs the client one full round trip on top of
-        // its think/retry delay.
-        let retry_delay = match cfg.mode {
-            QueueMode::CreditRetry { retry_delay } => retry_delay + 2.0 * cfg.network_latency,
-            _ => 0.0,
-        };
-        let hop = cfg.network_latency;
+        let mut events_processed: u64 = 0;
 
         while let Some((now, event)) = events.pop() {
             if now > cfg.duration + 1e-9 {
                 break;
             }
+            events_processed += 1;
             match event {
                 Event::Arrival { request, redirector, client, retries } => {
                     if retries == 0 {
-                        // Closed-loop gate on original sends only.
-                        if let Some(limit) = client_limit[client] {
-                            if outstanding[client] >= limit {
-                                skipped += 1;
+                        if let Some(limit) = st.client_limit[client] {
+                            if st.outstanding[client] >= limit {
+                                st.skipped += 1;
                                 continue;
                             }
                         }
-                        offered[request.principal.0] += 1;
-                        outstanding[client] += 1;
+                        st.offered[request.principal.0] += 1;
+                        st.outstanding[client] += 1;
                         meta.insert(
                             request.id.0,
                             RequestMeta { client, first_arrival: request.arrival },
                         );
                     }
-                    match redirectors[redirector].on_arrival(request) {
+                    match st.redirectors[redirector].on_arrival(request) {
                         ArrivalOutcome::Forward { server } => {
-                            admitted[request.principal.0] += 1;
-                            match servers[server].offer(now + hop, request) {
+                            st.admitted[request.principal.0] += 1;
+                            match st.servers[server].offer(now + st.hop, request) {
                                 Accept::CompletesAt(done) => {
                                     events.push(done, Event::Completion { server });
                                 }
                                 Accept::Dropped => {
-                                    dropped_server += 1;
+                                    st.dropped_server += 1;
                                     if let Some(m) = meta.remove(&request.id.0) {
-                                        outstanding[m.client] =
-                                            outstanding[m.client].saturating_sub(1);
+                                        st.outstanding[m.client] =
+                                            st.outstanding[m.client].saturating_sub(1);
                                     }
                                 }
                             }
                         }
                         ArrivalOutcome::Defer => {
-                            deferred[request.principal.0] += 1;
+                            st.deferred[request.principal.0] += 1;
                             if retries < cfg.max_retries {
                                 events.push(
-                                    now + retry_delay,
+                                    now + st.retry_delay,
                                     Event::Arrival {
                                         request,
                                         redirector,
@@ -230,10 +683,10 @@ impl Simulation {
                                     },
                                 );
                             } else {
-                                abandoned += 1;
+                                st.abandoned += 1;
                                 if let Some(m) = meta.remove(&request.id.0) {
-                                    outstanding[m.client] =
-                                        outstanding[m.client].saturating_sub(1);
+                                    st.outstanding[m.client] =
+                                        st.outstanding[m.client].saturating_sub(1);
                                 }
                             }
                         }
@@ -241,100 +694,52 @@ impl Simulation {
                     }
                 }
                 Event::WindowTick { .. } => {
-                    // Apply any due capacity changes: re-flow the agreement
-                    // graph and install fresh levels everywhere.
-                    let mut changed = false;
-                    while pending_changes.first().is_some_and(|c| c.at <= now) {
-                        let c = pending_changes.remove(0);
-                        live_graph
-                            .set_capacity(c.principal, c.capacity)
-                            .expect("valid capacity change");
-                        servers[c.principal.0].set_capacity(c.capacity);
-                        changed = true;
-                    }
-                    if changed {
-                        let fresh = live_graph.access_levels();
-                        for r in redirectors.iter_mut() {
-                            r.update_levels(&fresh);
-                        }
-                    }
-                    // Crash-and-restart injection: replace the redirector
-                    // with a fresh instance; queued/parked requests and all
-                    // learned state are lost, exactly like a process crash.
-                    while pending_restarts.first().is_some_and(|r| r.0 <= now) {
-                        let (_, id) = pending_restarts.remove(0);
-                        let lag = cfg.tree.information_lag(id) + cfg.extra_tree_lag;
-                        redirectors[id] = SimRedirector::new(
-                            id,
-                            &live_graph.access_levels(),
-                            sched_cfg_for(id),
-                            cfg.mode.clone(),
-                            lag,
-                        );
-                    }
-                    // Every redirector rolls its window; collect published
-                    // demand vectors, aggregate over the tree, and deliver
-                    // (with per-node lag) via each node's DelayedView.
+                    Self::apply_boundary_schedules(&cfg, &mut st, now);
+                    // Fresh per-tick allocations, as the seed engine made.
                     let mut demands: Vec<Vec<f64>> = Vec::with_capacity(n_redirectors);
-                    for redirector in redirectors.iter_mut() {
-                        let (released, demand) = redirector.on_window_tick(now);
+                    for ri in 0..n_redirectors {
+                        let mut released = Vec::new();
+                        let mut demand = vec![0.0; n];
+                        st.redirectors[ri].on_window_tick(now, &mut released, &mut demand);
                         demands.push(demand);
                         for (req, server) in released {
-                            admitted[req.principal.0] += 1;
-                            match servers[server].offer(now + hop, req) {
+                            st.admitted[req.principal.0] += 1;
+                            match st.servers[server].offer(now + st.hop, req) {
                                 Accept::CompletesAt(done) => {
                                     events.push(done, Event::Completion { server });
                                 }
                                 Accept::Dropped => {
-                                    dropped_server += 1;
+                                    st.dropped_server += 1;
                                     if let Some(m) = meta.remove(&req.id.0) {
-                                        outstanding[m.client] =
-                                            outstanding[m.client].saturating_sub(1);
+                                        st.outstanding[m.client] =
+                                            st.outstanding[m.client].saturating_sub(1);
                                     }
                                 }
                             }
                         }
                     }
                     let round = cfg.tree.aggregate(&demands);
-                    tree_messages += round.messages() as u64;
-                    for r in redirectors.iter_mut() {
-                        r.global_view.publish(now, round.total.clone());
+                    st.tree_messages += round.messages() as u64;
+                    for r in st.redirectors.iter_mut() {
+                        r.global_view.publish(now, Rc::new(round.total.clone()));
                     }
                 }
                 Event::Completion { server } => {
-                    let req = servers[server].complete();
-                    rates.record(req.principal, now, req.cost);
+                    let req = st.servers[server].complete();
+                    st.rates.record(req.principal, now, req.cost);
                     if let Some(m) = meta.remove(&req.id.0) {
-                        // The response crosses two hops back to the client.
-                        response[req.principal.0].record(now + 2.0 * hop - m.first_arrival);
-                        outstanding[m.client] = outstanding[m.client].saturating_sub(1);
+                        st.response[req.principal.0].record(now + 2.0 * st.hop - m.first_arrival);
+                        st.outstanding[m.client] = st.outstanding[m.client].saturating_sub(1);
                     }
                 }
             }
         }
 
-        let windows = (cfg.duration / cfg.window_secs).ceil() as u64 + 1;
-        SimReport {
-            rates,
-            response,
-            offered,
-            admitted,
-            deferred,
-            dropped_server,
-            abandoned,
-            skipped_closed_loop: skipped,
-            server_utilization: servers
-                .iter()
-                .map(|s| s.utilization(cfg.duration))
-                .collect(),
-            tree_messages,
-            pairwise_messages_equivalent: windows * cfg.tree.pairwise_messages() as u64,
-            plan_cache_hits: redirectors.iter().map(|r| r.cache_stats().0).sum(),
-            plan_cache_misses: redirectors.iter().map(|r| r.cache_stats().1).sum(),
-        }
+        let peak = events.peak_len();
+        let wall = start.elapsed().as_secs_f64();
+        Self::finish(&cfg, st, events_processed, peak, wall)
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -445,7 +850,14 @@ mod tests {
         assert!((rate_b - 80.0).abs() < 10.0, "B rate {rate_b}");
         assert!((rate_a - 20.0).abs() < 10.0, "A rate {rate_a}");
         assert!(report.tree_messages > 0);
-        assert!(report.pairwise_messages_equivalent > report.tree_messages);
+        // With n = 2, per-round tree messages 2(n−1) equal pairwise n(n−1);
+        // the tree's saving only appears for n > 2 (next assertion block).
+        assert!(report.pairwise_messages_equivalent >= report.tree_messages);
+        let cfg3 = SimConfig::new(small_system(), 10.0)
+            .with_tree(Topology::star(3, 0.0), 0.0)
+            .client(ClientMachine::uniform(0, a, PhasedLoad::constant(100.0, 10.0)), 0);
+        let report3 = Simulation::new(cfg3).run();
+        assert!(report3.pairwise_messages_equivalent > report3.tree_messages);
     }
 
     #[test]
@@ -637,5 +1049,114 @@ mod tests {
         let rate_b = report.rates.mean_rate_secs(b, 8.0, 18.0);
         assert!((rate_a - 20.0).abs() < 8.0, "A rate {rate_a}");
         assert!((rate_b - 80.0).abs() < 8.0, "B rate {rate_b}");
+    }
+
+    /// The streaming engine and the pre-optimization reference path must
+    /// agree on every behavioral observable for a Figure-6-style
+    /// two-redirector contention run that exercises every event class:
+    /// Poisson + uniform + size-distributed clients, phased loads, network
+    /// latency, retries, a capacity change, and a redirector restart.
+    #[test]
+    fn streaming_matches_reference_two_redirectors() {
+        let a = PrincipalId(1);
+        let b = PrincipalId(2);
+        let mk = || {
+            SimConfig::new(small_system(), 30.0)
+                .with_tree(Topology::star(2, 0.0), 0.0)
+                .with_network_latency(0.005)
+                .client(
+                    ClientMachine::poisson(
+                        0,
+                        a,
+                        PhasedLoad::new().then(10.0, 120.0).idle(5.0).then(15.0, 180.0),
+                        7,
+                    ),
+                    0,
+                )
+                .client(ClientMachine::uniform(1, b, PhasedLoad::constant(150.0, 30.0)), 1)
+                .sized_client(
+                    ClientMachine::uniform(2, b, PhasedLoad::constant(20.0, 30.0)),
+                    1,
+                    covenant_workload::ReplySizes::default(),
+                    6000.0,
+                    9,
+                )
+                .with_capacity_change(15.0, PrincipalId(0), 150.0)
+                .with_redirector_restart(20.0, 1)
+        };
+        let streamed = Simulation::new(mk()).run();
+        let reference = Simulation::new(mk()).run_reference();
+        assert!(
+            streamed.outcome_eq(&reference),
+            "streamed {streamed:?}\nreference {reference:?}"
+        );
+        assert!(streamed.events_processed > 5_000);
+        // The reference heap holds the whole materialized trace; the
+        // streaming heap never does.
+        assert!(
+            streamed.peak_event_queue < reference.peak_event_queue,
+            "peak {} vs {}",
+            streamed.peak_event_queue,
+            reference.peak_event_queue
+        );
+    }
+
+    /// Streaming/reference agreement holds in all three queuing modes.
+    #[test]
+    fn streaming_matches_reference_all_modes() {
+        for mode in [
+            QueueMode::Explicit,
+            QueueMode::CreditRetry { retry_delay: 0.05 },
+            QueueMode::CreditPark,
+        ] {
+            let mk = |mode: QueueMode| {
+                SimConfig::new(small_system(), 15.0)
+                    .with_mode(mode)
+                    .client(
+                        ClientMachine::uniform(0, PrincipalId(1), PhasedLoad::constant(150.0, 15.0)),
+                        0,
+                    )
+                    .client(
+                        ClientMachine::uniform(1, PrincipalId(2), PhasedLoad::constant(150.0, 15.0)),
+                        0,
+                    )
+            };
+            let s = Simulation::new(mk(mode.clone())).run();
+            let r = Simulation::new(mk(mode.clone())).run_reference();
+            assert!(s.outcome_eq(&r), "mode {mode:?}: {s:?}\nvs {r:?}");
+        }
+    }
+
+    /// The streaming heap is bounded by concurrency (clients + in-flight +
+    /// next tick), not run length: a 12k-request closed-loop run keeps a
+    /// single-digit pending-event count.
+    #[test]
+    fn streaming_heap_bounded_by_concurrency() {
+        let a = PrincipalId(1);
+        let cfg = SimConfig::new(small_system(), 20.0).closed_loop_client(
+            ClientMachine::uniform(0, a, PhasedLoad::constant(600.0, 20.0)),
+            0,
+            4,
+        );
+        let report = Simulation::new(cfg).run();
+        assert!(report.events_processed > 12_000, "events {}", report.events_processed);
+        assert!(
+            report.peak_event_queue < 32,
+            "peak queue {} not bounded by concurrency",
+            report.peak_event_queue
+        );
+    }
+
+    /// `events_per_sec` is consistent with the recorded counters.
+    #[test]
+    fn report_throughput_counters() {
+        let a = PrincipalId(1);
+        let cfg = SimConfig::new(small_system(), 5.0)
+            .client(ClientMachine::uniform(0, a, PhasedLoad::constant(50.0, 5.0)), 0);
+        let report = Simulation::new(cfg).run();
+        assert!(report.wall_secs > 0.0);
+        assert!(report.events_processed > 250);
+        let eps = report.events_per_sec();
+        assert!((eps - report.events_processed as f64 / report.wall_secs).abs() < 1e-6);
     }
 }

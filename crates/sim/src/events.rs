@@ -1,4 +1,21 @@
 //! The event queue: a deterministic min-heap of timestamped events.
+//!
+//! Events are totally ordered by `(time, key)`. The key encodes the event's
+//! *class* so that lazily streamed events reproduce the exact tie-breaking
+//! of an engine that pushes everything up front:
+//!
+//! 1. window ticks (ordered by tick index),
+//! 2. original client arrivals (ordered by client index, then per-client
+//!    arrival index — the order a client-by-client pre-materialization
+//!    would have inserted them),
+//! 3. runtime events — completions, retries — in push order (FIFO among
+//!    equal timestamps).
+//!
+//! The legacy engine pushed all ticks first, then every client's arrivals
+//! in client order, then scheduled runtime events while running; insertion
+//! sequence therefore produced exactly this order. Encoding it in the key
+//! lets the streaming engine hold one pending arrival per client and still
+//! pop the identical event sequence.
 
 use covenant_sched::Request;
 use std::cmp::Ordering;
@@ -31,18 +48,34 @@ pub enum Event {
     },
 }
 
-/// Heap entry ordered by time, then insertion sequence (FIFO among equal
-/// timestamps, making runs deterministic).
+/// Tie-break key among equal timestamps; see the module docs for why the
+/// variant order (ticks < arrivals < runtime) is load-bearing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKey {
+    /// Initial window ticks, by tick index.
+    Tick(u64),
+    /// Original client arrivals, by (client, per-client arrival index).
+    Arrival {
+        /// Generating client machine.
+        client: u64,
+        /// Per-client arrival sequence number.
+        index: u64,
+    },
+    /// Everything scheduled while the simulation runs, in push order.
+    Runtime(u64),
+}
+
+/// Heap entry ordered by time, then key.
 #[derive(Debug, Clone)]
 struct Scheduled {
     time: f64,
-    seq: u64,
+    key: EventKey,
     event: Event,
 }
 
 impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key
     }
 }
 impl Eq for Scheduled {}
@@ -58,7 +91,7 @@ impl Ord for Scheduled {
             .time
             .partial_cmp(&self.time)
             .expect("finite event times")
-            .then(other.seq.cmp(&self.seq))
+            .then(other.key.cmp(&self.key))
     }
 }
 
@@ -67,6 +100,7 @@ impl Ord for Scheduled {
 pub struct EventQueue {
     heap: BinaryHeap<Scheduled>,
     next_seq: u64,
+    peak: usize,
 }
 
 impl EventQueue {
@@ -75,12 +109,34 @@ impl EventQueue {
         Self::default()
     }
 
-    /// Schedules `event` at absolute time `time`.
+    /// Schedules a runtime `event` at absolute time `time` (FIFO among
+    /// equal timestamps, after any tick or original arrival at the same
+    /// time).
     pub fn push(&mut self, time: f64, event: Event) {
-        assert!(time.is_finite(), "event time must be finite");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        self.push_keyed(time, EventKey::Runtime(seq), event);
+    }
+
+    /// Schedules window tick number `index` (ticks sort before everything
+    /// else at the same timestamp).
+    pub fn push_tick(&mut self, time: f64, index: u64, event: Event) {
+        self.push_keyed(time, EventKey::Tick(index), event);
+    }
+
+    /// Schedules client `client`'s `index`-th original arrival (arrivals
+    /// sort after ticks and before runtime events at the same timestamp,
+    /// by client then per-client index).
+    pub fn push_arrival(&mut self, time: f64, client: usize, index: u64, event: Event) {
+        self.push_keyed(time, EventKey::Arrival { client: client as u64, index }, event);
+    }
+
+    fn push_keyed(&mut self, time: f64, key: EventKey, event: Event) {
+        assert!(time.is_finite(), "event time must be finite");
+        self.heap.push(Scheduled { time, key, event });
+        if self.heap.len() > self.peak {
+            self.peak = self.heap.len();
+        }
     }
 
     /// Pops the earliest event.
@@ -96,6 +152,11 @@ impl EventQueue {
     /// True when no events remain.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Largest number of events ever pending at once.
+    pub fn peak_len(&self) -> usize {
+        self.peak
     }
 }
 
@@ -126,6 +187,59 @@ mod tests {
             })
             .collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn classes_order_ticks_arrivals_runtime_at_equal_time() {
+        use covenant_agreements::PrincipalId;
+        let mut q = EventQueue::new();
+        // Pushed in deliberately scrambled order; all at t = 1.0.
+        q.push(1.0, Event::Completion { server: 9 });
+        q.push_arrival(
+            1.0,
+            2,
+            0,
+            Event::Arrival {
+                request: Request::unit(0, PrincipalId(0), 1.0),
+                redirector: 0,
+                client: 2,
+                retries: 0,
+            },
+        );
+        q.push_tick(1.0, 5, Event::WindowTick { redirector: 0 });
+        q.push_arrival(
+            1.0,
+            1,
+            3,
+            Event::Arrival {
+                request: Request::unit(1, PrincipalId(0), 1.0),
+                redirector: 0,
+                client: 1,
+                retries: 0,
+            },
+        );
+        let order: Vec<&'static str> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::WindowTick { .. } => "tick",
+                Event::Arrival { client: 1, .. } => "arrival-c1",
+                Event::Arrival { .. } => "arrival-c2",
+                Event::Completion { .. } => "runtime",
+            })
+            .collect();
+        assert_eq!(order, vec!["tick", "arrival-c1", "arrival-c2", "runtime"]);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        q.push(1.0, Event::Completion { server: 0 });
+        q.push(2.0, Event::Completion { server: 1 });
+        q.push(3.0, Event::Completion { server: 2 });
+        q.pop();
+        q.pop();
+        q.push(4.0, Event::Completion { server: 3 });
+        assert_eq!(q.peak_len(), 3);
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

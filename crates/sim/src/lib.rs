@@ -18,8 +18,11 @@
 //! exact quantity plotted in the paper's Figures 6–10 — plus response-time
 //! and drop statistics.
 //!
-//! Time is `f64` seconds from run start; the event queue breaks ties by
-//! insertion sequence, so runs are fully deterministic for a given seed.
+//! Time is `f64` seconds from run start; the event queue breaks timestamp
+//! ties by event class (window ticks, then original arrivals, then runtime
+//! events FIFO — see [`events`]), so runs are fully deterministic for a
+//! given seed whether arrivals are streamed lazily ([`Simulation::run`]) or
+//! materialized up front ([`Simulation::run_reference`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

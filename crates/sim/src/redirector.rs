@@ -3,10 +3,11 @@
 use crate::config::QueueMode;
 use covenant_agreements::AccessLevels;
 use covenant_sched::{
-    Admission, CreditGate, GlobalView, Plan, PrincipalQueues, RateEstimator, Request,
-    SchedulerConfig, WindowScheduler,
+    Admission, CreditGate, Plan, PrincipalQueues, RateEstimator, Request, SchedulerConfig,
+    WindowScheduler,
 };
 use covenant_tree::DelayedView;
+use std::rc::Rc;
 
 /// What happened to a request when it reached the redirector.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,8 +38,9 @@ pub struct SimRedirector {
     estimator: RateEstimator,
     /// Cost-weighted arrivals since the last tick.
     arrivals_this_window: Vec<f64>,
-    /// What the combining tree has delivered to this node.
-    pub global_view: DelayedView<Vec<f64>>,
+    /// What the combining tree has delivered to this node. The aggregate is
+    /// shared (`Rc`) across redirectors instead of cloned per node.
+    pub global_view: DelayedView<Rc<Vec<f64>>>,
     /// Requests admitted (forwarded) by this redirector.
     pub admitted: u64,
     /// Requests deferred (self-redirected).
@@ -111,10 +113,18 @@ impl SimRedirector {
         }
     }
 
-    /// Rolls the scheduling window at time `now`. Returns the requests
-    /// released from queues (with their target servers) and the demand
-    /// vector this node publishes into the combining tree.
-    pub fn on_window_tick(&mut self, now: f64) -> (Vec<(Request, usize)>, Vec<f64>) {
+    /// Rolls the scheduling window at time `now`. Fills `released` with the
+    /// requests released from queues (with their target servers) and
+    /// `demand` with the vector this node publishes into the combining
+    /// tree; both buffers are cleared first and may be reused across ticks
+    /// (steady state allocates nothing).
+    pub fn on_window_tick(
+        &mut self,
+        now: f64,
+        released: &mut Vec<(Request, usize)>,
+        demand: &mut Vec<f64>,
+    ) {
+        released.clear();
         // Fold the finished window's arrivals into the estimator.
         self.estimator.observe(&self.arrivals_this_window);
         for a in &mut self.arrivals_this_window {
@@ -122,47 +132,43 @@ impl SimRedirector {
         }
 
         // Local demand for the coming window.
-        let demand: Vec<f64> = match self.mode {
-            QueueMode::Explicit => self.queues.lengths(),
-            QueueMode::CreditRetry { .. } => self.estimator.estimates().to_vec(),
+        match self.mode {
+            QueueMode::Explicit => self.queues.lengths_into(demand),
+            QueueMode::CreditRetry { .. } => {
+                demand.clear();
+                demand.extend_from_slice(self.estimator.estimates());
+            }
             QueueMode::CreditPark => {
                 // Parked backlog plus expected fresh arrivals.
-                self.queues
-                    .lengths()
-                    .iter()
-                    .zip(self.estimator.estimates())
-                    .map(|(q, e)| q + e)
-                    .collect()
+                self.queues.lengths_into(demand);
+                for (d, e) in demand.iter_mut().zip(self.estimator.estimates()) {
+                    *d += e;
+                }
             }
-        };
+        }
 
-        let view = match self.global_view.read(now) {
-            Some(v) => GlobalView::Queues(v.clone()),
-            None => GlobalView::Unknown,
-        };
-        let plan: Plan = self.scheduler.plan_window(&view, &demand);
+        let view = self.global_view.read(now).map(|v| v.as_slice());
+        let plan: Plan = self.scheduler.plan_window_shared(view, demand);
 
-        let released = match self.mode {
+        match self.mode {
             QueueMode::Explicit => {
                 let dispatches = self.queues.release(&plan);
                 self.admitted += dispatches.len() as u64;
-                dispatches.into_iter().map(|d| (d.request, d.server)).collect()
+                released.extend(dispatches.into_iter().map(|d| (d.request, d.server)));
             }
             QueueMode::CreditRetry { .. } => {
                 self.gate.roll_window(&plan);
-                Vec::new()
             }
             QueueMode::CreditPark => {
                 self.gate.roll_window(&plan);
                 // Reinject parked requests through the fresh credit, FIFO
                 // per principal, stopping at the first the gate defers.
-                let mut out = Vec::new();
                 for i in 0..self.queues.n_principals() {
                     while let Some(head) = self.queues.release_one(i) {
                         match self.gate.admit(&head) {
                             Admission::Admit { server } => {
                                 self.admitted += 1;
-                                out.push((head, server));
+                                released.push((head, server));
                             }
                             Admission::Defer => {
                                 self.queues.push_front(head);
@@ -171,9 +177,7 @@ impl SimRedirector {
                         }
                     }
                 }
-                out
             }
-        };
-        (released, demand)
+        }
     }
 }

@@ -54,31 +54,26 @@ impl ClientMachine {
         ClientMachine { id, principal, load, process: ArrivalProcess::Poisson { seed } }
     }
 
-    /// Materializes the full arrival trace for this client.
-    pub fn arrivals(&self) -> Vec<Arrival> {
-        let mut out = Vec::new();
-        let end = self.load.total_duration();
-        match self.process {
-            ArrivalProcess::Uniform => {
-                // Phase-aware even spacing, phase-local so rate changes take
-                // effect exactly at phase boundaries.
-                let mut phase_start = 0.0;
-                for p in self.load.phases() {
-                    if p.rate > 0.0 {
-                        let gap = 1.0 / p.rate;
-                        // First arrival half a gap in, to avoid boundary
-                        // bunching across phases.
-                        let mut t = phase_start + gap * 0.5;
-                        while t < phase_start + p.duration {
-                            out.push(Arrival { time: t, principal: self.principal, client: self.id });
-                            t += gap;
-                        }
-                    }
-                    phase_start += p.duration;
-                }
-            }
+    /// A lazy, arrival-at-a-time view of this client's trace.
+    ///
+    /// The stream generates exactly the sequence [`ClientMachine::arrivals`]
+    /// materializes — same arithmetic, same RNG consumption order — so a
+    /// consumer holding one pending arrival per client (the simulator's
+    /// event heap) sees identical timestamps without ever allocating the
+    /// full trace. Memory is O(1) per client instead of O(total requests).
+    pub fn stream(&self) -> ArrivalStream {
+        let state = match self.process {
+            ArrivalProcess::Uniform => StreamState::Uniform {
+                phases: self.load.phases().to_vec(),
+                idx: 0,
+                phase_start: 0.0,
+                next_t: f64::NAN,
+                entered: false,
+            },
             ArrivalProcess::Poisson { seed } => {
-                let mut rng = StdRng::seed_from_u64(seed ^ (self.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let rng = StdRng::seed_from_u64(
+                    seed ^ (self.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
                 // Piecewise-homogeneous Poisson: sample within the current
                 // phase; an exponential that crosses the phase boundary is
                 // clipped there and resampled at the new rate (valid by
@@ -93,26 +88,114 @@ impl ClientMachine {
                         Some(*acc)
                     })
                     .collect();
-                let mut t = 0.0;
-                while t < end {
-                    let phase_end = boundaries.iter().copied().find(|&b| b > t).unwrap_or(end);
-                    let rate = self.load.rate_at(t);
+                StreamState::Poisson {
+                    rng,
+                    boundaries,
+                    load: self.load.clone(),
+                    t: 0.0,
+                    end: self.load.total_duration(),
+                }
+            }
+        };
+        ArrivalStream { principal: self.principal, client: self.id, state }
+    }
+
+    /// Materializes the full arrival trace for this client.
+    ///
+    /// Collects [`ClientMachine::stream`]; kept for consumers that want the
+    /// whole trace at once (tests, trace export).
+    pub fn arrivals(&self) -> Vec<Arrival> {
+        self.stream().collect()
+    }
+}
+
+/// Lazy arrival generator state. See [`ClientMachine::stream`].
+#[derive(Debug, Clone)]
+enum StreamState {
+    Uniform {
+        phases: Vec<crate::Phase>,
+        /// Current phase index.
+        idx: usize,
+        /// Absolute start time of the current phase.
+        phase_start: f64,
+        /// Next candidate arrival within the current phase (advanced by
+        /// `t += gap`, replicating the materialized path's accumulation so
+        /// timestamps are bitwise identical).
+        next_t: f64,
+        /// Whether `next_t` has been initialized for the current phase.
+        entered: bool,
+    },
+    Poisson {
+        rng: StdRng,
+        /// Cumulative phase end times.
+        boundaries: Vec<f64>,
+        load: PhasedLoad,
+        /// Current simulation time within the generation loop.
+        t: f64,
+        /// Total schedule length.
+        end: f64,
+    },
+}
+
+/// A lazy iterator over one client's arrivals, produced by
+/// [`ClientMachine::stream`]. Yields times in non-decreasing order.
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    principal: PrincipalId,
+    client: usize,
+    state: StreamState,
+}
+
+impl Iterator for ArrivalStream {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        let (principal, client) = (self.principal, self.client);
+        match &mut self.state {
+            StreamState::Uniform { phases, idx, phase_start, next_t, entered } => {
+                // Phase-aware even spacing, phase-local so rate changes take
+                // effect exactly at phase boundaries.
+                loop {
+                    let p = *phases.get(*idx)?;
+                    if p.rate > 0.0 {
+                        let gap = 1.0 / p.rate;
+                        if !*entered {
+                            // First arrival half a gap in, to avoid boundary
+                            // bunching across phases.
+                            *next_t = *phase_start + gap * 0.5;
+                            *entered = true;
+                        }
+                        if *next_t < *phase_start + p.duration {
+                            let time = *next_t;
+                            *next_t += gap;
+                            return Some(Arrival { time, principal, client });
+                        }
+                    }
+                    *phase_start += p.duration;
+                    *idx += 1;
+                    *entered = false;
+                }
+            }
+            StreamState::Poisson { rng, boundaries, load, t, end } => {
+                while *t < *end {
+                    let phase_end = boundaries.iter().copied().find(|&b| b > *t).unwrap_or(*end);
+                    let rate = load.rate_at(*t);
                     if rate <= 0.0 {
-                        t = phase_end;
+                        *t = phase_end;
                         continue;
                     }
                     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
                     let dt = -u.ln() / rate;
-                    if t + dt >= phase_end {
-                        t = phase_end;
+                    if *t + dt >= phase_end {
+                        *t = phase_end;
                         continue;
                     }
-                    t += dt;
-                    out.push(Arrival { time: t, principal: self.principal, client: self.id });
+                    *t += dt;
+                    return Some(Arrival { time: *t, principal, client });
                 }
+                None
             }
         }
-        out
     }
 }
 
@@ -190,5 +273,48 @@ mod tests {
     fn empty_schedule_generates_nothing() {
         let c = ClientMachine::uniform(0, PrincipalId(0), PhasedLoad::new());
         assert!(c.arrivals().is_empty());
+        assert_eq!(c.stream().next(), None);
+    }
+
+    #[test]
+    fn stream_matches_materialized_uniform() {
+        let load = PhasedLoad::new().then(10.0, 137.0).idle(3.0).then(5.0, 41.0);
+        let c = ClientMachine::uniform(7, PrincipalId(2), load);
+        let streamed: Vec<Arrival> = c.stream().collect();
+        assert_eq!(streamed, c.arrivals());
+        assert!(!streamed.is_empty());
+        // Bitwise-identical timestamps, not just approximately equal.
+        assert!(streamed
+            .iter()
+            .zip(c.arrivals())
+            .all(|(s, m)| s.time.to_bits() == m.time.to_bits()));
+    }
+
+    #[test]
+    fn stream_matches_materialized_poisson() {
+        let load = PhasedLoad::new().then(20.0, 80.0).idle(2.0).then(10.0, 150.0);
+        let c = ClientMachine::poisson(3, PrincipalId(1), load, 424242);
+        let streamed: Vec<Arrival> = c.stream().collect();
+        assert_eq!(streamed, c.arrivals());
+        assert!(streamed.len() > 1000);
+        assert!(streamed
+            .iter()
+            .zip(c.arrivals())
+            .all(|(s, m)| s.time.to_bits() == m.time.to_bits()));
+    }
+
+    #[test]
+    fn stream_prefix_needs_no_materialization() {
+        // A schedule whose full trace would be ~10^9 arrivals: the lazy
+        // stream hands out the first few without building it.
+        let c = ClientMachine::uniform(
+            0,
+            PrincipalId(0),
+            PhasedLoad::constant(1_000_000.0, 1_000.0),
+        );
+        let first: Vec<Arrival> = c.stream().take(3).collect();
+        assert_eq!(first.len(), 3);
+        assert!((first[0].time - 0.5e-6).abs() < 1e-12);
+        assert!(first.windows(2).all(|w| w[0].time < w[1].time));
     }
 }

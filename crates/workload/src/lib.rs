@@ -22,6 +22,6 @@ mod client;
 mod phases;
 mod sizes;
 
-pub use client::{merge_streams, Arrival, ArrivalProcess, ClientMachine};
+pub use client::{merge_streams, Arrival, ArrivalProcess, ArrivalStream, ClientMachine};
 pub use phases::{Phase, PhasedLoad};
 pub use sizes::ReplySizes;

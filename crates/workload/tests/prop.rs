@@ -48,6 +48,19 @@ proptest! {
         }
     }
 
+    /// The lazy stream and the materialized trace are the same sequence,
+    /// for both arrival processes and arbitrary schedules.
+    #[test]
+    fn stream_equals_materialized(load in load_strategy(), seed in 0u64..1000) {
+        for c in [
+            ClientMachine::uniform(2, PrincipalId(0), load.clone()),
+            ClientMachine::poisson(2, PrincipalId(0), load.clone(), seed),
+        ] {
+            let streamed: Vec<_> = c.stream().collect();
+            prop_assert_eq!(&streamed, &c.arrivals());
+        }
+    }
+
     /// Merging preserves every arrival and produces global time order.
     #[test]
     fn merge_preserves_and_orders(loads in proptest::collection::vec(load_strategy(), 1..4)) {

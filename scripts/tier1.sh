@@ -27,4 +27,10 @@ cargo clippy --offline \
     -p covenant-bench \
     --all-targets -- -D warnings
 
+echo "==> cargo bench --no-run (benchmarks must compile)"
+cargo bench --no-run --offline -p covenant-bench
+
+echo "==> sim smoke (release engine throughput + heap bound)"
+cargo run -q --offline --release -p covenant-bench --bin sim_smoke
+
 echo "tier-1: OK"

@@ -4,7 +4,10 @@
 //! ```text
 //! covenant example-spec                 # print a starter deployment spec
 //! covenant levels deployment.json      # entitlement table for a spec
-//! covenant run deployment.json [--csv] # simulate a spec and report rates
+//! covenant run deployment.json [--csv | --json]
+//!                                      # simulate a spec; report rates as a
+//!                                      # table, CSV series, or a JSON report
+//!                                      # with engine counters
 //! covenant figures                     # reproduce Figures 1 and 6-10
 //! ```
 
@@ -42,6 +45,7 @@ fn main() -> ExitCode {
         }),
         Some("run") => with_spec(args.get(1), |spec| {
             let csv = args.iter().any(|a| a == "--csv");
+            let json = args.iter().any(|a| a == "--json");
             let cfg = spec.build_sim()?;
             let names: Vec<String> = spec.principals.iter().map(|p| p.name.clone()).collect();
             let duration = cfg.duration;
@@ -53,6 +57,41 @@ fn main() -> ExitCode {
                         println!("{t},{name},{r}");
                     }
                 }
+                return Ok(());
+            }
+            if json {
+                use covenant::core::json::Value;
+                let principals = Value::Arr(
+                    names
+                        .iter()
+                        .enumerate()
+                        .map(|(i, name)| {
+                            let id = PrincipalId(i);
+                            Value::Obj(vec![
+                                ("name".into(), name.as_str().into()),
+                                ("offered".into(), (report.offered[i] as f64).into()),
+                                (
+                                    "served_per_sec".into(),
+                                    report
+                                        .rates
+                                        .mean_rate_secs(id, duration * 0.2, duration)
+                                        .into(),
+                                ),
+                                ("deferred".into(), (report.deferred[i] as f64).into()),
+                                (
+                                    "mean_response_ms".into(),
+                                    (report.response[i].mean().unwrap_or(0.0) * 1000.0).into(),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                );
+                let doc = Value::Obj(vec![
+                    ("duration_s".into(), duration.into()),
+                    ("principals".into(), principals),
+                    ("counters".into(), covenant::core::sim_counters_json(&report)),
+                ]);
+                println!("{}", doc.to_pretty());
                 return Ok(());
             }
             println!(
@@ -97,7 +136,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: covenant <example-spec | levels <spec.json> | run <spec.json> [--csv] | figures>"
+                "usage: covenant <example-spec | levels <spec.json> | run <spec.json> [--csv | --json] | figures>"
             );
             ExitCode::FAILURE
         }
