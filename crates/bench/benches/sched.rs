@@ -10,7 +10,8 @@
 
 use covenant_agreements::{AgreementGraph, PrincipalId};
 use covenant_bench::emit_bench_section;
-use covenant_sched::{CreditGate, GlobalView, Plan, Request, SchedulerConfig, WindowScheduler};
+use covenant_enforce::CreditGate;
+use covenant_sched::{GlobalView, Plan, Request, SchedulerConfig, WindowScheduler};
 use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
@@ -29,7 +30,7 @@ fn uncached(cfg: SchedulerConfig) -> SchedulerConfig {
 }
 
 fn admit_path(c: &mut Criterion) {
-    let mut gate = CreditGate::new(3, 3);
+    let mut gate = CreditGate::for_principals(3);
     gate.roll_window(&Plan {
         assignments: vec![vec![0.0; 3], vec![1e12, 0.0, 0.0], vec![1e12, 0.0, 0.0]],
         theta: None,

@@ -1,0 +1,127 @@
+//! Loopback smoke test for the live prototypes: one L7 redirector and one
+//! L4 proxy, both driven by the shared enforcement core, must forward real
+//! requests end-to-end within a couple of seconds.
+//!
+//! Run by `scripts/tier1.sh`: exits non-zero if either transport fails to
+//! complete a request, and prints each control plane's counter snapshot as
+//! JSON (`covenant_core::live_counters_json`) so CI logs show admission,
+//! plan-cache, and LP activity at a glance.
+
+use covenant_agreements::AgreementGraph;
+use covenant_coord::{AdmissionControl, Coordinator};
+use covenant_core::live_counters_json;
+use covenant_http::{HttpClient, OriginServer, StatusCode};
+use covenant_l4::{L4Config, L4Redirector, L4Service};
+use covenant_l7::{L7Config, L7Redirector};
+use covenant_sched::SchedulerConfig;
+use covenant_tree::Topology;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server 200 req/s; A entitled to [0.5, 1].
+fn system() -> AgreementGraph {
+    let mut g = AgreementGraph::new();
+    let s = g.add_principal("S", 200.0);
+    let a = g.add_principal("A", 0.0);
+    g.add_agreement(s, a, 0.5, 1.0).unwrap();
+    g
+}
+
+/// Issues requests against `url` until one completes (HTTP 200) or the
+/// deadline passes; returns completions.
+fn drive(url: &str, deadline: Instant) -> u64 {
+    let client = HttpClient {
+        max_redirects: 64,
+        self_redirect_pause: Duration::from_millis(5),
+        timeout: Duration::from_millis(500),
+    };
+    let mut done = 0;
+    while Instant::now() < deadline {
+        if let Ok(r) = client.get(url) {
+            if r.response.status == StatusCode::OK {
+                done += 1;
+            }
+        }
+    }
+    done
+}
+
+fn main() {
+    let g = system();
+    let levels = g.access_levels();
+    let mut failed = false;
+
+    // --- L7: credit gate + self-redirect over real HTTP. ---
+    let origin =
+        OriginServer::bind("127.0.0.1:0", 2000.0, 64, Duration::from_secs(2)).expect("origin");
+    let l7_ctrl = AdmissionControl::new(
+        0,
+        &levels,
+        SchedulerConfig::community_default(),
+        Coordinator::new(Topology::star(1, 0.0), 0.0),
+    );
+    let l7 = L7Redirector::start(
+        "127.0.0.1:0",
+        L7Config {
+            principal_names: vec!["S".into(), "A".into()],
+            backends: [(0, origin.addr())].into(),
+        },
+        Arc::clone(&l7_ctrl),
+    )
+    .expect("l7 redirector");
+    let l7_done = drive(
+        &format!("http://{}/org/A/page", l7.addr()),
+        Instant::now() + Duration::from_millis(900),
+    );
+    println!("l7_completed: {l7_done}");
+    println!("l7_counters: {}", live_counters_json(&l7_ctrl.counters_snapshot()).to_pretty());
+    if l7_done == 0 {
+        eprintln!("FAIL: no request completed through the L7 redirector");
+        failed = true;
+    }
+
+    // --- L4: accept-time admission + parking over raw TCP splicing. ---
+    let a = covenant_agreements::PrincipalId(1);
+    let l4_ctrl = AdmissionControl::new(
+        0,
+        &levels,
+        SchedulerConfig::community_default(),
+        Coordinator::new(Topology::star(1, 0.0), 0.0),
+    );
+    let l4 = L4Redirector::start(
+        L4Config {
+            services: vec![L4Service { principal: a, bind: "127.0.0.1:0".into() }],
+            backends: HashMap::from([(0, origin.addr())]),
+            park_limit: 256,
+        },
+        Arc::clone(&l4_ctrl),
+    )
+    .expect("l4 redirector");
+    let l4_done = drive(
+        &format!("http://{}/page", l4.service_addr(a).expect("service addr")),
+        Instant::now() + Duration::from_millis(900),
+    );
+    println!("l4_completed: {l4_done}");
+    println!("l4_counters: {}", live_counters_json(&l4_ctrl.counters_snapshot()).to_pretty());
+    if l4_done == 0 {
+        eprintln!("FAIL: no request completed through the L4 proxy");
+        failed = true;
+    }
+
+    // Both control planes must have actually rolled windows and admitted.
+    for (name, ctrl) in [("l7", &l7_ctrl), ("l4", &l4_ctrl)] {
+        let c = ctrl.counters_snapshot();
+        if c.admitted == 0 {
+            eprintln!("FAIL: {name} control plane admitted nothing");
+            failed = true;
+        }
+    }
+
+    drop(l7);
+    drop(l4);
+    if failed {
+        std::process::exit(1);
+    }
+    println!("live smoke: OK");
+}

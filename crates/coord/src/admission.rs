@@ -1,38 +1,32 @@
 //! Thread-safe per-redirector admission state.
 
-use crate::Coordinator;
+use crate::{Coordinator, TreeCoordination};
 use covenant_agreements::{AccessLevels, PrincipalId};
-use covenant_sched::{
-    Admission, CreditGate, GlobalView, Plan, RateEstimator, Request, SchedulerConfig,
-    WindowScheduler,
-};
+use covenant_enforce::{ArrivalOutcome, EnforcementCore, EnforcementCounters, QueueMode};
+use covenant_sched::{Plan, Request, SchedulerConfig};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-
-struct Inner {
-    /// Owns prepared LP matrices and the plan cache, so planning is `&mut`.
-    scheduler: WindowScheduler,
-    gate: CreditGate,
-    estimator: RateEstimator,
-    arrivals_this_window: Vec<f64>,
-    last_plan: Plan,
-    next_request_id: u64,
-    admitted: u64,
-    deferred: u64,
-}
 
 /// The admission state machine one redirector's data plane consults.
 ///
-/// `try_admit` is called on the request path (HTTP handler thread or TCP
-/// accept thread); `roll_window` is called by the [`crate::WindowDaemon`]
-/// every scheduling window.
+/// This is a thread-safe shell around the shared
+/// [`EnforcementCore`] — the same state machine the simulator runs —
+/// coordinating through the live [`Coordinator`] tree. `try_admit` is
+/// called on the request path (HTTP handler thread or TCP accept thread);
+/// `roll_window` is called by the [`crate::WindowDaemon`] every scheduling
+/// window.
+///
+/// The core runs in credit mode: transports that park out-of-quota work
+/// (explicit L7 queues, L4 parked connections) hold it *outside* the core,
+/// report its depth via the roll's backlog hint, and drain it through
+/// [`Self::readmit`].
 pub struct AdmissionControl {
     node: usize,
     coordinator: Coordinator,
-    /// The window length, duplicated out of the scheduler so daemons can
-    /// read it without taking the admission lock.
-    window_secs: f64,
-    inner: Mutex<Inner>,
+    /// Request ids for gate bookkeeping, allocated outside the core lock.
+    next_request_id: AtomicU64,
+    inner: Mutex<EnforcementCore<TreeCoordination>>,
 }
 
 impl AdmissionControl {
@@ -43,21 +37,20 @@ impl AdmissionControl {
         cfg: SchedulerConfig,
         coordinator: Coordinator,
     ) -> Arc<Self> {
-        let n = levels.len();
+        let core = EnforcementCore::new(
+            levels,
+            cfg,
+            // Live transports answer out-of-quota requests themselves
+            // (self-redirect or external parking), so the core never holds
+            // requests internally.
+            QueueMode::CreditRetry { retry_delay: 0.0 },
+            TreeCoordination::new(coordinator.clone(), node),
+        );
         Arc::new(AdmissionControl {
             node,
             coordinator,
-            window_secs: cfg.window_secs,
-            inner: Mutex::new(Inner {
-                scheduler: WindowScheduler::new(levels, cfg),
-                gate: CreditGate::new(n, n),
-                estimator: RateEstimator::new(n, 0.5),
-                arrivals_this_window: vec![0.0; n],
-                last_plan: Plan::zero(n, n),
-                next_request_id: 0,
-                admitted: 0,
-                deferred: 0,
-            }),
+            next_request_id: AtomicU64::new(0),
+            inner: Mutex::new(core),
         })
     }
 
@@ -69,7 +62,7 @@ impl AdmissionControl {
     /// The scheduling window length, seconds (daemons must tick at exactly
     /// this cadence — quotas are scaled to it).
     pub fn window_secs(&self) -> f64 {
-        self.window_secs
+        self.inner.lock().window_secs()
     }
 
     /// The shared coordinator.
@@ -81,20 +74,11 @@ impl AdmissionControl {
     /// `preferred` server when it still has allocation (connection
     /// affinity). Returns the assigned server on success.
     pub fn try_admit(&self, principal: PrincipalId, preferred: Option<usize>) -> Option<usize> {
-        let mut inner = self.inner.lock();
-        inner.arrivals_this_window[principal.0] += 1.0;
-        let id = inner.next_request_id;
-        inner.next_request_id += 1;
+        let id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
         let req = Request::unit(id, principal, self.coordinator.now());
-        match inner.gate.admit_with_preference(&req, preferred) {
-            Admission::Admit { server } => {
-                inner.admitted += 1;
-                Some(server)
-            }
-            Admission::Defer => {
-                inner.deferred += 1;
-                None
-            }
+        match self.inner.lock().on_arrival_preferring(req, preferred) {
+            ArrivalOutcome::Forward { server } => Some(server),
+            ArrivalOutcome::Defer | ArrivalOutcome::Queued => None,
         }
     }
 
@@ -102,8 +86,7 @@ impl AdmissionControl {
     /// queuing, where requests always park and the per-window drain decides
     /// release (the paper's first L7 implementation).
     pub fn note_arrival(&self, principal: PrincipalId) {
-        let mut inner = self.inner.lock();
-        inner.arrivals_this_window[principal.0] += 1.0;
+        self.inner.lock().note_arrival(principal, 1.0);
     }
 
     /// Like [`Self::try_admit`] but for *parked* work being reinjected: the
@@ -111,62 +94,55 @@ impl AdmissionControl {
     /// redirector, and its continued presence is reported via the backlog
     /// hint, so it must not inflate the demand estimate again.
     pub fn readmit(&self, principal: PrincipalId, preferred: Option<usize>) -> Option<usize> {
-        let mut inner = self.inner.lock();
-        let id = inner.next_request_id;
-        inner.next_request_id += 1;
+        let id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
         let req = Request::unit(id, principal, self.coordinator.now());
-        match inner.gate.admit_with_preference(&req, preferred) {
-            Admission::Admit { server } => {
-                inner.admitted += 1;
-                Some(server)
-            }
-            Admission::Defer => None,
-        }
+        self.inner.lock().readmit(&req, preferred)
     }
 
-    /// Rolls one scheduling window: folds the arrivals just observed into
-    /// the demand estimator, publishes local demand (estimates plus any
-    /// data-plane backlog, e.g. L4 parked connections) into the tree, reads
-    /// the lagged global view, solves the LP, and installs fresh credits.
+    /// Rolls one scheduling window at the coordinator's current time (see
+    /// [`Self::roll_window_at`]).
     pub fn roll_window(&self, backlog: Option<Vec<f64>>) {
-        let mut inner = self.inner.lock();
-        let arrivals = inner.arrivals_this_window.clone();
-        inner.estimator.observe(&arrivals);
-        for a in &mut inner.arrivals_this_window {
-            *a = 0.0;
-        }
-        let mut demand: Vec<f64> = inner.estimator.estimates().to_vec();
-        if let Some(b) = backlog {
-            for (d, x) in demand.iter_mut().zip(b) {
-                *d += x;
-            }
-        }
-        // Publish while holding the lock: admissions pause briefly, but the
-        // LP is tiny and windows are 100 ms.
-        self.coordinator.publish(self.node, demand.clone());
-        let view = match self.coordinator.read(self.node) {
-            Some(v) => GlobalView::Queues(v),
-            None => GlobalView::Unknown,
-        };
-        let plan = inner.scheduler.plan_window(&view, &demand);
-        inner.gate.roll_window(&plan);
-        inner.last_plan = plan;
+        self.roll_window_at(backlog.as_deref(), self.coordinator.now());
+    }
+
+    /// Rolls one scheduling window at time `now`: folds the arrivals just
+    /// observed into the demand estimator, *reads* the lagged global view,
+    /// solves the LP, *publishes* local demand (estimates plus any
+    /// data-plane backlog, e.g. L4 parked connections) into the tree, and
+    /// installs fresh credits. Read-before-publish makes the view one
+    /// window stale — identical to the simulator's staleness, which is
+    /// what the sim-vs-live differential tests rely on.
+    pub fn roll_window_at(&self, backlog: Option<&[f64]>, now: f64) {
+        let mut released = Vec::new();
+        self.inner.lock().on_window_tick(now, backlog, &mut released);
+        debug_assert!(released.is_empty(), "credit mode never holds requests");
     }
 
     /// `(hits, misses)` of the scheduler's plan cache since start.
     pub fn plan_cache_stats(&self) -> (u64, u64) {
-        self.inner.lock().scheduler.cache_stats()
+        self.inner.lock().cache_stats()
+    }
+
+    /// `(solves, pivots)` of the scheduler's LP workspace since start.
+    pub fn lp_stats(&self) -> (u64, u64) {
+        self.inner.lock().lp_stats()
     }
 
     /// The most recent installed plan (per-window request budgets).
     pub fn last_plan(&self) -> Plan {
-        self.inner.lock().last_plan.clone()
+        self.inner.lock().last_plan().clone()
     }
 
     /// (admitted, deferred) counters since start.
     pub fn counters(&self) -> (u64, u64) {
         let inner = self.inner.lock();
-        (inner.admitted, inner.deferred)
+        (inner.admitted(), inner.deferred())
+    }
+
+    /// A full counter snapshot for the shared observability payload (see
+    /// `covenant_core::live_counters_json`).
+    pub fn counters_snapshot(&self) -> EnforcementCounters {
+        self.inner.lock().counters()
     }
 }
 
@@ -203,12 +179,19 @@ mod tests {
         // No window rolled yet: everything defers.
         assert_eq!(ctrl.try_admit(a, None), None);
         assert_eq!(ctrl.try_admit(a, None), None);
-        // Roll: estimator saw 2 arrivals → demand 2/window; plan admits 2.
+        // First roll plans conservatively (read happens before this
+        // round's publish, so the view is still empty): half of A's
+        // mandatory 2/window, capped by the observed demand 2 → 1 admit.
+        ctrl.roll_window(None);
+        assert!(ctrl.try_admit(a, None).is_some());
+        assert_eq!(ctrl.try_admit(a, None), None);
+        // Second roll sees the first round's published demand: the
+        // informed plan covers the full ~2/window estimate.
         ctrl.roll_window(None);
         assert!(ctrl.try_admit(a, None).is_some());
         assert!(ctrl.try_admit(a, None).is_some());
         let (admitted, deferred) = ctrl.counters();
-        assert_eq!((admitted, deferred), (2, 2));
+        assert_eq!((admitted, deferred), (3, 3));
     }
 
     #[test]
@@ -245,9 +228,13 @@ mod tests {
     fn backlog_hint_raises_demand() {
         let ctrl = control();
         let b = PrincipalId(2);
-        // No arrivals at all, but a parked backlog of 5 for B.
+        // No arrivals at all, but a parked backlog of 5 for B. The first
+        // roll is conservative (empty view): half of B's mandatory 8 = 4.
         ctrl.roll_window(Some(vec![0.0, 0.0, 5.0]));
-        // B now has quota ≥ 5 (capacity 10/window, B entitled to 8).
+        let quota = ctrl.last_plan().admitted(b);
+        assert!((quota - 4.0).abs() < 1e-6, "conservative quota {quota}");
+        // The second roll sees the published backlog and grants all 5.
+        ctrl.roll_window(Some(vec![0.0, 0.0, 5.0]));
         let mut got = 0;
         for _ in 0..5 {
             if ctrl.try_admit(b, None).is_some() {
@@ -267,5 +254,35 @@ mod tests {
         ctrl.roll_window(None);
         let plan = ctrl.last_plan();
         assert!(plan.admitted(a) > 0.0);
+    }
+
+    #[test]
+    fn virtual_time_rolls_are_deterministic() {
+        // roll_window_at with explicit times drives the same machine the
+        // wall-clock daemon does; replaying an identical arrival/roll
+        // sequence must reproduce identical decisions — the property the
+        // sim-vs-live differential tests build on.
+        let run = || {
+            let ctrl = control();
+            let b = PrincipalId(2);
+            let mut admits = Vec::new();
+            for w in 1..=5u32 {
+                let mut got = 0;
+                for _ in 0..12 {
+                    if ctrl.try_admit(b, None).is_some() {
+                        got += 1;
+                    }
+                }
+                admits.push(got);
+                ctrl.roll_window_at(None, f64::from(w) * 0.1);
+            }
+            admits
+        };
+        let first = run();
+        assert_eq!(first, run());
+        // The quota ramps up from the conservative cold start instead of
+        // jumping straight to steady state.
+        assert!(first[0] == 0, "cold window admitted {first:?}");
+        assert!(first.last().copied().unwrap() > 0, "never admitted {first:?}");
     }
 }

@@ -1,5 +1,6 @@
 //! In-process combining tree shared by redirector threads.
 
+use covenant_enforce::CoordinationView;
 use covenant_tree::{DelayedView, Topology};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -12,6 +13,10 @@ struct CoordinatorState {
     views: Vec<DelayedView<Vec<f64>>>,
     /// Total tree messages "sent" (2(n−1) per aggregation).
     messages: u64,
+    /// Timestamp of the newest aggregation round, used to clamp explicit
+    /// publish times so the per-node views stay monotone even when the
+    /// caller's clock jitters.
+    last_publish_t: f64,
 }
 
 /// An in-process combining tree: thread-safe publish/read of per-principal
@@ -43,6 +48,7 @@ impl Coordinator {
                 demands: vec![None; n],
                 views,
                 messages: 0,
+                last_publish_t: 0.0,
             })),
             epoch: Instant::now(),
             extra_lag,
@@ -72,8 +78,17 @@ impl Coordinator {
     /// Publishes node `node`'s current demand vector and runs one
     /// aggregation round over the latest values from every node.
     pub fn publish(&self, node: usize, demand: Vec<f64>) {
-        let now = self.now();
+        self.publish_at(node, demand, self.now());
+    }
+
+    /// Like [`Self::publish`], but at an explicit time `t` (virtual-time
+    /// replays, e.g. the sim-vs-live differential tests). Times earlier
+    /// than the previous round are clamped forward so the per-node views
+    /// stay monotone.
+    pub fn publish_at(&self, node: usize, demand: Vec<f64>, t: f64) {
         let mut st = self.state.lock();
+        let t = t.max(st.last_publish_t);
+        st.last_publish_t = t;
         let width = demand.len();
         st.demands[node] = Some(demand);
         let locals: Vec<Vec<f64>> = st
@@ -84,7 +99,7 @@ impl Coordinator {
         let round = self.topology.aggregate(&locals);
         st.messages += round.messages() as u64;
         for v in &mut st.views {
-            v.publish(now, round.total.clone());
+            v.publish(t, round.total.clone());
         }
     }
 
@@ -96,9 +111,51 @@ impl Coordinator {
         st.views[node].read(now).cloned()
     }
 
+    /// Reads the aggregate visible to `node` at time `t`, excluding
+    /// same-instant publishes ([`DelayedView::read_before`]): inside a
+    /// window-roll round, where every node publishes at the same boundary
+    /// time, no node observes this round's publications. This is the read
+    /// the enforcement core's read-before-publish tick order relies on.
+    pub fn read_at(&self, node: usize, t: f64) -> Option<Vec<f64>> {
+        let mut st = self.state.lock();
+        st.views[node].read_before(t).cloned()
+    }
+
     /// Total tree messages exchanged so far.
     pub fn messages(&self) -> u64 {
         self.state.lock().messages
+    }
+}
+
+/// One node's [`CoordinationView`] onto the shared [`Coordinator`] tree —
+/// the live counterpart of the simulator's `DelayedCoordination`.
+///
+/// `read` uses [`Coordinator::read_at`]'s strictly-before semantics, so the
+/// enforcement core's read-before-publish tick order sees at best the
+/// *previous* round's aggregate — one window stale, exactly like the
+/// simulator — even when several nodes roll at the same boundary time.
+pub struct TreeCoordination {
+    coordinator: Coordinator,
+    node: usize,
+    /// Owned copy of the last read aggregate (the trait hands out a slice).
+    read_buf: Option<Vec<f64>>,
+}
+
+impl TreeCoordination {
+    /// A view for tree node `node`.
+    pub fn new(coordinator: Coordinator, node: usize) -> Self {
+        TreeCoordination { coordinator, node, read_buf: None }
+    }
+}
+
+impl CoordinationView for TreeCoordination {
+    fn read(&mut self, now: f64) -> Option<&[f64]> {
+        self.read_buf = self.coordinator.read_at(self.node, now);
+        self.read_buf.as_deref()
+    }
+
+    fn publish(&mut self, now: f64, demand: &[f64]) {
+        self.coordinator.publish_at(self.node, demand.to_vec(), now);
     }
 }
 

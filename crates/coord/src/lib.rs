@@ -25,5 +25,5 @@ mod coordinator;
 mod daemon;
 
 pub use admission::AdmissionControl;
-pub use coordinator::Coordinator;
+pub use coordinator::{Coordinator, TreeCoordination};
 pub use daemon::{DaemonHooks, WindowDaemon};

@@ -22,6 +22,6 @@ pub mod report;
 pub mod scenarios;
 pub mod spec;
 
-pub use report::{sim_counters_json, PhaseRates, ScenarioOutcome};
+pub use report::{live_counters_json, sim_counters_json, PhaseRates, ScenarioOutcome};
 pub use scenarios::FigureScenario;
 pub use spec::{DeploymentSpec, SpecError};

@@ -1,6 +1,7 @@
 //! Scenario result summarization and export.
 
 use covenant_agreements::PrincipalId;
+use covenant_enforce::EnforcementCounters;
 use covenant_sim::SimReport;
 use serde::Serialize;
 
@@ -47,6 +48,24 @@ pub fn sim_counters_json(report: &SimReport) -> crate::json::Value {
             (report.pairwise_messages_equivalent as f64).into(),
         ),
         ("dropped_server".into(), (report.dropped_server as f64).into()),
+    ])
+}
+
+/// Live-deployment counterpart of [`sim_counters_json`]: one enforcement
+/// core's counters (admission, parking, plan cache, LP work) as a JSON
+/// object. Feed it `AdmissionControl::counters_snapshot()` from a running
+/// redirector; the shared shape lets the same tooling watch either a
+/// simulation or a live control plane.
+pub fn live_counters_json(counters: &EnforcementCounters) -> crate::json::Value {
+    use crate::json::Value;
+    Value::Obj(vec![
+        ("admitted".into(), (counters.admitted as f64).into()),
+        ("deferred".into(), (counters.deferred as f64).into()),
+        ("parked".into(), (counters.parked as f64).into()),
+        ("plan_cache_hits".into(), (counters.plan_cache_hits as f64).into()),
+        ("plan_cache_misses".into(), (counters.plan_cache_misses as f64).into()),
+        ("lp_solves".into(), (counters.lp_solves as f64).into()),
+        ("lp_pivots".into(), (counters.lp_pivots as f64).into()),
     ])
 }
 
@@ -189,6 +208,25 @@ mod tests {
     fn rate_lookup_panics_on_unknown_name() {
         let o = outcome();
         let _ = o.phases[0].rate("nobody");
+    }
+
+    #[test]
+    fn live_counters_json_roundtrips() {
+        let counters = EnforcementCounters {
+            admitted: 42,
+            deferred: 7,
+            parked: 3,
+            plan_cache_hits: 90,
+            plan_cache_misses: 10,
+            lp_solves: 10,
+            lp_pivots: 25,
+        };
+        let parsed = crate::json::Value::parse(&live_counters_json(&counters).to_pretty()).unwrap();
+        assert_eq!(parsed["admitted"].as_f64().unwrap(), 42.0);
+        assert_eq!(parsed["deferred"].as_f64().unwrap(), 7.0);
+        assert_eq!(parsed["parked"].as_f64().unwrap(), 3.0);
+        assert_eq!(parsed["plan_cache_hits"].as_f64().unwrap(), 90.0);
+        assert_eq!(parsed["lp_pivots"].as_f64().unwrap(), 25.0);
     }
 
     #[test]

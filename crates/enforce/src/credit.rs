@@ -8,8 +8,8 @@
 //! quota remainders carry over so that rates like 13.5 requests/window
 //! average out exactly.
 
-use crate::{Plan, Request};
 use covenant_agreements::PrincipalId;
+use covenant_sched::{Plan, Request};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of an admission check.
@@ -41,6 +41,14 @@ pub struct CreditGate {
 }
 
 impl CreditGate {
+    /// Creates a gate for `n` principals in the community setting, where
+    /// every principal doubles as a potential server (the plan is an `n × n`
+    /// matrix) — the shape every redirector in this codebase uses. Prefer
+    /// this over [`Self::new`] to avoid the easy-to-misread `new(n, n)`.
+    pub fn for_principals(n: usize) -> Self {
+        Self::new(n, n)
+    }
+
     /// Creates a gate for `n` principals over `n_servers` servers with the
     /// default burst cap of 2 windows' worth of credit.
     pub fn new(n: usize, n_servers: usize) -> Self {
@@ -133,7 +141,6 @@ fn first_argmax_positive(row: &[f64]) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Plan;
 
     fn unit(id: u64, p: usize) -> Request {
         Request::unit(id, PrincipalId(p), 0.0)
@@ -209,7 +216,8 @@ mod tests {
     fn costly_request_needs_matching_credit() {
         let mut g = CreditGate::new(1, 1);
         g.roll_window(&plan(vec![vec![3.0]]));
-        let big = Request { id: crate::RequestId(1), principal: PrincipalId(0), arrival: 0.0, cost: 4.0 };
+        let big =
+            Request { id: covenant_sched::RequestId(1), principal: PrincipalId(0), arrival: 0.0, cost: 4.0 };
         assert_eq!(g.admit(&big), Admission::Defer);
         g.roll_window(&plan(vec![vec![3.0]])); // credit now 6 ≥ 4
         assert!(matches!(g.admit(&big), Admission::Admit { .. }));

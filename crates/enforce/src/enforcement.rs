@@ -1,0 +1,586 @@
+//! The transport-agnostic per-redirector enforcement state machine.
+//!
+//! The paper's central claim (§3–§4) is that the *same* windowed admission
+//! algorithm enforces sharing agreements whether it runs behind an L7
+//! redirector, an L4 proxy, or a simulator. [`EnforcementCore`] is that
+//! algorithm, written once: a [`WindowScheduler`] plus the mode-specific
+//! queuing state ([`CreditGate`] / [`PrincipalQueues`]), demand estimation,
+//! and admitted/deferred accounting. Transports differ only in the
+//! [`CoordinationView`] they plug in (the simulator's delayed combining
+//! tree vs. the live coordinator) and in how they carry the two entry
+//! points' verdicts back to clients: [`EnforcementCore::on_arrival`] on the
+//! request path and [`EnforcementCore::on_window_tick`] at each window
+//! boundary.
+//!
+//! # Window tick order
+//!
+//! Every tick runs the same sequence on every transport:
+//!
+//! 1. fold the finished window's arrivals into the EWMA estimator;
+//! 2. compute local demand for the coming window (mode-specific, plus any
+//!    externally-parked backlog hint);
+//! 3. **read** the coordination view (the freshest *previously published*
+//!    global aggregate — never this round's own publication);
+//! 4. solve the window plan (conservative fallback while the view is
+//!    still empty);
+//! 5. **publish** local demand into the coordination view;
+//! 6. install the plan: release queued work (explicit), refresh credits
+//!    (credit modes), and FIFO-reinject parked work (park mode).
+//!
+//! Read-before-publish makes the live tree exactly one window stale — the
+//! same staleness the simulator's centralized once-per-tick aggregation
+//! produces — which is what lets a live deployment and a simulation of the
+//! same scenario make *identical* per-window admission decisions.
+
+use crate::{reinject_fifo, Admission, CreditGate, PrincipalQueues, RateEstimator};
+use covenant_agreements::{AccessLevels, PrincipalId};
+use covenant_sched::{Plan, Request, SchedulerConfig, WindowScheduler};
+use covenant_tree::DelayedView;
+use serde::{Deserialize, Serialize};
+use std::rc::Rc;
+
+/// EWMA smoothing factor for demand estimation: the paper's prototypes
+/// react within a couple of 100 ms windows, so weigh the latest window
+/// half.
+const DEMAND_EWMA_ALPHA: f64 = 0.5;
+
+/// How a redirector holds back requests that exceed the current window's
+/// allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueMode {
+    /// Explicit per-principal queues: every request is enqueued and a
+    /// window-sized batch is released at each tick (the paper's first L7
+    /// implementation, which bunches requests — §4.1).
+    Explicit,
+    /// Credit gate with client retry: in-quota requests forward
+    /// immediately; the rest are answered with a self-redirect and the
+    /// client retries after `retry_delay` seconds (the final L7 scheme).
+    CreditRetry {
+        /// Client retry delay in seconds (one HTTP round trip; keep well
+        /// under the scheduling window — a delay resonant with the window
+        /// cadence can phase-lock deferred bursts against the quota refresh).
+        retry_delay: f64,
+    },
+    /// Credit gate with parking: in-quota requests forward immediately;
+    /// the rest park in a per-principal queue that is drained by later
+    /// windows' credits (the L4 kernel-queue scheme).
+    CreditPark,
+}
+
+/// What happened to a request when it reached the redirector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalOutcome {
+    /// Admitted and forwarded to server `server` immediately.
+    Forward {
+        /// Target server index (principal id of the owner).
+        server: usize,
+    },
+    /// Out of quota: tell the client to retry (L7 self-redirect).
+    Defer,
+    /// Held at the redirector (explicit queue or L4 parking queue).
+    Queued,
+}
+
+/// The coordination substrate a redirector publishes demand into and reads
+/// aggregated global demand back from.
+///
+/// Implementations abstract the two deployments: the simulator's
+/// [`DelayedCoordination`] (centralized once-per-tick aggregation delivered
+/// through a [`DelayedView`]) and the live coordinator tree (see
+/// `covenant_coord`). The contract both must satisfy: a [`read`] at time
+/// `now` never observes a [`publish`] from the same `now` — publications
+/// become visible strictly later, so every node plans on equally-stale
+/// information regardless of roll order within a window.
+///
+/// [`read`]: CoordinationView::read
+/// [`publish`]: CoordinationView::publish
+pub trait CoordinationView {
+    /// The freshest globally-aggregated demand visible at `now`, if any
+    /// has arrived yet.
+    fn read(&mut self, now: f64) -> Option<&[f64]>;
+    /// Publishes this node's local demand for the coming window at `now`.
+    fn publish(&mut self, now: f64, demand: &[f64]);
+}
+
+/// The simulator's coordination view: a lagged [`DelayedView`] of the
+/// centrally-aggregated demand, plus an outbox the engine collects after
+/// each tick.
+///
+/// The simulation aggregates once per window boundary — every node ticks,
+/// then the engine sums the outboxes over the combining tree and delivers
+/// one shared aggregate (`Rc`) into every node's view. `publish` therefore
+/// only records the demand locally; delivery happens via
+/// [`DelayedCoordination::deliver`].
+#[derive(Debug)]
+pub struct DelayedCoordination {
+    view: DelayedView<Rc<Vec<f64>>>,
+    outbox: Vec<f64>,
+}
+
+impl DelayedCoordination {
+    /// A view whose delivered aggregates become visible `lag` seconds
+    /// after delivery.
+    pub fn new(lag: f64) -> Self {
+        DelayedCoordination { view: DelayedView::new(lag), outbox: Vec::new() }
+    }
+
+    /// The demand published at the last tick (the combining tree's input
+    /// for this node).
+    pub fn outbox(&self) -> &[f64] {
+        &self.outbox
+    }
+
+    /// Delivers the centrally-computed aggregate at time `now`; it becomes
+    /// readable after this view's lag.
+    pub fn deliver(&mut self, now: f64, aggregate: Rc<Vec<f64>>) {
+        self.view.publish(now, aggregate);
+    }
+}
+
+impl CoordinationView for DelayedCoordination {
+    fn read(&mut self, now: f64) -> Option<&[f64]> {
+        self.view.read(now).map(|v| v.as_slice())
+    }
+
+    fn publish(&mut self, _now: f64, demand: &[f64]) {
+        self.outbox.clear();
+        self.outbox.extend_from_slice(demand);
+    }
+}
+
+/// A point-in-time snapshot of one enforcement core's counters, shaped for
+/// the shared observability payload (`covenant_core::live_counters_json`
+/// mirrors `sim_counters_json` with these fields).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnforcementCounters {
+    /// Requests admitted (forwarded to a server).
+    pub admitted: u64,
+    /// Requests deferred (self-redirected / refused this window).
+    pub deferred: u64,
+    /// Work currently parked awaiting credit (core-internal queues;
+    /// transports that park externally add their own depth on top).
+    pub parked: u64,
+    /// Windows that replayed a memoized plan instead of running the LP.
+    pub plan_cache_hits: u64,
+    /// Windows that ran the LP.
+    pub plan_cache_misses: u64,
+    /// Simplex solves performed.
+    pub lp_solves: u64,
+    /// Simplex pivots performed.
+    pub lp_pivots: u64,
+}
+
+/// The full per-redirector admission/window state machine, transport- and
+/// deployment-agnostic.
+///
+/// One instance enforces the sharing agreements at one redirector. The
+/// data plane calls [`on_arrival`] (or [`readmit`] for parked work) per
+/// request; the control plane calls [`on_window_tick`] every scheduling
+/// window. Everything else — LP planning, credits, queues, estimation,
+/// counters — is internal.
+///
+/// [`on_arrival`]: Self::on_arrival
+/// [`readmit`]: Self::readmit
+/// [`on_window_tick`]: Self::on_window_tick
+#[derive(Debug)]
+pub struct EnforcementCore<V> {
+    scheduler: WindowScheduler,
+    mode: QueueMode,
+    /// Explicit / parking queues (unused in pure credit-retry mode).
+    queues: PrincipalQueues,
+    /// Credit gate (unused in explicit mode).
+    gate: CreditGate,
+    estimator: RateEstimator,
+    /// Cost-weighted arrivals since the last tick.
+    arrivals_this_window: Vec<f64>,
+    /// Reused demand buffer (steady state allocates nothing).
+    demand_buf: Vec<f64>,
+    coordination: V,
+    last_plan: Plan,
+    admitted: u64,
+    deferred: u64,
+}
+
+impl<V: CoordinationView> EnforcementCore<V> {
+    /// Builds the enforcement state machine for the principals in
+    /// `levels`, coordinating through `coordination`.
+    pub fn new(levels: &AccessLevels, cfg: SchedulerConfig, mode: QueueMode, coordination: V) -> Self {
+        let n = levels.len();
+        EnforcementCore {
+            scheduler: WindowScheduler::new(levels, cfg),
+            mode,
+            queues: PrincipalQueues::new(n),
+            gate: CreditGate::for_principals(n),
+            estimator: RateEstimator::new(n, DEMAND_EWMA_ALPHA),
+            arrivals_this_window: vec![0.0; n],
+            demand_buf: Vec::with_capacity(n),
+            coordination,
+            last_plan: Plan::zero(n, n),
+            admitted: 0,
+            deferred: 0,
+        }
+    }
+
+    /// Number of principals under enforcement.
+    pub fn n_principals(&self) -> usize {
+        self.arrivals_this_window.len()
+    }
+
+    /// The scheduling window length, seconds. Control planes must tick at
+    /// exactly this cadence — quotas are scaled to it.
+    pub fn window_secs(&self) -> f64 {
+        self.scheduler.config().window_secs
+    }
+
+    /// The coordination view (e.g. for the simulator to deliver the
+    /// aggregated demand).
+    pub fn coordination_mut(&mut self) -> &mut V {
+        &mut self.coordination
+    }
+
+    /// Installs new access levels after a capacity or agreement change
+    /// (agreements are interpreted dynamically, §2.2).
+    pub fn update_levels(&mut self, levels: &AccessLevels) {
+        self.scheduler.update_levels(levels);
+    }
+
+    /// `(hits, misses)` of the scheduler's plan cache since construction.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.scheduler.cache_stats()
+    }
+
+    /// `(solves, pivots)` of the scheduler's LP workspace since
+    /// construction.
+    pub fn lp_stats(&self) -> (u64, u64) {
+        self.scheduler.lp_stats()
+    }
+
+    /// The most recent installed plan (per-window request budgets).
+    pub fn last_plan(&self) -> &Plan {
+        &self.last_plan
+    }
+
+    /// Requests admitted (forwarded) since construction.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Requests deferred (self-redirected) since construction.
+    pub fn deferred(&self) -> u64 {
+        self.deferred
+    }
+
+    /// A snapshot of every counter the shared observability payload
+    /// reports.
+    pub fn counters(&self) -> EnforcementCounters {
+        let (plan_cache_hits, plan_cache_misses) = self.scheduler.cache_stats();
+        let (lp_solves, lp_pivots) = self.scheduler.lp_stats();
+        EnforcementCounters {
+            admitted: self.admitted,
+            deferred: self.deferred,
+            parked: self.queues.total_len() as u64,
+            plan_cache_hits,
+            plan_cache_misses,
+            lp_solves,
+            lp_pivots,
+        }
+    }
+
+    /// Records an arrival without consulting the gate — for transports
+    /// whose requests always park externally (the explicit L7 scheme),
+    /// where the per-window drain decides release.
+    pub fn note_arrival(&mut self, principal: PrincipalId, cost: f64) {
+        self.arrivals_this_window[principal.0] += cost;
+    }
+
+    /// Handles an arriving request.
+    pub fn on_arrival(&mut self, req: Request) -> ArrivalOutcome {
+        self.on_arrival_preferring(req, None)
+    }
+
+    /// Handles an arriving request, preferring `preferred` server while it
+    /// still has allocation (connection affinity, §4.2).
+    pub fn on_arrival_preferring(&mut self, req: Request, preferred: Option<usize>) -> ArrivalOutcome {
+        self.arrivals_this_window[req.principal.0] += req.cost;
+        match self.mode {
+            QueueMode::Explicit => {
+                self.queues.push(req);
+                ArrivalOutcome::Queued
+            }
+            QueueMode::CreditRetry { .. } | QueueMode::CreditPark => {
+                match self.gate.admit_with_preference(&req, preferred) {
+                    Admission::Admit { server } => {
+                        self.admitted += 1;
+                        ArrivalOutcome::Forward { server }
+                    }
+                    Admission::Defer => match self.mode {
+                        QueueMode::CreditRetry { .. } => {
+                            self.deferred += 1;
+                            ArrivalOutcome::Defer
+                        }
+                        _ => {
+                            self.queues.push(req);
+                            ArrivalOutcome::Queued
+                        }
+                    },
+                }
+            }
+        }
+    }
+
+    /// Attempts to admit *parked* work being reinjected: the request was
+    /// already counted as an arrival when it first reached the redirector
+    /// (and its continued presence is reported via the backlog hint), so
+    /// it must not inflate the demand estimate again. Returns the assigned
+    /// server on success; a deferral is not counted — the work stays
+    /// parked.
+    pub fn readmit(&mut self, req: &Request, preferred: Option<usize>) -> Option<usize> {
+        match self.gate.admit_with_preference(req, preferred) {
+            Admission::Admit { server } => {
+                self.admitted += 1;
+                Some(server)
+            }
+            Admission::Defer => None,
+        }
+    }
+
+    /// Rolls the scheduling window at time `now` (see the module docs for
+    /// the exact sequence). `backlog` is the externally-parked work per
+    /// principal (cost-weighted), added to the published demand; `released`
+    /// is cleared and filled with the requests released from the internal
+    /// queues, with their target servers.
+    pub fn on_window_tick(
+        &mut self,
+        now: f64,
+        backlog: Option<&[f64]>,
+        released: &mut Vec<(Request, usize)>,
+    ) {
+        released.clear();
+        // Fold the finished window's arrivals into the estimator.
+        self.estimator.observe(&self.arrivals_this_window);
+        for a in &mut self.arrivals_this_window {
+            *a = 0.0;
+        }
+
+        // Local demand for the coming window.
+        match self.mode {
+            QueueMode::Explicit => self.queues.lengths_into(&mut self.demand_buf),
+            QueueMode::CreditRetry { .. } => {
+                self.demand_buf.clear();
+                self.demand_buf.extend_from_slice(self.estimator.estimates());
+            }
+            QueueMode::CreditPark => {
+                // Parked backlog plus expected fresh arrivals.
+                self.queues.lengths_into(&mut self.demand_buf);
+                for (d, e) in self.demand_buf.iter_mut().zip(self.estimator.estimates()) {
+                    *d += e;
+                }
+            }
+        }
+        if let Some(b) = backlog {
+            for (d, x) in self.demand_buf.iter_mut().zip(b) {
+                *d += x;
+            }
+        }
+
+        // Read strictly before publishing: the plan uses the freshest
+        // *previous* aggregate, never this round's own demand.
+        let view = self.coordination.read(now);
+        let plan: Plan = self.scheduler.plan_window_shared(view, &self.demand_buf);
+        self.coordination.publish(now, &self.demand_buf);
+
+        match self.mode {
+            QueueMode::Explicit => {
+                let dispatches = self.queues.release(&plan);
+                self.admitted += dispatches.len() as u64;
+                released.extend(dispatches.into_iter().map(|d| (d.request, d.server)));
+            }
+            QueueMode::CreditRetry { .. } => {
+                self.gate.roll_window(&plan);
+            }
+            QueueMode::CreditPark => {
+                self.gate.roll_window(&plan);
+                // Reinject parked requests through the fresh credit, FIFO
+                // per principal, stopping at the first the gate defers.
+                let gate = &mut self.gate;
+                let admitted = &mut self.admitted;
+                reinject_fifo(
+                    self.queues.n_principals(),
+                    &mut self.queues,
+                    |_, req: &Request| match gate.admit(req) {
+                        Admission::Admit { server } => {
+                            *admitted += 1;
+                            Some(server)
+                        }
+                        Admission::Defer => None,
+                    },
+                    |req, server| released.push((req, server)),
+                );
+            }
+        }
+        self.last_plan = plan;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covenant_agreements::AgreementGraph;
+
+    /// Server 100 req/s, A [0.2,1], B [0.8,1] — 10 units per 100 ms window.
+    fn levels() -> AccessLevels {
+        let mut g = AgreementGraph::new();
+        let s = g.add_principal("S", 100.0);
+        let a = g.add_principal("A", 0.0);
+        let b = g.add_principal("B", 0.0);
+        g.add_agreement(s, a, 0.2, 1.0).unwrap();
+        g.add_agreement(s, b, 0.8, 1.0).unwrap();
+        g.access_levels()
+    }
+
+    fn core(mode: QueueMode) -> EnforcementCore<DelayedCoordination> {
+        EnforcementCore::new(
+            &levels(),
+            SchedulerConfig::community_default(),
+            mode,
+            DelayedCoordination::new(0.0),
+        )
+    }
+
+    const A: PrincipalId = PrincipalId(1);
+    const B: PrincipalId = PrincipalId(2);
+
+    fn arrive(c: &mut EnforcementCore<DelayedCoordination>, id: u64, p: PrincipalId) -> ArrivalOutcome {
+        c.on_arrival(Request::unit(id, p, 0.0))
+    }
+
+    /// Ticks at `now` and delivers the aggregate (single-node loopback),
+    /// returning the released requests.
+    fn tick(c: &mut EnforcementCore<DelayedCoordination>, now: f64) -> Vec<(Request, usize)> {
+        let mut released = Vec::new();
+        c.on_window_tick(now, None, &mut released);
+        let agg = Rc::new(c.coordination_mut().outbox().to_vec());
+        c.coordination_mut().deliver(now, agg);
+        released
+    }
+
+    #[test]
+    fn explicit_mode_queues_then_releases_within_plan() {
+        let mut c = core(QueueMode::Explicit);
+        for id in 0..20 {
+            assert_eq!(arrive(&mut c, id, B), ArrivalOutcome::Queued);
+        }
+        // First tick plans conservatively (no view yet): half of B's
+        // mandatory 8/window = 4 released.
+        let first = tick(&mut c, 0.1);
+        assert_eq!(first.len(), 4);
+        // With the view delivered (20 demand published at the first tick),
+        // the informed global plan admits the full capacity 10, scaled to
+        // the local queue fraction 16/20 → 8 released.
+        let second = tick(&mut c, 0.2);
+        assert_eq!(second.len(), 8);
+        // FIFO order by request id.
+        let ids: Vec<u64> = second.iter().map(|(r, _)| r.id.0).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(c.admitted(), (first.len() + second.len()) as u64);
+        assert_eq!(c.counters().parked, 20 - c.admitted());
+    }
+
+    #[test]
+    fn credit_retry_defers_until_window_rolls() {
+        let mut c = core(QueueMode::CreditRetry { retry_delay: 0.05 });
+        assert_eq!(arrive(&mut c, 0, A), ArrivalOutcome::Defer);
+        assert_eq!(arrive(&mut c, 1, A), ArrivalOutcome::Defer);
+        // Conservative window: A's mandatory is 2/window, so half = 1.
+        tick(&mut c, 0.1);
+        assert_eq!(arrive(&mut c, 2, A), ArrivalOutcome::Forward { server: 0 });
+        assert_eq!(arrive(&mut c, 3, A), ArrivalOutcome::Defer);
+        // Informed window: demand ~2/window is fully within A's reach.
+        tick(&mut c, 0.2);
+        assert!(matches!(arrive(&mut c, 4, A), ArrivalOutcome::Forward { .. }));
+        assert!(matches!(arrive(&mut c, 5, A), ArrivalOutcome::Forward { .. }));
+        let counters = c.counters();
+        assert_eq!(counters.admitted, 3);
+        assert_eq!(counters.deferred, 3);
+        assert_eq!(counters.parked, 0);
+    }
+
+    #[test]
+    fn credit_park_parks_then_reinjects_fifo() {
+        let mut c = core(QueueMode::CreditPark);
+        for id in 0..12 {
+            let out = arrive(&mut c, id, B);
+            assert_eq!(out, ArrivalOutcome::Queued, "request {id}: {out:?}");
+        }
+        let first = tick(&mut c, 0.1); // conservative: half of B's 8
+        assert_eq!(first.len(), 4);
+        let second = tick(&mut c, 0.2);
+        // FIFO across the whole parked backlog.
+        let ids: Vec<u64> = first.iter().chain(&second).map(|(r, _)| r.id.0).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids {ids:?}");
+        assert_eq!(c.admitted() as usize, first.len() + second.len());
+        // Fresh in-quota arrivals now forward immediately.
+        tick(&mut c, 0.3);
+        assert!(matches!(arrive(&mut c, 100, B), ArrivalOutcome::Forward { .. }));
+    }
+
+    #[test]
+    fn backlog_hint_raises_published_demand() {
+        let mut c = core(QueueMode::CreditRetry { retry_delay: 0.05 });
+        let mut released = Vec::new();
+        // No arrivals, but an externally-parked backlog of 5 for B.
+        c.on_window_tick(0.1, Some(&[0.0, 0.0, 5.0]), &mut released);
+        assert_eq!(c.coordination_mut().outbox(), &[0.0, 0.0, 5.0]);
+        // Conservative window still caps at half of B's mandatory 8 = 4.
+        let quota = c.last_plan().admitted(B);
+        assert!((quota - 4.0).abs() < 1e-6, "quota {quota}");
+    }
+
+    #[test]
+    fn affinity_preference_honored_while_allocated() {
+        let mut g = AgreementGraph::new();
+        let s1 = g.add_principal("S1", 100.0);
+        let s2 = g.add_principal("S2", 100.0);
+        let a = g.add_principal("A", 0.0);
+        g.add_agreement(s1, a, 0.5, 1.0).unwrap();
+        g.add_agreement(s2, a, 0.5, 1.0).unwrap();
+        let mut c = EnforcementCore::new(
+            &g.access_levels(),
+            SchedulerConfig::community_default(),
+            QueueMode::CreditRetry { retry_delay: 0.05 },
+            DelayedCoordination::new(0.0),
+        );
+        let p = PrincipalId(2);
+        for id in 0..40 {
+            c.on_arrival(Request::unit(id, p, 0.0));
+        }
+        tick(&mut c, 0.1);
+        tick(&mut c, 0.2);
+        let out = c.on_arrival_preferring(Request::unit(99, p, 0.2), Some(1));
+        assert_eq!(out, ArrivalOutcome::Forward { server: 1 });
+    }
+
+    #[test]
+    fn readmit_counts_admissions_but_not_arrivals() {
+        let mut c = core(QueueMode::CreditRetry { retry_delay: 0.05 });
+        for id in 0..4 {
+            arrive(&mut c, id, B);
+        }
+        tick(&mut c, 0.1);
+        let before = c.admitted();
+        let req = Request::unit(50, B, 0.15);
+        assert!(c.readmit(&req, None).is_some());
+        assert_eq!(c.admitted(), before + 1);
+        // The readmission did not count as demand: the next window's
+        // estimate only reflects genuine arrivals (4, then 0 → EWMA 2… but
+        // readmit added nothing on top).
+        tick(&mut c, 0.2);
+        assert!((c.coordination_mut().outbox()[B.0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_secs_comes_from_scheduler_config() {
+        let c = core(QueueMode::CreditPark);
+        assert!((c.window_secs() - 0.1).abs() < 1e-12);
+    }
+}

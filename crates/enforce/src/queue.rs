@@ -6,8 +6,8 @@
 //! it both as a baseline for that experiment and because the Layer-4
 //! redirector's kernel queues are exactly this structure.
 
-use crate::{Plan, Request};
 use covenant_agreements::PrincipalId;
+use covenant_sched::{Plan, Request};
 use std::collections::VecDeque;
 
 /// Per-principal FIFO request queues.
@@ -138,6 +138,16 @@ impl PrincipalQueues {
     }
 }
 
+impl crate::ParkedQueue<Request> for PrincipalQueues {
+    fn pop(&mut self, principal: usize) -> Option<Request> {
+        self.release_one(principal)
+    }
+
+    fn unpop(&mut self, _principal: usize, item: Request) {
+        self.push_front(item)
+    }
+}
+
 /// Index of the first maximum strictly-positive entry, or `None` if every
 /// entry is ≤ 0.
 fn first_argmax_positive(row: &[f64]) -> Option<usize> {
@@ -153,7 +163,6 @@ fn first_argmax_positive(row: &[f64]) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Plan;
 
     fn req(id: u64, p: usize, t: f64) -> Request {
         Request::unit(id, PrincipalId(p), t)
@@ -208,7 +217,12 @@ mod tests {
     #[test]
     fn costly_request_blocks_until_budget() {
         let mut q = PrincipalQueues::new(1);
-        q.push(Request { id: crate::RequestId(1), principal: PrincipalId(0), arrival: 0.0, cost: 5.0 });
+        q.push(Request {
+            id: covenant_sched::RequestId(1),
+            principal: PrincipalId(0),
+            arrival: 0.0,
+            cost: 5.0,
+        });
         let small = Plan { assignments: vec![vec![3.0]], theta: None, income: None };
         assert!(q.release(&small).is_empty());
         let big = Plan { assignments: vec![vec![5.0]], theta: None, income: None };

@@ -4,6 +4,7 @@
 use crate::splice_streams;
 use covenant_agreements::PrincipalId;
 use covenant_coord::{AdmissionControl, DaemonHooks, WindowDaemon};
+use covenant_enforce::reinject_fifo;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -79,24 +80,21 @@ impl Shared {
         (0..n).map(|i| parked[i].len() as f64).collect()
     }
 
-    /// Reinjects parked connections that the fresh window's credit admits.
+    /// Reinjects parked connections that the fresh window's credit admits
+    /// (the shared FIFO loop: per principal, drain while the gate admits,
+    /// stop at the first defer).
     fn drain_parked(self: &Arc<Self>) {
-        let n = self.parked.lock().len();
-        for i in 0..n {
-            loop {
-                // Take the head while holding the lock briefly.
-                let head = self.parked.lock()[i].pop_front();
-                let Some((stream, peer)) = head else { break };
+        let mut parked = self.parked.lock();
+        let n = parked.len();
+        reinject_fifo(
+            n,
+            &mut *parked,
+            |i, (_, peer): &(TcpStream, SocketAddr)| {
                 let preferred = self.affinity.lock().get(&peer.ip()).copied();
-                match self.ctrl.readmit(PrincipalId(i), preferred) {
-                    Some(server) => self.forward(stream, peer, server),
-                    None => {
-                        self.parked.lock()[i].push_front((stream, peer));
-                        break;
-                    }
-                }
-            }
-        }
+                self.ctrl.readmit(PrincipalId(i), preferred)
+            },
+            |(stream, peer), server| self.forward(stream, peer, server),
+        );
     }
 }
 

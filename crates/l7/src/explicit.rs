@@ -10,6 +10,7 @@
 
 use covenant_agreements::PrincipalId;
 use covenant_coord::{AdmissionControl, DaemonHooks, WindowDaemon};
+use covenant_enforce::reinject_fifo;
 use covenant_http::{handler, HttpError, HttpResponse, HttpServer, StatusCode};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -93,25 +94,20 @@ impl L7ExplicitRedirector {
         let hooks = DaemonHooks {
             backlog: Some(Box::new(move || q_backlog.lengths(n))),
             after_roll: Some(Box::new(move || {
-                for i in 0..n {
-                    loop {
-                        // Pop under the lock, release outside it.
-                        let waiter = q_drain.waiting.lock()[i].pop_front();
-                        let Some(waiter) = waiter else { break };
-                        match ctrl_drain.readmit(PrincipalId(i), None) {
-                            Some(server) => {
-                                // A dead waiter (client timed out) just
-                                // drops the send; its quota is consumed,
-                                // matching the paper's accounting.
-                                let _ = waiter.send(server);
-                            }
-                            None => {
-                                q_drain.waiting.lock()[i].push_front(waiter);
-                                break;
-                            }
-                        }
-                    }
-                }
+                // The shared FIFO reinjection loop: per principal, release
+                // waiters while the gate admits, stop at the first defer.
+                let mut waiting = q_drain.waiting.lock();
+                reinject_fifo(
+                    n,
+                    &mut *waiting,
+                    |i, _waiter: &Waiter| ctrl_drain.readmit(PrincipalId(i), None),
+                    |waiter, server| {
+                        // A dead waiter (client timed out) just drops the
+                        // send; its quota is consumed, matching the
+                        // paper's accounting.
+                        let _ = waiter.send(server);
+                    },
+                );
             })),
         };
         let window = Duration::from_secs_f64(ctrl.window_secs());

@@ -21,42 +21,33 @@
 //!   [`Plan::scale_for_local_queue`] implementing the distributed rule
 //!   `x_local_ij / n_local_i = x_ij / n_i` that lets every redirector apply
 //!   the globally-optimal plan to its local queue fraction.
-//! * [`PrincipalQueues`] — explicit per-principal FIFO queues (the paper's
-//!   first L7 implementation, kept for the bunching comparison of §4.1).
-//! * [`CreditGate`] — the implicit-queuing credit scheme the paper settled
-//!   on: per-window admission credits with fractional carry-over, so
-//!   requests within quota forward immediately and the rest are deferred
-//!   (self-redirected or parked) without explicit queue management.
-//! * [`RateEstimator`] — EWMA arrival-rate estimation used to run the LP on
-//!   *estimated* queue lengths in implicit mode.
 //! * [`WindowScheduler`] — policy dispatch plus the conservative fallback a
 //!   redirector uses before global queue information has arrived (half its
 //!   mandatory share when peers are unknown; see the paper's Figure 8
 //!   discussion).
+//!
+//! The queuing structures that *apply* a [`Plan`] — the credit gate,
+//! explicit queues, and EWMA rate estimator — live in the
+//! `covenant-enforce` crate together with the transport-agnostic
+//! enforcement state machine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;
 mod community;
-mod credit;
-mod estimator;
 mod multi;
 mod plan;
 mod provider;
-mod queue;
 mod request;
 mod vclock;
 mod window;
 
 pub use cache::{levels_fingerprint, PlanCache};
 pub use community::{CommunityScheduler, LocalityCaps, PreparedCommunity};
-pub use credit::{Admission, CreditGate};
-pub use estimator::RateEstimator;
 pub use multi::{MultiCommunityScheduler, PreparedMulti};
 pub use plan::Plan;
 pub use provider::{PreparedProvider, ProviderScheduler};
-pub use queue::PrincipalQueues;
 pub use request::{Request, RequestId};
 pub use vclock::VirtualClock;
 pub use window::{GlobalView, Policy, SchedulerConfig, WindowScheduler};

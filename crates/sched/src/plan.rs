@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// forward to each server this window.
 ///
 /// Entries are fractional request counts; integerization (with carry-over)
-/// happens in [`crate::CreditGate`] / [`crate::PrincipalQueues`].
+/// happens in `covenant-enforce`'s `CreditGate` / `PrincipalQueues`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Plan {
     /// `assignments[i][k]`: requests of principal `i` sent to server `k`.

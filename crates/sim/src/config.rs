@@ -5,28 +5,9 @@ use covenant_sched::Policy;
 use covenant_tree::Topology;
 use covenant_workload::{ClientMachine, ReplySizes};
 
-/// How a redirector holds back requests that exceed the current window's
-/// allocation.
-#[derive(Debug, Clone, PartialEq)]
-pub enum QueueMode {
-    /// Explicit per-principal queues: every request is enqueued and a
-    /// window-sized batch is released at each tick (the paper's first L7
-    /// implementation, which bunches requests — §4.1).
-    Explicit,
-    /// Credit gate with client retry: in-quota requests forward
-    /// immediately; the rest are answered with a self-redirect and the
-    /// client retries after `retry_delay` seconds (the final L7 scheme).
-    CreditRetry {
-        /// Client retry delay in seconds (one HTTP round trip; keep well
-        /// under the scheduling window — a delay resonant with the window
-        /// cadence can phase-lock deferred bursts against the quota refresh).
-        retry_delay: f64,
-    },
-    /// Credit gate with parking: in-quota requests forward immediately;
-    /// the rest park in a per-principal queue that is drained by later
-    /// windows' credits (the L4 kernel-queue scheme).
-    CreditPark,
-}
+// The queuing mode is shared with the live prototypes through the
+// enforcement core; re-exported here so simulator users keep one import.
+pub use covenant_enforce::QueueMode;
 
 /// How much server work one request costs, in average-request units
 /// ("large requests are treated as multiple small ones").
@@ -127,6 +108,12 @@ pub struct SimConfig {
     /// off to force an LP solve every window (plans are identical either
     /// way — the cache only replays exact repeats).
     pub plan_cache: bool,
+    /// Record every per-arrival admission decision into
+    /// [`crate::SimReport::decisions`] (time, redirector, principal, cost,
+    /// outcome — retries included). Off by default: the trace grows with
+    /// total arrivals. Used by the sim-vs-live differential tests to
+    /// replay the exact arrival sequence against the live control plane.
+    pub record_decisions: bool,
 }
 
 impl SimConfig {
@@ -151,6 +138,7 @@ impl SimConfig {
             redirector_locality: None,
             network_latency: 0.0,
             plan_cache: true,
+            record_decisions: false,
         }
     }
 
@@ -258,6 +246,13 @@ impl SimConfig {
     pub fn with_network_latency(mut self, latency: f64) -> Self {
         assert!(latency >= 0.0 && latency.is_finite());
         self.network_latency = latency;
+        self
+    }
+
+    /// Records every per-arrival admission decision into the report (see
+    /// [`SimConfig::record_decisions`]).
+    pub fn with_decision_recording(mut self) -> Self {
+        self.record_decisions = true;
         self
     }
 }

@@ -26,10 +26,12 @@ use crate::events::{Event, EventQueue};
 use crate::metrics::{RateSeries, ResponseStats};
 use crate::redirector::{ArrivalOutcome, SimRedirector};
 use crate::server::{Accept, Server};
+use covenant_agreements::PrincipalId;
 use covenant_sched::{Request, RequestId, SchedulerConfig};
 use covenant_workload::ArrivalStream;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Instant;
@@ -150,6 +152,24 @@ impl ClientGen {
     }
 }
 
+/// One recorded admission decision (see
+/// [`SimConfig::record_decisions`]): what the enforcement core decided for
+/// a single arrival event, retries included.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalDecision {
+    /// Simulation time the decision was made: the arrival time plus one
+    /// network hop for originals, the re-presentation time for retries.
+    pub time: f64,
+    /// Redirector that decided.
+    pub redirector: usize,
+    /// The request's principal.
+    pub principal: PrincipalId,
+    /// The request's cost in average-request units.
+    pub cost: f64,
+    /// The decision.
+    pub outcome: ArrivalOutcome,
+}
+
 /// Aggregated results of one run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -191,6 +211,9 @@ pub struct SimReport {
     /// Wall-clock seconds the run took (machine-dependent; excluded from
     /// [`SimReport::outcome_eq`]).
     pub wall_secs: f64,
+    /// Per-arrival decision trace; empty unless
+    /// [`SimConfig::record_decisions`] is set.
+    pub decisions: Vec<ArrivalDecision>,
 }
 
 impl SimReport {
@@ -227,6 +250,7 @@ impl SimReport {
             && self.plan_cache_hits == other.plan_cache_hits
             && self.plan_cache_misses == other.plan_cache_misses
             && self.events_processed == other.events_processed
+            && self.decisions == other.decisions
     }
 }
 
@@ -259,6 +283,8 @@ struct RunState {
     client_limit: Vec<Option<usize>>,
     retry_delay: f64,
     hop: f64,
+    /// `Some` when the config asked for a per-arrival decision trace.
+    decisions: Option<Vec<ArrivalDecision>>,
 }
 
 impl Simulation {
@@ -338,6 +364,7 @@ impl Simulation {
             client_limit: cfg.clients.iter().map(|c| c.max_outstanding).collect(),
             retry_delay,
             hop: cfg.network_latency,
+            decisions: cfg.record_decisions.then(Vec::new),
         }
     }
 
@@ -408,6 +435,7 @@ impl Simulation {
             events_processed,
             peak_event_queue,
             wall_secs,
+            decisions: st.decisions.unwrap_or_default(),
         }
     }
 
@@ -476,7 +504,17 @@ impl Simulation {
                             meta.insert(RequestMeta { client, first_arrival: request.arrival }),
                         );
                     }
-                    match st.redirectors[redirector].on_arrival(request) {
+                    let outcome = st.redirectors[redirector].on_arrival(request);
+                    if let Some(trace) = st.decisions.as_mut() {
+                        trace.push(ArrivalDecision {
+                            time: now,
+                            redirector,
+                            principal: request.principal,
+                            cost: request.cost,
+                            outcome,
+                        });
+                    }
+                    match outcome {
                         ArrivalOutcome::Forward { server } => {
                             st.admitted[request.principal.0] += 1;
                             match st.servers[server].offer(now + st.hop, request) {
@@ -549,7 +587,7 @@ impl Simulation {
                     // cheap reference instead of its own copy.
                     let total = Rc::new(round.total);
                     for r in st.redirectors.iter_mut() {
-                        r.global_view.publish(now, Rc::clone(&total));
+                        r.deliver_aggregate(now, Rc::clone(&total));
                     }
                 }
                 Event::Completion { server } => {
@@ -654,7 +692,17 @@ impl Simulation {
                             RequestMeta { client, first_arrival: request.arrival },
                         );
                     }
-                    match st.redirectors[redirector].on_arrival(request) {
+                    let outcome = st.redirectors[redirector].on_arrival(request);
+                    if let Some(trace) = st.decisions.as_mut() {
+                        trace.push(ArrivalDecision {
+                            time: now,
+                            redirector,
+                            principal: request.principal,
+                            cost: request.cost,
+                            outcome,
+                        });
+                    }
+                    match outcome {
                         ArrivalOutcome::Forward { server } => {
                             st.admitted[request.principal.0] += 1;
                             match st.servers[server].offer(now + st.hop, request) {
@@ -721,7 +769,7 @@ impl Simulation {
                     let round = cfg.tree.aggregate(&demands);
                     st.tree_messages += round.messages() as u64;
                     for r in st.redirectors.iter_mut() {
-                        r.global_view.publish(now, Rc::new(round.total.clone()));
+                        r.deliver_aggregate(now, Rc::new(round.total.clone()));
                     }
                 }
                 Event::Completion { server } => {

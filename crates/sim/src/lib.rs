@@ -36,7 +36,7 @@ mod server;
 
 pub use config::{CapacityChange, QueueMode, RequestCost, SimClient, SimConfig};
 pub use events::{Event, EventQueue};
-pub use engine::{SimReport, Simulation};
+pub use engine::{ArrivalDecision, SimReport, Simulation};
 pub use metrics::{RateSeries, ResponseStats};
-pub use redirector::SimRedirector;
+pub use redirector::{ArrivalOutcome, SimRedirector};
 pub use server::Server;

@@ -1,54 +1,31 @@
-//! Redirector state machine shared by all queuing modes.
+//! The simulated redirector: a thin deterministic wrapper around the
+//! shared [`EnforcementCore`].
+//!
+//! All admission/window logic lives in `covenant-enforce` — the same state
+//! machine the live L7/L4 prototypes run. This wrapper only adapts the
+//! engine's calling convention: it exposes the published demand vector for
+//! the engine's centralized once-per-tick tree aggregation, and accepts
+//! the delivered aggregate back into the core's [`DelayedCoordination`]
+//! view.
 
 use crate::config::QueueMode;
 use covenant_agreements::AccessLevels;
-use covenant_sched::{
-    Admission, CreditGate, Plan, PrincipalQueues, RateEstimator, Request, SchedulerConfig,
-    WindowScheduler,
-};
-use covenant_tree::DelayedView;
+pub use covenant_enforce::ArrivalOutcome;
+use covenant_enforce::{DelayedCoordination, EnforcementCore};
+use covenant_sched::{Request, SchedulerConfig};
 use std::rc::Rc;
 
-/// What happened to a request when it reached the redirector.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum ArrivalOutcome {
-    /// Admitted and forwarded to server `server` immediately.
-    Forward {
-        /// Target server index (principal id of the owner).
-        server: usize,
-    },
-    /// Out of quota: tell the client to retry (L7 self-redirect).
-    Defer,
-    /// Held at the redirector (explicit queue or L4 parking queue).
-    Queued,
-}
-
-/// One simulated redirector: a window scheduler plus mode-specific queuing
-/// state and the delayed view of global demand.
+/// One simulated redirector node.
 #[derive(Debug)]
 pub struct SimRedirector {
     /// Node index in the combining tree.
     pub id: usize,
-    scheduler: WindowScheduler,
-    mode: QueueMode,
-    /// Explicit / parking queues (unused in pure credit-retry mode).
-    queues: PrincipalQueues,
-    /// Credit gate (unused in explicit mode).
-    gate: CreditGate,
-    estimator: RateEstimator,
-    /// Cost-weighted arrivals since the last tick.
-    arrivals_this_window: Vec<f64>,
-    /// What the combining tree has delivered to this node. The aggregate is
-    /// shared (`Rc`) across redirectors instead of cloned per node.
-    pub global_view: DelayedView<Rc<Vec<f64>>>,
-    /// Requests admitted (forwarded) by this redirector.
-    pub admitted: u64,
-    /// Requests deferred (self-redirected).
-    pub deferred: u64,
+    core: EnforcementCore<DelayedCoordination>,
 }
 
 impl SimRedirector {
-    /// Builds a redirector for `n` principals.
+    /// Builds a redirector for the principals in `levels`, with a
+    /// `view_lag`-second delayed view of the aggregated demand.
     pub fn new(
         id: usize,
         levels: &AccessLevels,
@@ -56,61 +33,36 @@ impl SimRedirector {
         mode: QueueMode,
         view_lag: f64,
     ) -> Self {
-        let n = levels.len();
         SimRedirector {
             id,
-            scheduler: WindowScheduler::new(levels, sched_cfg),
-            mode,
-            queues: PrincipalQueues::new(n),
-            gate: CreditGate::new(n, n),
-            estimator: RateEstimator::new(n, 0.5),
-            arrivals_this_window: vec![0.0; n],
-            global_view: DelayedView::new(view_lag),
-            admitted: 0,
-            deferred: 0,
+            core: EnforcementCore::new(levels, sched_cfg, mode, DelayedCoordination::new(view_lag)),
         }
     }
 
     /// Installs new access levels after a capacity or agreement change
     /// (agreements are interpreted dynamically, §2.2).
     pub fn update_levels(&mut self, levels: &AccessLevels) {
-        self.scheduler.update_levels(levels);
+        self.core.update_levels(levels);
     }
 
     /// `(hits, misses)` of the scheduler's plan cache since construction.
     pub fn cache_stats(&self) -> (u64, u64) {
-        self.scheduler.cache_stats()
+        self.core.cache_stats()
+    }
+
+    /// Requests admitted (forwarded) by this redirector.
+    pub fn admitted(&self) -> u64 {
+        self.core.admitted()
+    }
+
+    /// Requests deferred (self-redirected) by this redirector.
+    pub fn deferred(&self) -> u64 {
+        self.core.deferred()
     }
 
     /// Handles an arriving request.
     pub fn on_arrival(&mut self, req: Request) -> ArrivalOutcome {
-        self.arrivals_this_window[req.principal.0] += req.cost;
-        match self.mode {
-            QueueMode::Explicit => {
-                self.queues.push(req);
-                ArrivalOutcome::Queued
-            }
-            QueueMode::CreditRetry { .. } => match self.gate.admit(&req) {
-                Admission::Admit { server } => {
-                    self.admitted += 1;
-                    ArrivalOutcome::Forward { server }
-                }
-                Admission::Defer => {
-                    self.deferred += 1;
-                    ArrivalOutcome::Defer
-                }
-            },
-            QueueMode::CreditPark => match self.gate.admit(&req) {
-                Admission::Admit { server } => {
-                    self.admitted += 1;
-                    ArrivalOutcome::Forward { server }
-                }
-                Admission::Defer => {
-                    self.queues.push(req);
-                    ArrivalOutcome::Queued
-                }
-            },
-        }
+        self.core.on_arrival(req)
     }
 
     /// Rolls the scheduling window at time `now`. Fills `released` with the
@@ -124,60 +76,14 @@ impl SimRedirector {
         released: &mut Vec<(Request, usize)>,
         demand: &mut Vec<f64>,
     ) {
-        released.clear();
-        // Fold the finished window's arrivals into the estimator.
-        self.estimator.observe(&self.arrivals_this_window);
-        for a in &mut self.arrivals_this_window {
-            *a = 0.0;
-        }
+        self.core.on_window_tick(now, None, released);
+        demand.clear();
+        demand.extend_from_slice(self.core.coordination_mut().outbox());
+    }
 
-        // Local demand for the coming window.
-        match self.mode {
-            QueueMode::Explicit => self.queues.lengths_into(demand),
-            QueueMode::CreditRetry { .. } => {
-                demand.clear();
-                demand.extend_from_slice(self.estimator.estimates());
-            }
-            QueueMode::CreditPark => {
-                // Parked backlog plus expected fresh arrivals.
-                self.queues.lengths_into(demand);
-                for (d, e) in demand.iter_mut().zip(self.estimator.estimates()) {
-                    *d += e;
-                }
-            }
-        }
-
-        let view = self.global_view.read(now).map(|v| v.as_slice());
-        let plan: Plan = self.scheduler.plan_window_shared(view, demand);
-
-        match self.mode {
-            QueueMode::Explicit => {
-                let dispatches = self.queues.release(&plan);
-                self.admitted += dispatches.len() as u64;
-                released.extend(dispatches.into_iter().map(|d| (d.request, d.server)));
-            }
-            QueueMode::CreditRetry { .. } => {
-                self.gate.roll_window(&plan);
-            }
-            QueueMode::CreditPark => {
-                self.gate.roll_window(&plan);
-                // Reinject parked requests through the fresh credit, FIFO
-                // per principal, stopping at the first the gate defers.
-                for i in 0..self.queues.n_principals() {
-                    while let Some(head) = self.queues.release_one(i) {
-                        match self.gate.admit(&head) {
-                            Admission::Admit { server } => {
-                                self.admitted += 1;
-                                released.push((head, server));
-                            }
-                            Admission::Defer => {
-                                self.queues.push_front(head);
-                                break;
-                            }
-                        }
-                    }
-                }
-            }
-        }
+    /// Delivers the centrally-aggregated demand into this node's delayed
+    /// view (visible after the node's information lag).
+    pub fn deliver_aggregate(&mut self, now: f64, aggregate: Rc<Vec<f64>>) {
+        self.core.coordination_mut().deliver(now, aggregate);
     }
 }

@@ -53,6 +53,26 @@ impl<T> DelayedView<T> {
         self.visible.as_ref().map(|(_, v)| v)
     }
 
+    /// Like [`Self::read`], but additionally requires the publish time to
+    /// be *strictly* before `now`: a value published at `now` itself is
+    /// never returned, even at zero lag. This is the read the live
+    /// coordinator uses inside a window-roll round, where every node
+    /// publishes at the same boundary time and must not observe same-round
+    /// publishes (the simulator gets the same effect from its centralized
+    /// aggregate-then-deliver ordering). Values are retained, so the view
+    /// stays sticky like `read`.
+    pub fn read_before(&mut self, now: f64) -> Option<&T> {
+        let cutoff = now - self.lag;
+        while let Some(&(t, _)) = self.pending.front() {
+            if t <= cutoff && t < now {
+                self.visible = self.pending.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.visible.as_ref().map(|(_, v)| v)
+    }
+
     /// Age of the currently visible value at `now`, if any.
     pub fn visible_age(&self, now: f64) -> Option<f64> {
         self.visible.as_ref().map(|(t, _)| now - t)
@@ -97,6 +117,30 @@ mod tests {
         // No new publishes: later reads still return the last visible value.
         assert_eq!(v.read(100.0), Some(&7));
         assert_eq!(v.visible_age(100.0), Some(100.0));
+    }
+
+    #[test]
+    fn read_before_excludes_same_instant_at_zero_lag() {
+        let mut v = DelayedView::new(0.0);
+        v.publish(1.0, 1);
+        // A same-round publish is invisible to read_before…
+        assert_eq!(v.read_before(1.0), None);
+        // …but becomes visible at the next boundary, and `read` still sees
+        // it immediately.
+        assert_eq!(v.read_before(1.1), Some(&1));
+        let mut w = DelayedView::new(0.0);
+        w.publish(1.0, 1);
+        assert_eq!(w.read(1.0), Some(&1));
+    }
+
+    #[test]
+    fn read_before_keeps_boundary_visibility_under_lag() {
+        // With lag > 0 the entry exactly `lag` old is still visible,
+        // matching `read`'s inclusive cutoff (Figure 8's 10 s lag lands on
+        // exact window multiples).
+        let mut v = DelayedView::new(1.0);
+        v.publish(0.0, 5);
+        assert_eq!(v.read_before(1.0), Some(&5));
     }
 
     #[test]

@@ -21,8 +21,11 @@ echo "==> cargo clippy -D warnings (touched crates)"
 cargo clippy --offline \
     -p covenant-lp \
     -p covenant-sched \
+    -p covenant-enforce \
     -p covenant-sim \
     -p covenant-coord \
+    -p covenant-l7 \
+    -p covenant-l4 \
     -p covenant-core \
     -p covenant-bench \
     --all-targets -- -D warnings
@@ -32,5 +35,8 @@ cargo bench --no-run --offline -p covenant-bench
 
 echo "==> sim smoke (release engine throughput + heap bound)"
 cargo run -q --offline --release -p covenant-bench --bin sim_smoke
+
+echo "==> live smoke (loopback L7 + L4 control plane end-to-end)"
+cargo run -q --offline --release -p covenant-bench --bin live_smoke
 
 echo "tier-1: OK"

@@ -16,6 +16,7 @@
 pub use covenant_agreements as agreements;
 pub use covenant_coord as coord;
 pub use covenant_core as core;
+pub use covenant_enforce as enforce;
 pub use covenant_http as http;
 pub use covenant_l4 as l4;
 pub use covenant_l7 as l7;
