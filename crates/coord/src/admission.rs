@@ -21,6 +21,13 @@ use std::sync::Arc;
 /// (explicit L7 queues, L4 parked connections) hold it *outside* the core,
 /// report its depth via the roll's backlog hint, and drain it through
 /// [`Self::readmit`].
+///
+/// Lock order: `roll_window` holds `inner` while the enforcement core's
+/// read/publish calls back into the coordinator's `state` lock — a
+/// cross-crate edge `covenant-lint`'s lexical pass cannot see, declared
+/// here for its cycle check. The L4 drain additionally holds its `parked`
+/// queue lock while readmitting through `inner`.
+// covenant: lock-order(parked < inner < state)
 pub struct AdmissionControl {
     node: usize,
     coordinator: Coordinator,

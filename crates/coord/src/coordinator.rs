@@ -50,7 +50,10 @@ impl Coordinator {
                 messages: 0,
                 last_publish_t: 0.0,
             })),
-            epoch: Instant::now(),
+            // The coordinator *is* the live deployment's clock source:
+            // every data-plane timestamp derives from this epoch via
+            // `Coordinator::now`, so this is the one sanctioned read.
+            epoch: Instant::now(), // covenant: allow(wall-clock)
             extra_lag,
         }
     }

@@ -1,6 +1,7 @@
 //! The background window ticker (the paper's user-space daemon loop).
 
 use crate::AdmissionControl;
+use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -24,8 +25,15 @@ pub struct WindowDaemon {
 }
 
 impl WindowDaemon {
-    /// Starts ticking `ctrl` every `window`, with optional hooks.
-    pub fn start(ctrl: Arc<AdmissionControl>, window: Duration, hooks: DaemonHooks) -> Self {
+    /// Starts ticking `ctrl` every `window`, with optional hooks. Fails
+    /// when the ticker thread cannot be spawned — without it no credits
+    /// are ever installed, so callers must surface the error rather than
+    /// run an enforcement-dead redirector.
+    pub fn start(
+        ctrl: Arc<AdmissionControl>,
+        window: Duration,
+        hooks: DaemonHooks,
+    ) -> io::Result<Self> {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
@@ -45,9 +53,8 @@ impl WindowDaemon {
                         after();
                     }
                 }
-            })
-            .expect("spawn window daemon");
-        WindowDaemon { stop, handle: Some(handle) }
+            })?;
+        Ok(WindowDaemon { stop, handle: Some(handle) })
     }
 
     /// Stops the ticker and joins it (idempotent).
@@ -109,7 +116,8 @@ mod tests {
             Arc::clone(&ctrl),
             Duration::from_millis(20),
             DaemonHooks::default(),
-        );
+        )
+        .unwrap();
         // Offer load; after a few windows the gate should be admitting.
         let principal = PrincipalId(1);
         let deadline = Instant::now() + Duration::from_secs(2);
@@ -161,7 +169,7 @@ mod tests {
                 r2.fetch_add(1, Ordering::Relaxed);
             })),
         };
-        let mut daemon = WindowDaemon::start(ctrl, Duration::from_millis(10), hooks);
+        let mut daemon = WindowDaemon::start(ctrl, Duration::from_millis(10), hooks).unwrap();
         let deadline = Instant::now() + Duration::from_secs(2);
         while rolls.load(Ordering::Relaxed) < 3 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));

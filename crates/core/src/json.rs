@@ -59,6 +59,8 @@ impl Value {
     /// Integer view (rejects non-integral numbers and negatives).
     pub fn as_usize(&self) -> Option<usize> {
         match self {
+            // Integrality test: fract() of an integral f64 is exactly 0.
+            // covenant: allow(float-eq)
             Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
                 Some(*n as usize)
             }

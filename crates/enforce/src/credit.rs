@@ -99,6 +99,11 @@ impl CreditGate {
             {
                 self.alloc[i][k] -= req.cost;
                 self.credit[i] -= req.cost;
+                debug_assert!(
+                    self.credit[i] >= -1e-9,
+                    "principal {i} credit overdrawn: {}",
+                    self.credit[i]
+                );
                 return Admission::Admit { server: k };
             }
         }
@@ -122,6 +127,11 @@ impl CreditGate {
             .unwrap_or(0);
         self.alloc[i][server] = (self.alloc[i][server] - req.cost).max(0.0);
         self.credit[i] -= req.cost;
+        debug_assert!(
+            self.credit[i] >= -1e-9,
+            "principal {i} credit overdrawn: {}",
+            self.credit[i]
+        );
         Admission::Admit { server }
     }
 }

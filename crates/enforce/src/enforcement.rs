@@ -199,6 +199,23 @@ pub struct EnforcementCore<V> {
     last_plan: Plan,
     admitted: u64,
     deferred: u64,
+    /// Debug-build conservation audit (see [`ConservationAudit`]).
+    #[cfg(debug_assertions)]
+    audit: ConservationAudit,
+}
+
+/// Debug-build conservation bookkeeping: the cost admitted through the
+/// credit gate within one window may never exceed the credit that was
+/// available when the window's plan was installed. Release builds carry
+/// none of this state.
+#[cfg(debug_assertions)]
+#[derive(Debug, Default)]
+struct ConservationAudit {
+    /// Per-principal credit right after the last roll (plan allocation
+    /// plus capped carry-over).
+    budget: Vec<f64>,
+    /// Cost admitted through the gate since the last roll.
+    admitted_cost: Vec<f64>,
 }
 
 impl<V: CoordinationView> EnforcementCore<V> {
@@ -218,6 +235,37 @@ impl<V: CoordinationView> EnforcementCore<V> {
             last_plan: Plan::zero(n, n),
             admitted: 0,
             deferred: 0,
+            #[cfg(debug_assertions)]
+            audit: ConservationAudit {
+                budget: vec![0.0; n],
+                admitted_cost: vec![0.0; n],
+            },
+        }
+    }
+
+    /// Checks the finished window's conservation invariant and resets the
+    /// per-window admitted-cost tally.
+    #[cfg(debug_assertions)]
+    fn audit_window_end(&mut self) {
+        for (i, (&spent, &had)) in
+            self.audit.admitted_cost.iter().zip(&self.audit.budget).enumerate()
+        {
+            debug_assert!(
+                spent <= had + 1e-6,
+                "conservation violated: principal {i} admitted {spent} cost against a \
+                 window budget of {had}"
+            );
+        }
+        for c in &mut self.audit.admitted_cost {
+            *c = 0.0;
+        }
+    }
+
+    /// Snapshots the fresh window's budget (gate credit right after roll).
+    #[cfg(debug_assertions)]
+    fn audit_window_start(&mut self) {
+        for (i, b) in self.audit.budget.iter_mut().enumerate() {
+            *b = self.gate.credit(PrincipalId(i));
         }
     }
 
@@ -311,6 +359,10 @@ impl<V: CoordinationView> EnforcementCore<V> {
                 match self.gate.admit_with_preference(&req, preferred) {
                     Admission::Admit { server } => {
                         self.admitted += 1;
+                        #[cfg(debug_assertions)]
+                        {
+                            self.audit.admitted_cost[req.principal.0] += req.cost;
+                        }
                         ArrivalOutcome::Forward { server }
                     }
                     Admission::Defer => match self.mode {
@@ -338,6 +390,10 @@ impl<V: CoordinationView> EnforcementCore<V> {
         match self.gate.admit_with_preference(req, preferred) {
             Admission::Admit { server } => {
                 self.admitted += 1;
+                #[cfg(debug_assertions)]
+                {
+                    self.audit.admitted_cost[req.principal.0] += req.cost;
+                }
                 Some(server)
             }
             Admission::Defer => None,
@@ -396,20 +452,34 @@ impl<V: CoordinationView> EnforcementCore<V> {
                 released.extend(dispatches.into_iter().map(|d| (d.request, d.server)));
             }
             QueueMode::CreditRetry { .. } => {
+                #[cfg(debug_assertions)]
+                self.audit_window_end();
                 self.gate.roll_window(&plan);
+                #[cfg(debug_assertions)]
+                self.audit_window_start();
             }
             QueueMode::CreditPark => {
+                #[cfg(debug_assertions)]
+                self.audit_window_end();
                 self.gate.roll_window(&plan);
+                #[cfg(debug_assertions)]
+                self.audit_window_start();
                 // Reinject parked requests through the fresh credit, FIFO
                 // per principal, stopping at the first the gate defers.
                 let gate = &mut self.gate;
                 let admitted = &mut self.admitted;
+                #[cfg(debug_assertions)]
+                let audit_cost = &mut self.audit.admitted_cost;
                 reinject_fifo(
                     self.queues.n_principals(),
                     &mut self.queues,
-                    |_, req: &Request| match gate.admit(req) {
+                    |_i, req: &Request| match gate.admit(req) {
                         Admission::Admit { server } => {
                             *admitted += 1;
+                            #[cfg(debug_assertions)]
+                            {
+                                audit_cost[req.principal.0] += req.cost;
+                            }
                             Some(server)
                         }
                         Admission::Defer => None,
@@ -576,6 +646,28 @@ mod tests {
         // readmit added nothing on top).
         tick(&mut c, 0.2);
         assert!((c.coordination_mut().outbox()[B.0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservation_audit_holds_under_saturation() {
+        // Saturating both principals for many windows drives the
+        // debug-build conservation audit (per-window admits ≤ installed
+        // budget; credits never negative) across fresh arrivals,
+        // readmissions, and park reinjection. Any overdraw panics here.
+        for mode in [QueueMode::CreditRetry { retry_delay: 0.05 }, QueueMode::CreditPark] {
+            let mut c = core(mode);
+            let mut id = 0;
+            for w in 1..=20u32 {
+                for _ in 0..25 {
+                    let _ = arrive(&mut c, id, A);
+                    let _ = arrive(&mut c, id + 1, B);
+                    id += 2;
+                }
+                let _ = c.readmit(&Request::unit(1_000_000 + u64::from(w), B, 0.0), None);
+                tick(&mut c, f64::from(w) * 0.1);
+            }
+            assert!(c.admitted() > 0);
+        }
     }
 
     #[test]

@@ -85,11 +85,10 @@ impl PrincipalQueues {
         for (i, row) in plan.assignments.iter().enumerate() {
             let mut alloc = row.clone();
             let mut budget: f64 = row.iter().sum::<f64>() + self.carry[i];
-            while let Some(front) = self.queues[i].front() {
-                if front.cost > budget + 1e-9 {
+            while self.queues[i].front().is_some_and(|front| front.cost <= budget + 1e-9) {
+                let Some(req) = self.queues[i].pop_front() else {
                     break;
-                }
-                let req = self.queues[i].pop_front().expect("front exists");
+                };
                 // Assign to the server with the largest remaining
                 // allocation; when only carried-over budget remains, use
                 // the plan's largest installed allocation rather than an
@@ -101,6 +100,9 @@ impl PrincipalQueues {
                 budget -= req.cost;
                 out.push(Dispatch { request: req, server });
             }
+            // Conservation: the release loop may never overdraw the
+            // window's budget (plan allocation plus carried remainder).
+            debug_assert!(budget >= -1e-9, "principal {i} release overdrew budget: {budget}");
             // Carry the blocked remainder only while demand persists;
             // an empty queue's unused budget is genuinely lost capacity.
             self.carry[i] = if self.queues[i].is_empty() { 0.0 } else { budget };
@@ -126,12 +128,11 @@ impl PrincipalQueues {
     pub fn expire(&mut self, now: f64, horizon: f64) -> Vec<Request> {
         let mut dropped = Vec::new();
         for q in &mut self.queues {
-            while let Some(front) = q.front() {
-                if now - front.arrival > horizon {
-                    dropped.push(q.pop_front().expect("front exists"));
-                } else {
+            while q.front().is_some_and(|front| now - front.arrival > horizon) {
+                let Some(req) = q.pop_front() else {
                     break;
-                }
+                };
+                dropped.push(req);
             }
         }
         dropped

@@ -1,0 +1,35 @@
+//! The clock source data-plane code takes by injection.
+//!
+//! This module is the one place in the HTTP substrate allowed to read the
+//! wall clock (it is on `covenant-lint`'s R1 clock allowlist). Everything
+//! downstream — the origin's token bucket, timeouts in tests — receives a
+//! [`ClockFn`] and can therefore run in virtual time: the sim/live
+//! differential replay depends on no data-plane code consulting
+//! `Instant::now()` on its own.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotone clock: seconds since some fixed epoch.
+pub type ClockFn = Arc<dyn Fn() -> f64 + Send + Sync>;
+
+/// The default wall clock: seconds since this call, via a captured
+/// [`Instant`] epoch.
+pub fn wall_clock() -> ClockFn {
+    let epoch = Instant::now();
+    Arc::new(move || epoch.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone_and_starts_near_zero() {
+        let clock = wall_clock();
+        let a = clock();
+        let b = clock();
+        assert!((0.0..1.0).contains(&a));
+        assert!(b >= a);
+    }
+}

@@ -20,12 +20,14 @@
 #![warn(missing_docs)]
 
 mod client;
+pub mod clock;
 mod error;
 mod message;
 mod origin;
 mod server;
 
 pub use client::{FetchResult, HttpClient};
+pub use clock::{wall_clock, ClockFn};
 pub use error::HttpError;
 pub use message::{HttpRequest, HttpResponse, Method, StatusCode};
 pub use origin::{OriginServer, TokenBucket};

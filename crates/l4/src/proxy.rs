@@ -60,7 +60,9 @@ impl Shared {
         };
         self.affinity.lock().insert(peer.ip(), server);
         let shared = Arc::clone(self);
-        std::thread::Builder::new()
+        // A failed spawn (thread exhaustion) drops the connection — the
+        // client sees RST, the same outcome as a refused park.
+        let _ = std::thread::Builder::new()
             .name("l4-conn".into())
             .spawn(move || {
                 if let Ok(backend_stream) = TcpStream::connect(backend) {
@@ -70,8 +72,7 @@ impl Shared {
                         shared.spliced.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-            })
-            .expect("spawn connection thread");
+            });
     }
 
     /// Parked-connection counts per principal (the daemon's backlog hint).
@@ -171,8 +172,7 @@ impl L4Redirector {
                                 Err(_) => break,
                             }
                         }
-                    })
-                    .expect("spawn accept thread"),
+                    })?,
             );
         }
 
@@ -184,7 +184,7 @@ impl L4Redirector {
             after_roll: Some(Box::new(move || shared_drain.drain_parked())),
         };
         let window = Duration::from_secs_f64(ctrl.window_secs());
-        let daemon = WindowDaemon::start(ctrl, window, hooks);
+        let daemon = WindowDaemon::start(ctrl, window, hooks)?;
 
         Ok(L4Redirector { shared, daemon, accept_threads, service_addrs })
     }

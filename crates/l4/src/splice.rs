@@ -12,10 +12,11 @@ pub fn splice_streams(client: TcpStream, backend: TcpStream) -> io::Result<(u64,
     let b2 = backend.try_clone()?;
     let forward = std::thread::Builder::new()
         .name("l4-splice-fwd".into())
-        .spawn(move || copy_then_shutdown(c2, b2))
-        .expect("spawn splice thread");
+        .spawn(move || copy_then_shutdown(c2, b2))?;
     let back_bytes = copy_then_shutdown(backend, client)?;
-    let fwd_bytes = forward.join().expect("splice thread panicked")?;
+    let fwd_bytes = forward
+        .join()
+        .map_err(|_| io::Error::other("splice thread panicked"))??;
     Ok((fwd_bytes, back_bytes))
 }
 

@@ -96,6 +96,9 @@ impl L7ExplicitRedirector {
             after_roll: Some(Box::new(move || {
                 // The shared FIFO reinjection loop: per principal, release
                 // waiters while the gate admits, stop at the first defer.
+                // `readmit` takes the admission lock while `waiting` is
+                // held — declare the edge for the lock-order pass.
+                // covenant: lock-order(waiting < inner)
                 let mut waiting = q_drain.waiting.lock();
                 reinject_fifo(
                     n,
@@ -111,7 +114,7 @@ impl L7ExplicitRedirector {
             })),
         };
         let window = Duration::from_secs_f64(ctrl.window_secs());
-        let daemon = WindowDaemon::start(ctrl, window, hooks);
+        let daemon = WindowDaemon::start(ctrl, window, hooks)?;
         Ok(L7ExplicitRedirector { server, daemon, queues })
     }
 

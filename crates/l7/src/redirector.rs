@@ -60,10 +60,15 @@ impl L7Redirector {
                 },
                 None => {
                     // Implicit queuing: self-redirect, the client retries.
-                    let addr = self_addr_for_handler
-                        .lock()
-                        .expect("self address set before serving");
-                    HttpResponse::redirect(format!("http://{addr}{}", req.path))
+                    // The address is stashed right after bind; an unset
+                    // slot (a request racing construction) answers 503
+                    // rather than panicking the handler thread.
+                    match *self_addr_for_handler.lock() {
+                        Some(addr) => {
+                            HttpResponse::redirect(format!("http://{addr}{}", req.path))
+                        }
+                        None => HttpResponse::status(StatusCode::SERVICE_UNAVAILABLE),
+                    }
                 }
             }
         });
@@ -73,7 +78,7 @@ impl L7Redirector {
         // The daemon must tick at exactly the scheduler's window length:
         // installed quotas are scaled to it.
         let window = Duration::from_secs_f64(ctrl.window_secs());
-        let daemon = WindowDaemon::start(Arc::clone(&ctrl), window, DaemonHooks::default());
+        let daemon = WindowDaemon::start(Arc::clone(&ctrl), window, DaemonHooks::default())?;
         Ok(L7Redirector { server, daemon, ctrl })
     }
 

@@ -1,0 +1,471 @@
+//! A hand-rolled token-level Rust lexer.
+//!
+//! `covenant-lint` runs offline (no `syn`, no registry), so this lexer
+//! implements just enough of the Rust lexical grammar to make token-level
+//! rules sound: strings (plain, raw, byte, raw-byte), char literals vs
+//! lifetimes, nested block comments, numeric literals with the
+//! tuple-index ambiguity (`x.0.1` is two integer field accesses, not the
+//! float `0.1`), and the handful of multi-char operators the rules need
+//! (`==`, `!=`, `::`). Everything else is a single-character punct.
+//!
+//! The lexer never fails: unterminated literals run to end of input and
+//! arbitrary bytes degrade to identifier/punct tokens (see the proptest in
+//! `tests/lexer_prop.rs`).
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (including tuple indices after `.`).
+    Int,
+    /// Float literal (`1.0`, `1.`, `1e3`, `2f64`, …).
+    Float,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`) or the `'static` keyword.
+    Lifetime,
+    /// Operator or delimiter (single char, or `==` / `!=` / `::`).
+    Punct,
+}
+
+/// One lexed token: kind, source text, and 1-based line number.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// What the token is.
+    pub kind: TokKind,
+    /// The token's source text.
+    pub text: &'a str,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block), kept out of the token stream so rules see
+/// only code, while pragma parsing sees only comments.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment<'a> {
+    /// Comment text including the `//` / `/*` introducer.
+    pub text: &'a str,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when no code token precedes the comment on its line — an
+    /// own-line comment's pragmas apply to the *next* line.
+    pub own_line: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    /// Code tokens, in source order.
+    pub tokens: Vec<Token<'a>>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment<'a>>,
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn peek3(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into code tokens and comments. Total: every byte lands in a
+/// token, a comment, or whitespace; never panics.
+pub fn lex(src: &str) -> Lexed<'_> {
+    let mut cur = Cursor { src, pos: 0, line: 1 };
+    let mut out = Lexed::default();
+    // Line of the most recent code token, to classify own-line comments.
+    let mut last_token_line = 0u32;
+
+    while let Some(c) = cur.peek() {
+        let start = cur.pos;
+        let line = cur.line;
+        match c {
+            _ if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek2() == Some('/') => {
+                while let Some(c) = cur.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    text: &src[start..cur.pos],
+                    line,
+                    own_line: last_token_line != line,
+                });
+            }
+            '/' if cur.peek2() == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek2()) {
+                        (Some('/'), Some('*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some('*'), Some('/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    text: &src[start..cur.pos],
+                    line,
+                    own_line: last_token_line != line,
+                });
+            }
+            '"' => {
+                lex_string(&mut cur);
+                push(&mut out, &mut last_token_line, TokKind::Str, src, start, &cur);
+            }
+            'r' | 'b' if starts_prefixed_literal(&cur) => {
+                lex_prefixed_literal(&mut cur);
+                push(&mut out, &mut last_token_line, TokKind::Str, src, start, &cur);
+            }
+            '\'' => {
+                let kind = lex_quote(&mut cur);
+                push(&mut out, &mut last_token_line, kind, src, start, &cur);
+            }
+            _ if c.is_ascii_digit() => {
+                let after_dot = matches!(
+                    out.tokens.last(),
+                    Some(Token { kind: TokKind::Punct, text: ".", .. })
+                );
+                let kind = lex_number(&mut cur, after_dot);
+                push(&mut out, &mut last_token_line, kind, src, start, &cur);
+            }
+            _ if is_ident_start(c) => {
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                push(&mut out, &mut last_token_line, TokKind::Ident, src, start, &cur);
+            }
+            _ => {
+                cur.bump();
+                // The multi-char operators the rules need as single tokens.
+                let two = matches!(
+                    (c, cur.peek()),
+                    ('=', Some('=')) | ('!', Some('=')) | (':', Some(':'))
+                );
+                if two {
+                    cur.bump();
+                }
+                push(&mut out, &mut last_token_line, TokKind::Punct, src, start, &cur);
+            }
+        }
+    }
+    out
+}
+
+fn push<'a>(
+    out: &mut Lexed<'a>,
+    last_token_line: &mut u32,
+    kind: TokKind,
+    src: &'a str,
+    start: usize,
+    cur: &Cursor<'a>,
+) {
+    out.tokens.push(Token { kind, text: &src[start..cur.pos], line: cur_start_line(cur, src, start) });
+    *last_token_line = cur.line;
+}
+
+/// Line a token starting at byte `start` is on. Tokens are pushed after the
+/// cursor moved past them, so recompute from the newline count when the
+/// token spans lines (raw strings, block-adjacent cases).
+fn cur_start_line(cur: &Cursor<'_>, src: &str, start: usize) -> u32 {
+    let newlines_inside = src[start..cur.pos].matches('\n').count() as u32;
+    cur.line - newlines_inside
+}
+
+/// Consumes a plain string literal starting at `"` (escapes honored).
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// True when the cursor sits on `r"`, `r#`, `b"`, `b'`, `br`, or `rb`-style
+/// literal starts (otherwise `r`/`b` begin a plain identifier).
+fn starts_prefixed_literal(cur: &Cursor<'_>) -> bool {
+    matches!(
+        (cur.peek(), cur.peek2(), cur.peek3()),
+        (Some('r'), Some('"' | '#'), _)
+            | (Some('b'), Some('"' | '\''), _)
+            | (Some('b'), Some('r'), Some('"' | '#'))
+    )
+}
+
+/// Consumes `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#`.
+fn lex_prefixed_literal(cur: &mut Cursor<'_>) {
+    let mut raw = false;
+    while let Some(c) = cur.peek() {
+        match c {
+            'r' => {
+                raw = true;
+                cur.bump();
+            }
+            'b' => {
+                cur.bump();
+            }
+            _ => break,
+        }
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while cur.peek() == Some('#') {
+            hashes += 1;
+            cur.bump();
+        }
+        if cur.peek() != Some('"') {
+            return; // `r#foo` raw identifier: already consumed the prefix
+        }
+        cur.bump();
+        // Scan for `"` followed by `hashes` hashes.
+        'outer: while let Some(c) = cur.bump() {
+            if c == '"' {
+                let rest = &cur.src[cur.pos..];
+                let mut it = rest.chars();
+                for _ in 0..hashes {
+                    if it.next() != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                break;
+            }
+        }
+    } else {
+        match cur.peek() {
+            Some('"') => lex_string(cur),
+            Some('\'') => {
+                lex_quote(cur);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a `'`-introduced token: a char literal or a lifetime.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokKind {
+    // Lifetime: `'ident` not closed by another quote right after one char.
+    if cur.peek2().is_some_and(is_ident_start) && cur.peek3() != Some('\'') {
+        cur.bump(); // quote
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        return TokKind::Lifetime;
+    }
+    cur.bump(); // quote
+    // Char literal: consume until the closing quote, honoring escapes, with
+    // a cap so malformed input cannot swallow the file.
+    let mut budget = 16usize;
+    while let Some(c) = cur.peek() {
+        if budget == 0 || c == '\n' {
+            break;
+        }
+        budget -= 1;
+        cur.bump();
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '\'' => break,
+            _ => {}
+        }
+    }
+    TokKind::Char
+}
+
+/// Consumes a numeric literal; `after_dot` suppresses float forms so tuple
+/// indices (`pair.0`) stay integers.
+fn lex_number(cur: &mut Cursor<'_>, after_dot: bool) -> TokKind {
+    let radix_prefixed = cur.peek() == Some('0')
+        && matches!(cur.peek2(), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+    if radix_prefixed {
+        cur.bump();
+        cur.bump();
+        while cur.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+            cur.bump();
+        }
+        return TokKind::Int;
+    }
+    let mut float = false;
+    while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == '_') {
+        cur.bump();
+    }
+    if !after_dot {
+        if cur.peek() == Some('.') {
+            // `1..n` is a range, `1.max` a method call; both leave the dot.
+            let next = cur.peek2();
+            if next != Some('.') && !next.is_some_and(is_ident_start) {
+                float = true;
+                cur.bump();
+                while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    cur.bump();
+                }
+            }
+        }
+        if matches!(cur.peek(), Some('e' | 'E')) {
+            let (n2, n3) = (cur.peek2(), cur.peek3());
+            let exp = match n2 {
+                Some(d) if d.is_ascii_digit() => true,
+                Some('+' | '-') => n3.is_some_and(|d| d.is_ascii_digit()),
+                _ => false,
+            };
+            if exp {
+                float = true;
+                cur.bump();
+                if matches!(cur.peek(), Some('+' | '-')) {
+                    cur.bump();
+                }
+                while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    cur.bump();
+                }
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`, …).
+    let suffix_start = cur.pos;
+    while cur.peek().is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    let suffix = &cur.src[suffix_start..cur.pos];
+    if suffix.starts_with("f32") || suffix.starts_with("f64") {
+        float = true;
+    }
+    if float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).tokens.iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn floats_vs_tuple_indices() {
+        assert_eq!(
+            kinds("a.0 == 1"),
+            vec![
+                (TokKind::Ident, "a"),
+                (TokKind::Punct, "."),
+                (TokKind::Int, "0"),
+                (TokKind::Punct, "=="),
+                (TokKind::Int, "1"),
+            ]
+        );
+        assert_eq!(kinds("1.0")[0].0, TokKind::Float);
+        assert_eq!(kinds("x.0.1")[4].0, TokKind::Int);
+        assert_eq!(kinds("2e-6")[0].0, TokKind::Float);
+        assert_eq!(kinds("3f64")[0].0, TokKind::Float);
+        assert_eq!(kinds("0..10").iter().filter(|t| t.0 == TokKind::Int).count(), 2);
+        assert_eq!(kinds("0x1e5")[0].0, TokKind::Int);
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let l = lex("let s = \"Instant::now()\"; // Instant::now()\n/* unwrap() */ x");
+        assert!(l.tokens.iter().all(|t| t.text != "now" && t.text != "unwrap"));
+        assert_eq!(l.comments.len(), 2);
+        assert!(!l.comments[0].own_line);
+        assert!(l.comments[1].own_line);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r####"let s = r#"embedded "quote" unwrap()"# ; y"####);
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Str));
+        assert!(l.tokens.iter().all(|t| t.text != "unwrap"));
+        assert_eq!(l.tokens.last().map(|t| t.text), Some("y"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ code");
+        assert_eq!(l.tokens.len(), 1);
+        assert_eq!(l.tokens[0].text, "code");
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let l = lex("a\nb\n  c");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+}

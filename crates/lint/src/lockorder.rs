@@ -1,0 +1,265 @@
+//! R4: static lock-order analysis.
+//!
+//! Deadlocks in the coordination layer are ordering bugs: two threads each
+//! holding one lock while acquiring the other. This pass builds the
+//! *acquired-while-held* graph and fails on any cycle.
+//!
+//! Two edge sources:
+//!
+//! 1. **Lexical nesting** — every `x.lock()` whose guard is still live
+//!    (same statement for temporaries, enclosing block for `let` bindings)
+//!    when another `y.lock()` runs adds the edge `x → y`.
+//! 2. **Annotations** — `// covenant: lock-order(a < b)` declares that `a`
+//!    may be held while acquiring `b`. These encode the cross-crate edges
+//!    the lexical pass cannot see (e.g. the enforcement core calling back
+//!    into the coordinator while the admission lock is held).
+//!
+//! Lock identity is the *field name* ahead of `.lock()` (`self.state.lock()`
+//! → `state`), shared across every analyzed file: the paper's combining
+//! tree spans crates, and so do its ordering obligations. Suppress a site
+//! with `// covenant: allow(lock-order)`.
+
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::rules::parse_lock_order_pragma;
+use crate::{Allows, Diagnostic, Rule};
+use std::collections::BTreeMap;
+
+/// Where one acquired-while-held edge was observed or declared.
+#[derive(Debug, Clone)]
+struct EdgeSite {
+    path: String,
+    line: u32,
+    declared: bool,
+}
+
+/// Accumulates lock-order edges across files, then reports cycles.
+#[derive(Debug, Default)]
+pub struct LockOrderAnalysis {
+    /// `held → acquired`, with the first site that produced the edge.
+    edges: BTreeMap<String, BTreeMap<String, EdgeSite>>,
+}
+
+/// How long an acquired guard stays live.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum GuardLife {
+    /// `let g = x.lock();` — to the end of the enclosing block.
+    Block(i32),
+    /// Temporary — to the end of the statement.
+    Stmt,
+}
+
+impl LockOrderAnalysis {
+    /// Adds one file's acquisition sites and annotations.
+    pub(crate) fn add_file(
+        &mut self,
+        path: &str,
+        lexed: &Lexed<'_>,
+        skip: &[(u32, u32)],
+        allows: &Allows,
+    ) {
+        for c in &lexed.comments {
+            for (a, b) in parse_lock_order_pragma(c.text) {
+                self.add_edge(a, b, path, c.line, true);
+            }
+        }
+
+        let in_test = |line: u32| skip.iter().any(|&(a, b)| (a..=b).contains(&line));
+        let tokens = &lexed.tokens;
+        let mut depth = 0i32;
+        let mut stmt_has_let = false;
+        let mut held: Vec<(String, GuardLife)> = Vec::new();
+
+        for i in 0..tokens.len() {
+            let t = &tokens[i];
+            if t.kind == TokKind::Punct {
+                match t.text {
+                    "{" => {
+                        depth += 1;
+                        stmt_has_let = false;
+                    }
+                    "}" => {
+                        held.retain(|(_, life)| *life != GuardLife::Block(depth) && *life != GuardLife::Stmt);
+                        depth -= 1;
+                        stmt_has_let = false;
+                    }
+                    ";" => {
+                        held.retain(|(_, life)| *life != GuardLife::Stmt);
+                        stmt_has_let = false;
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if t.text == "let" {
+                stmt_has_let = true;
+                continue;
+            }
+            if t.text == "lock"
+                && i >= 2
+                && is_punct(tokens, i - 1, ".")
+                && is_punct(tokens, i + 1, "(")
+                && is_punct(tokens, i + 2, ")")
+            {
+                let line = t.line;
+                if in_test(line) || allows.allowed(line, Rule::LockOrder) {
+                    continue;
+                }
+                let name = lock_name(tokens, i - 2);
+                for (h, _) in &held {
+                    if *h != name {
+                        self.add_edge(h.clone(), name.clone(), path, line, false);
+                    }
+                }
+                // The guard is block-lived only when the `.lock()` result
+                // itself is what the `let` binds (`let g = x.lock();`).
+                // With further calls chained on (`let v = x.lock().get();`)
+                // the guard is a temporary and dies at the semicolon.
+                let binds_guard = stmt_has_let && is_punct(tokens, i + 3, ";");
+                let life = if binds_guard { GuardLife::Block(depth) } else { GuardLife::Stmt };
+                held.push((name, life));
+            }
+        }
+    }
+
+    fn add_edge(&mut self, from: String, to: String, path: &str, line: u32, declared: bool) {
+        self.edges.entry(from).or_default().entry(to).or_insert(EdgeSite {
+            path: path.to_string(),
+            line,
+            declared,
+        });
+    }
+
+    /// Reports one diagnostic per lock-order cycle in the combined graph.
+    pub(crate) fn into_diagnostics(self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        // DFS with tri-color marking; each back edge closes one cycle.
+        let nodes: Vec<&String> = self.edges.keys().collect();
+        let mut color: BTreeMap<&str, u8> = BTreeMap::new(); // 0 white 1 grey 2 black
+        let mut stack: Vec<&str> = Vec::new();
+
+        fn dfs<'a>(
+            node: &'a str,
+            edges: &'a BTreeMap<String, BTreeMap<String, EdgeSite>>,
+            color: &mut BTreeMap<&'a str, u8>,
+            stack: &mut Vec<&'a str>,
+            diags: &mut Vec<Diagnostic>,
+        ) {
+            color.insert(node, 1);
+            stack.push(node);
+            if let Some(succ) = edges.get(node) {
+                for (next, site) in succ {
+                    match color.get(next.as_str()).copied().unwrap_or(0) {
+                        0 => dfs(next, edges, color, stack, diags),
+                        1 => {
+                            let pos = stack.iter().position(|n| *n == next).unwrap_or(0);
+                            let mut cycle: Vec<&str> = stack[pos..].to_vec();
+                            cycle.push(next);
+                            let kind = if site.declared { "declared" } else { "observed" };
+                            diags.push(Diagnostic {
+                                rule: Rule::LockOrder,
+                                path: site.path.clone(),
+                                line: site.line,
+                                message: format!(
+                                    "lock-order cycle: {} ({} edge `{}` -> `{}` closes it); \
+                                     fix the acquisition order or the lock-order annotations",
+                                    cycle.join(" -> "),
+                                    kind,
+                                    node,
+                                    next
+                                ),
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            stack.pop();
+            color.insert(node, 2);
+        }
+
+        for n in nodes {
+            if color.get(n.as_str()).copied().unwrap_or(0) == 0 {
+                dfs(n, &self.edges, &mut color, &mut stack, &mut diags);
+            }
+        }
+        diags
+    }
+}
+
+fn lock_name(tokens: &[Token<'_>], owner: usize) -> String {
+    let t = &tokens[owner];
+    if t.kind == TokKind::Ident {
+        t.text.to_string()
+    } else {
+        // `(expr).lock()` and friends: no stable field name to key on.
+        "<expr>".to_string()
+    }
+}
+
+fn is_punct(tokens: &[Token<'_>], i: usize, text: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn analyze(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let mut a = LockOrderAnalysis::default();
+        for (path, src) in files {
+            let lexed = lex(src);
+            let allows = Allows::from_comments(&lexed.comments);
+            a.add_file(path, &lexed, &[], &allows);
+        }
+        a.into_diagnostics()
+    }
+
+    use crate::Allows;
+
+    #[test]
+    fn nested_temporaries_make_an_edge_and_reverse_nesting_a_cycle() {
+        let fwd = "fn f() { let g = self.a.lock(); self.b.lock().touch(); }";
+        assert!(analyze(&[("x.rs", fwd)]).is_empty(), "one direction alone is fine");
+        let rev = "fn g() { let h = self.b.lock(); self.a.lock().touch(); }";
+        let diags = analyze(&[("x.rs", fwd), ("y.rs", rev)]);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("a -> b") || diags[0].message.contains("b -> a"));
+    }
+
+    #[test]
+    fn statement_temporary_does_not_outlive_its_statement() {
+        let src = "fn f() { self.a.lock().touch(); self.b.lock().touch(); }";
+        assert!(analyze(&[("x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn let_guard_lives_to_block_end() {
+        let src = "fn f() { { let g = a.lock(); } b.lock().touch(); }\n\
+                   fn g() { let h = b.lock(); a.lock().touch(); }";
+        // `g` was dropped with its block, so only b -> a exists: no cycle.
+        assert!(analyze(&[("x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn annotation_conflicting_with_observation_is_a_cycle() {
+        let src = "// covenant: lock-order(a < b)\n\
+                   fn f() { let g = b.lock(); a.lock().touch(); }";
+        let diags = analyze(&[("x.rs", src)]);
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn allow_pragma_suppresses_a_site() {
+        let src = "fn f() { let g = self.a.lock();\n\
+                   self.b.lock().touch(); // covenant: allow(lock-order)\n\
+                   }\n\
+                   fn g() { let h = self.b.lock(); self.a.lock().touch(); }";
+        assert!(analyze(&[("x.rs", src)]).is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! `covenant-lint` CLI: scans the workspace and reports invariant
+//! violations with `file:line` diagnostics.
+//!
+//! ```text
+//! covenant-lint [--root DIR] [--json] [--deny all|RULE[,RULE…]] [--list-rules]
+//! ```
+//!
+//! Exit status is 1 when any denied rule fired (all rules are denied by
+//! default), 0 otherwise. `--json` emits a machine-readable array for CI.
+
+use covenant_lint::{lint_workspace, to_json, Rule};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut deny: Vec<Rule> = Rule::ALL.to_vec();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => json = true,
+            "--deny" => match it.next() {
+                Some(spec) => match parse_rules(spec) {
+                    Some(rules) => deny = rules,
+                    None => return usage("unknown rule in --deny"),
+                },
+                None => return usage("--deny needs `all` or a rule list"),
+            },
+            "--list-rules" => {
+                for r in Rule::ALL {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("covenant-lint: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let diags = lint_workspace(&root);
+    if json {
+        print!("{}", to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        let denied = diags.iter().filter(|d| deny.contains(&d.rule)).count();
+        println!(
+            "covenant-lint: {} violation(s), {} denied, {} file-scoped rule(s) active",
+            diags.len(),
+            denied,
+            Rule::ALL.len()
+        );
+    }
+    if diags.iter().any(|d| deny.contains(&d.rule)) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn parse_rules(spec: &str) -> Option<Vec<Rule>> {
+    if spec == "all" {
+        return Some(Rule::ALL.to_vec());
+    }
+    let mut out = Vec::new();
+    for name in spec.split(',') {
+        let rule = Rule::ALL.into_iter().find(|r| r.name() == name.trim())?;
+        out.push(rule);
+    }
+    Some(out)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("covenant-lint: {err}");
+    }
+    eprintln!(
+        "usage: covenant-lint [--root DIR] [--json] [--deny all|RULE[,RULE…]] [--list-rules]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,12 @@
+//! R1 trigger: wall-clock reads in data-plane code.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> f64 {
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+pub fn epoch() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,8 @@
+//! R1 non-trigger: injected time, plus mentions of `Instant::now()` in
+//! comments and strings that must not count as reads.
+
+pub fn stamp(now: f64) -> f64 {
+    // Data-plane code takes `now` by injection; Instant::now() is banned.
+    let banner = "never call Instant::now() here";
+    now + banner.len() as f64 * 0.0
+}

@@ -1,0 +1,10 @@
+//! R2 trigger: panic paths on the admission path.
+
+pub fn first(v: &[u64]) -> u64 {
+    let x = *v.first().unwrap();
+    let y: u64 = "7".parse().expect("parse");
+    if v.len() > 3 {
+        panic!("too long");
+    }
+    x + y + v[0]
+}

@@ -1,0 +1,17 @@
+//! R2 non-trigger: fallible access without panicking, and test code
+//! (`#[cfg(test)]`) where unwraps are fine.
+
+pub fn first(v: &[u64]) -> Option<u64> {
+    let x = v.first()?;
+    v.get(1).map(|y| x + y)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = [1u64, 2];
+        assert_eq!(super::first(&v).unwrap(), 3);
+        assert_eq!(v[0], 1);
+    }
+}

@@ -1,0 +1,9 @@
+//! R3 trigger: exact float equality.
+
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn not_default(x: f64) -> bool {
+    x != -1.5
+}

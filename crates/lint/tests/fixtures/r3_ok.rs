@@ -1,0 +1,10 @@
+//! R3 non-trigger: epsilon compares, integer compares, and tuple-field
+//! access (`t.0` is an integer index, not a float literal).
+
+pub fn near(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+pub fn tuple_index(t: &(usize, usize)) -> bool {
+    t.0 == 1 && t.1 != 0
+}

@@ -1,0 +1,23 @@
+//! R4 trigger: two functions acquire the same pair of locks in opposite
+//! orders — a lock-order cycle (deadlock hazard).
+
+use parking_lot::Mutex;
+
+pub struct S {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+impl S {
+    pub fn ab(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn ba(&self) -> u64 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga + *gb
+    }
+}

@@ -1,0 +1,30 @@
+//! R4 non-trigger: every function acquires `a` before `b`, and a chained
+//! call's temporary guard (dead at the semicolon) opens no edge.
+
+use parking_lot::Mutex;
+
+pub struct S {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+impl S {
+    pub fn ab(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn sum_again(&self) -> u64 {
+        let ga = self.a.lock();
+        *ga + self.b.lock().wrapping_add(0)
+    }
+
+    pub fn peek_b_then_a(&self) -> u64 {
+        // The `b` guard here is a temporary: it dies at the semicolon,
+        // before `a` is taken, so this is NOT a b->a edge.
+        let vb = self.b.lock().wrapping_add(0);
+        let ga = self.a.lock();
+        vb + *ga
+    }
+}

@@ -1,0 +1,18 @@
+//! R4 trigger via annotation: the declared order `b < a` contradicts the
+//! lexical `a`-held-while-`b`-locked edge below.
+
+use parking_lot::Mutex;
+
+// covenant: lock-order(b < a)
+pub struct S {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+impl S {
+    pub fn ab(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+}

@@ -43,7 +43,8 @@ impl Tableau {
                 continue;
             }
             let factor = self.rows[i][s];
-            if factor != 0.0 {
+            // Exact-zero skip of an untouched coefficient, not a tolerance.
+            if factor != 0.0 { // covenant: allow(float-eq)
                 for (v, p) in self.rows[i].iter_mut().zip(&prow) {
                     *v -= factor * p;
                 }
@@ -51,7 +52,8 @@ impl Tableau {
             }
         }
         let factor = self.obj[s];
-        if factor != 0.0 {
+        // Exact-zero skip of an untouched coefficient, not a tolerance.
+        if factor != 0.0 { // covenant: allow(float-eq)
             for (v, p) in self.obj.iter_mut().zip(&prow) {
                 *v -= factor * p;
             }
@@ -102,7 +104,8 @@ impl Tableau {
         self.obj.push(0.0);
         for i in 0..self.m {
             let cb = c[self.basis[i]];
-            if cb != 0.0 {
+            // Exact-zero basis-cost skip, not a tolerance.
+            if cb != 0.0 { // covenant: allow(float-eq)
                 let row = self.rows[i].clone();
                 for (v, p) in self.obj.iter_mut().zip(&row) {
                     *v -= cb * p;

@@ -200,7 +200,8 @@ enum RunResult {
 #[inline]
 fn eliminate(row: &mut [f64], prow: &[f64], s: usize) {
     let factor = row[s];
-    if factor != 0.0 {
+    // Exact-zero skip of an untouched coefficient, not a tolerance.
+    if factor != 0.0 { // covenant: allow(float-eq)
         for (v, p) in row.iter_mut().zip(prow) {
             *v -= factor * p;
         }
@@ -252,7 +253,8 @@ fn install_objective(ws: &mut SimplexWorkspace, stride: usize) {
     }
     for (i, &b) in ws.basis.iter().enumerate() {
         let cb = if ws.flipped[b] { -ws.cost[b] } else { ws.cost[b] };
-        if cb != 0.0 {
+        // Exact-zero basis-cost skip, not a tolerance.
+        if cb != 0.0 { // covenant: allow(float-eq)
             let row = &ws.tab[i * stride..(i + 1) * stride];
             for (v, p) in ws.obj.iter_mut().zip(row) {
                 *v -= cb * p;
@@ -271,7 +273,8 @@ fn flip_column(ws: &mut SimplexWorkspace, m: usize, stride: usize, s: usize) {
     for i in 0..m {
         let row = &mut ws.tab[i * stride..(i + 1) * stride];
         let a = row[s];
-        if a != 0.0 {
+        // Exact-zero column skip, not a tolerance.
+        if a != 0.0 { // covenant: allow(float-eq)
             row[ncols] -= a * u;
             row[s] = -a;
         }

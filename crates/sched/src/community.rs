@@ -171,7 +171,7 @@ impl PreparedCommunity {
         let assignments = (0..n)
             .map(|i| (0..n).map(|k| x[1 + i * n + k].max(0.0)).collect())
             .collect();
-        Plan { assignments, theta: Some(x[0]), income: None }
+        Plan { assignments, theta: x.first().copied(), income: None }
     }
 
     /// Solves one window through `ws`, with the same semantics as

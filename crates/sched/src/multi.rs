@@ -110,7 +110,9 @@ impl PreparedMulti {
                 let lv = levels.kind(ResourceKind(r));
                 let row: Vec<(usize, f64)> = (0..n)
                     .map(|i| (xv(i, k), costs[i].0[r]))
-                    .filter(|(_, c)| *c != 0.0)
+                    // Exact-zero sparsity skip: drops structurally absent
+                    // coefficients only, not a numeric tolerance test.
+                    .filter(|(_, c)| *c != 0.0) // covenant: allow(float-eq)
                     .collect();
                 if !row.is_empty() {
                     p.add_constraint(row, Relation::Le, lv.capacities()[k].max(0.0));
@@ -152,7 +154,7 @@ impl PreparedMulti {
         let assignments = (0..n)
             .map(|i| (0..n).map(|k| x[1 + i * n + k].max(0.0)).collect())
             .collect();
-        Plan { assignments, theta: Some(x[0]), income: None }
+        Plan { assignments, theta: x.first().copied(), income: None }
     }
 
     /// Solves one window through `ws`, with the same semantics as

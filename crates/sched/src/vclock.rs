@@ -56,12 +56,9 @@ impl PartialOrd for Stamped {
 }
 impl Ord for Stamped {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on (finish, seq).
-        other
-            .finish
-            .partial_cmp(&self.finish)
-            .expect("finite finish times")
-            .then(other.seq.cmp(&self.seq))
+        // Min-heap on (finish, seq); total_cmp gives finite stamps the
+        // usual order without a panicking unwrap of partial_cmp.
+        other.finish.total_cmp(&self.finish).then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -114,7 +111,7 @@ impl VirtualClock {
             if top.request.cost > budget + 1e-9 {
                 break;
             }
-            let r = self.dispatch().expect("peeked");
+            let Some(r) = self.dispatch() else { break };
             budget -= r.cost;
             out.push(r);
         }

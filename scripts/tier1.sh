@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the one entry point builders run before pushing.
 #
-#   build (release) + full test suite + clippy -D warnings on the crates
-#   touched by the LP fast-path work.
+#   build (release) + full test suite + covenant-lint + clippy -D warnings
+#   across the whole workspace.
 #
 # Usage: scripts/tier1.sh
 set -euo pipefail
@@ -17,18 +17,11 @@ cargo test -q --offline
 echo "==> cargo test (workspace)"
 cargo test -q --offline --workspace
 
-echo "==> cargo clippy -D warnings (touched crates)"
-cargo clippy --offline \
-    -p covenant-lp \
-    -p covenant-sched \
-    -p covenant-enforce \
-    -p covenant-sim \
-    -p covenant-coord \
-    -p covenant-l7 \
-    -p covenant-l4 \
-    -p covenant-core \
-    -p covenant-bench \
-    --all-targets -- -D warnings
+echo "==> covenant-lint --deny all (workspace invariants, R1-R4)"
+cargo run -q --offline -p covenant-lint -- --deny all
+
+echo "==> cargo clippy -D warnings (workspace)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> cargo bench --no-run (benchmarks must compile)"
 cargo bench --no-run --offline -p covenant-bench

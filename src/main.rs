@@ -51,7 +51,7 @@ fn main() -> ExitCode {
             let duration = cfg.duration;
             let report = Simulation::new(cfg).run();
             if csv {
-                print!("time_s,principal,rate_req_s\n");
+                println!("time_s,principal,rate_req_s");
                 for (i, name) in names.iter().enumerate() {
                     for (t, r) in report.rates.series(PrincipalId(i)) {
                         println!("{t},{name},{r}");

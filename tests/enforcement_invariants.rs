@@ -65,14 +65,14 @@ fn community_plans_respect_agreements_on_random_graphs() {
                 levels.capacities()[k]
             );
         }
-        for i in 0..n {
+        for (i, &queued) in queues.iter().enumerate() {
             let p = PrincipalId(i);
             let admitted = plan.admitted(p);
             assert!(
-                admitted <= queues[i] + 1e-6,
+                admitted <= queued + 1e-6,
                 "case {case}: principal {i} over-served"
             );
-            let floor = levels.mandatory(p).min(queues[i]);
+            let floor = levels.mandatory(p).min(queued);
             assert!(
                 admitted >= floor - 1e-6,
                 "case {case}: principal {i} mandatory violated: {admitted} < {floor}"
@@ -104,16 +104,16 @@ fn provider_plans_respect_agreements_on_random_graphs() {
 
         let total_cap: f64 = levels.capacities().iter().sum();
         assert!(plan.total_admitted() <= total_cap + 1e-6, "case {case}: pool overloaded");
-        for i in 0..n {
+        for (i, &queued) in queues.iter().enumerate() {
             let p = PrincipalId(i);
             let admitted = plan.admitted(p);
-            assert!(admitted <= queues[i] + 1e-6, "case {case}: queue exceeded");
+            assert!(admitted <= queued + 1e-6, "case {case}: queue exceeded");
             assert!(
                 admitted <= levels.mandatory(p) + levels.optional(p) + 1e-6,
                 "case {case}: principal {i} beyond optional ceiling"
             );
             assert!(
-                admitted >= levels.mandatory(p).min(queues[i]) - 1e-6,
+                admitted >= levels.mandatory(p).min(queued) - 1e-6,
                 "case {case}: principal {i} mandatory violated"
             );
             for k in 0..n {
