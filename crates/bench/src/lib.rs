@@ -32,6 +32,43 @@ pub fn random_graph(n: usize, density: f64, seed: u64) -> AgreementGraph {
     g
 }
 
+/// Builds a deterministic two-tier agreement community for large-`n`
+/// LP/scheduler benches: the first ⌈n/2⌉ principals are capacity-holding
+/// providers, the rest are consumers holding agreements with up to three
+/// providers each. Every simple agreement path has length one, so the
+/// exact transitive-flow closure stays linear in the edge count —
+/// [`random_graph`]'s free-form topology makes path enumeration
+/// intractable past a few dozen principals, while the window LP it feeds
+/// keeps the same shape (n² + 1 variables, agreement-sparsified columns).
+pub fn bipartite_graph(n: usize, seed: u64) -> AgreementGraph {
+    let mut rng = SmallLcg::new(seed);
+    let mut g = AgreementGraph::new();
+    let providers = n.div_ceil(2).max(1);
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            let cap = if i < providers { 100.0 + rng.next_f64() * 1000.0 } else { 0.0 };
+            g.add_principal(format!("P{i}"), cap)
+        })
+        .collect();
+    // Per-provider mandatory budget so the grants stay feasible.
+    let mut budget = vec![0.9f64; providers];
+    for (c, &cid) in ids.iter().enumerate().skip(providers) {
+        let mut chosen = [usize::MAX; 3];
+        for spread in 0..3usize {
+            let p = (c + spread * 131 + (rng.next_f64() * providers as f64) as usize) % providers;
+            if budget[p] <= 0.05 || chosen.contains(&p) {
+                continue;
+            }
+            chosen[spread] = p;
+            let lb = (0.02 + rng.next_f64() * 0.1).min(budget[p] - 0.02);
+            let ub = (lb + rng.next_f64() * 0.3).min(1.0);
+            g.add_agreement(ids[p], cid, lb, ub).expect("within budget");
+            budget[p] -= lb;
+        }
+    }
+    g
+}
+
 /// A tiny self-contained LCG so the bench *library* stays free of external
 /// dependencies (criterion and rand are dev-dependencies only).
 mod rand_free {
@@ -235,6 +272,24 @@ mod tests {
     fn density_zero_means_no_agreements() {
         let g = random_graph(5, 0.0, 1);
         assert!(g.agreements().is_empty());
+    }
+
+    #[test]
+    fn bipartite_graph_is_deterministic_valid_and_shallow() {
+        let a = bipartite_graph(64, 42);
+        let b = bipartite_graph(64, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        let levels = a.access_levels();
+        levels.check_mandatory_feasible(1e-9).unwrap();
+        // Only the provider tier grants, so every agreement path has
+        // length one — the property that keeps the exact path closure
+        // (and thus large-n workload construction) linear.
+        for ag in a.agreements() {
+            assert!(ag.issuer.0 < 32, "consumer issued an agreement");
+            assert!(ag.holder.0 >= 32, "provider holds an agreement");
+        }
+        assert!(!a.agreements().is_empty());
     }
 
     #[test]

@@ -135,6 +135,12 @@ impl AdmissionControl {
         self.inner.lock().lp_stats()
     }
 
+    /// `(warm_hits, cold_fallbacks)` of the warm-started revised solver
+    /// since start.
+    pub fn warm_stats(&self) -> (u64, u64) {
+        self.inner.lock().warm_stats()
+    }
+
     /// The most recent installed plan (per-window request budgets).
     pub fn last_plan(&self) -> Plan {
         self.inner.lock().last_plan().clone()

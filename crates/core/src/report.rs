@@ -32,7 +32,8 @@ impl PhaseRates {
 /// Engine and coordination counters of a simulator report as a JSON
 /// object: event-loop performance profile (`events_processed`,
 /// `peak_event_queue`, wall-clock `events_per_sec`), plan-cache
-/// effectiveness, and message/drop accounting. Shared by the CLI's
+/// effectiveness, LP solver work (warm-basis reuse vs cold restarts,
+/// pivot counts), and message/drop accounting. Shared by the CLI's
 /// `run --json` output and any tooling that tracks engine health.
 pub fn sim_counters_json(report: &SimReport) -> crate::json::Value {
     use crate::json::Value;
@@ -42,6 +43,11 @@ pub fn sim_counters_json(report: &SimReport) -> crate::json::Value {
         ("events_per_sec".into(), report.events_per_sec().into()),
         ("plan_cache_hits".into(), (report.plan_cache_hits as f64).into()),
         ("plan_cache_misses".into(), (report.plan_cache_misses as f64).into()),
+        ("plan_cache_evictions".into(), (report.plan_cache_evictions as f64).into()),
+        ("lp_solves".into(), (report.lp_solves as f64).into()),
+        ("lp_pivots".into(), (report.lp_pivots as f64).into()),
+        ("lp_warm_hits".into(), (report.lp_warm_hits as f64).into()),
+        ("lp_cold_fallbacks".into(), (report.lp_cold_fallbacks as f64).into()),
         ("tree_messages".into(), (report.tree_messages as f64).into()),
         (
             "pairwise_messages_equivalent".into(),
@@ -64,8 +70,11 @@ pub fn live_counters_json(counters: &EnforcementCounters) -> crate::json::Value 
         ("parked".into(), (counters.parked as f64).into()),
         ("plan_cache_hits".into(), (counters.plan_cache_hits as f64).into()),
         ("plan_cache_misses".into(), (counters.plan_cache_misses as f64).into()),
+        ("plan_cache_evictions".into(), (counters.plan_cache_evictions as f64).into()),
         ("lp_solves".into(), (counters.lp_solves as f64).into()),
         ("lp_pivots".into(), (counters.lp_pivots as f64).into()),
+        ("lp_warm_hits".into(), (counters.lp_warm_hits as f64).into()),
+        ("lp_cold_fallbacks".into(), (counters.lp_cold_fallbacks as f64).into()),
     ])
 }
 
@@ -218,15 +227,21 @@ mod tests {
             parked: 3,
             plan_cache_hits: 90,
             plan_cache_misses: 10,
+            plan_cache_evictions: 4,
             lp_solves: 10,
             lp_pivots: 25,
+            lp_warm_hits: 8,
+            lp_cold_fallbacks: 2,
         };
         let parsed = crate::json::Value::parse(&live_counters_json(&counters).to_pretty()).unwrap();
         assert_eq!(parsed["admitted"].as_f64().unwrap(), 42.0);
         assert_eq!(parsed["deferred"].as_f64().unwrap(), 7.0);
         assert_eq!(parsed["parked"].as_f64().unwrap(), 3.0);
         assert_eq!(parsed["plan_cache_hits"].as_f64().unwrap(), 90.0);
+        assert_eq!(parsed["plan_cache_evictions"].as_f64().unwrap(), 4.0);
         assert_eq!(parsed["lp_pivots"].as_f64().unwrap(), 25.0);
+        assert_eq!(parsed["lp_warm_hits"].as_f64().unwrap(), 8.0);
+        assert_eq!(parsed["lp_cold_fallbacks"].as_f64().unwrap(), 2.0);
     }
 
     #[test]
@@ -242,6 +257,11 @@ mod tests {
                 + parsed["plan_cache_misses"].as_f64().unwrap(),
             (o.report.plan_cache_hits + o.report.plan_cache_misses) as f64
         );
+        // The steady single-redirector scenario runs the LP and reuses the
+        // previous window's basis after the first solve.
+        assert!(parsed["lp_solves"].as_f64().unwrap() > 0.0);
+        assert!(parsed["lp_warm_hits"].as_f64().unwrap() > 0.0);
+        assert_eq!(parsed["lp_cold_fallbacks"].as_f64().unwrap(), 1.0);
         // The heap must be concurrency-bounded in this tiny scenario,
         // far below its ~150 total requests.
         assert!(parsed["peak_event_queue"].as_usize().unwrap() < 64);

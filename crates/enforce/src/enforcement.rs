@@ -164,10 +164,17 @@ pub struct EnforcementCounters {
     pub plan_cache_hits: u64,
     /// Windows that ran the LP.
     pub plan_cache_misses: u64,
-    /// Simplex solves performed.
+    /// Plan-cache entries pushed out by the LRU cap.
+    pub plan_cache_evictions: u64,
+    /// Simplex solves performed (warm revised plus dense tableau).
     pub lp_solves: u64,
-    /// Simplex pivots performed.
+    /// Simplex pivots performed (warm revised plus dense tableau).
     pub lp_pivots: u64,
+    /// Windows solved by reusing the previous window's optimal basis.
+    pub lp_warm_hits: u64,
+    /// Windows the warm solver restarted cold (first window of a shape,
+    /// level change, numerical recovery) or handed to the dense tableau.
+    pub lp_cold_fallbacks: u64,
 }
 
 /// The full per-redirector admission/window state machine, transport- and
@@ -297,10 +304,23 @@ impl<V: CoordinationView> EnforcementCore<V> {
         self.scheduler.cache_stats()
     }
 
-    /// `(solves, pivots)` of the scheduler's LP workspace since
+    /// Plan-cache entries pushed out by the LRU cap since construction.
+    pub fn cache_evictions(&self) -> u64 {
+        self.scheduler.cache_evictions()
+    }
+
+    /// `(solves, pivots)` across the scheduler's LP engines since
     /// construction.
     pub fn lp_stats(&self) -> (u64, u64) {
         self.scheduler.lp_stats()
+    }
+
+    /// `(warm_hits, cold_fallbacks)` of the warm-started revised solver:
+    /// windows that reused the previous basis vs. windows that restarted
+    /// cold or fell back to the dense tableau.
+    pub fn warm_stats(&self) -> (u64, u64) {
+        let warm = self.scheduler.warm_stats();
+        (warm.warm_solves, warm.cold_starts + self.scheduler.dense_fallbacks())
     }
 
     /// The most recent installed plan (per-window request budgets).
@@ -323,14 +343,18 @@ impl<V: CoordinationView> EnforcementCore<V> {
     pub fn counters(&self) -> EnforcementCounters {
         let (plan_cache_hits, plan_cache_misses) = self.scheduler.cache_stats();
         let (lp_solves, lp_pivots) = self.scheduler.lp_stats();
+        let (lp_warm_hits, lp_cold_fallbacks) = self.warm_stats();
         EnforcementCounters {
             admitted: self.admitted,
             deferred: self.deferred,
             parked: self.queues.total_len() as u64,
             plan_cache_hits,
             plan_cache_misses,
+            plan_cache_evictions: self.scheduler.cache_evictions(),
             lp_solves,
             lp_pivots,
+            lp_warm_hits,
+            lp_cold_fallbacks,
         }
     }
 

@@ -27,18 +27,30 @@
 //! }
 //! ```
 //!
-//! Problem sizes in this workspace are tiny (a handful of principals, so at
-//! most a few hundred variables), so a dense tableau with `O((m+n)·m)` work
-//! per pivot is the right tool; no sparse or revised-simplex machinery is
-//! needed.
+//! Two engines share this problem type:
+//!
+//! * the dense two-phase tableau ([`Problem::solve`] /
+//!   [`Problem::solve_in_place`]) — simple and robust, right for a handful
+//!   of principals where the tableau fits in cache;
+//! * the sparse revised simplex with a warm-started dual phase
+//!   ([`Problem::solve_warm`] through a persistent [`WarmBasis`]) — the
+//!   large-`n` path. The window LPs have `O(n²)` variables but only
+//!   `O(agreements)` nonzeros, and consecutive 100 ms windows differ only
+//!   in queue-derived rhs and bounds, so re-solving from the previous
+//!   window's basis takes a handful of dual pivots instead of a full
+//!   cold solve. On shape changes or numerical trouble the warm engine
+//!   reports [`WarmOutcome::Unsuitable`] and callers fall back to the
+//!   dense solver.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod problem;
 pub mod reference;
+mod revised;
 mod simplex;
 
 pub use problem::{Constraint, LpError, Problem, Relation};
 pub use reference::solve_reference;
+pub use revised::{WarmBasis, WarmOutcome, WarmStats};
 pub use simplex::{LpOutcome, LpStatus, SimplexWorkspace, Solution, DEFAULT_BLAND_AFTER, EPS};

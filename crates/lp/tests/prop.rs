@@ -1,6 +1,7 @@
-//! Property tests for the simplex solver.
+//! Property tests for the simplex solvers (dense tableau and warm-started
+//! revised dual simplex).
 
-use covenant_lp::{LpOutcome, Problem, Relation};
+use covenant_lp::{LpOutcome, Problem, Relation, WarmBasis, WarmOutcome};
 use proptest::prelude::*;
 use proptest::TestCaseError;
 
@@ -93,6 +94,33 @@ fn assert_matches_reference(p: &Problem) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Asserts one warm-engine solve agrees with the reference oracle. Every
+/// variable in the generated problems carries a finite upper bound, so the
+/// warm engine must never declare the problem `Unsuitable`.
+fn assert_warm_matches_reference(
+    p: &Problem,
+    warm: &mut WarmBasis,
+) -> Result<(), TestCaseError> {
+    let out = p.solve_warm(warm);
+    match p.solve_reference() {
+        LpOutcome::Optimal(s) => {
+            prop_assert_eq!(out, WarmOutcome::Optimal, "reference found {}", s.objective);
+            prop_assert!(
+                (warm.objective_value() - s.objective).abs() < 1e-6,
+                "warm {} vs reference {}",
+                warm.objective_value(),
+                s.objective
+            );
+            prop_assert!(p.is_feasible(warm.x(), 1e-6), "warm optimum infeasible");
+        }
+        LpOutcome::Infeasible => {
+            prop_assert_eq!(out, WarmOutcome::Infeasible);
+        }
+        other => prop_assert!(false, "reference returned {:?}", other),
+    }
+    Ok(())
+}
+
 proptest! {
     /// The Dantzig/flat-tableau solver must classify and value every
     /// bounded-feasible LP exactly as the retained reference does.
@@ -158,6 +186,65 @@ proptest! {
         }
         let s2 = p2.solve().optimal().expect("still optimal");
         prop_assert!((s1.objective - s2.objective).abs() < 1e-6);
+    }
+
+    /// The warm (revised dual simplex) engine must classify and value every
+    /// generated LP — including infeasible ones — exactly as the reference.
+    #[test]
+    fn warm_matches_reference_on_mixed_lps(p in mixed_lp()) {
+        assert_warm_matches_reference(&p, &mut WarmBasis::new())?;
+    }
+
+    /// Window regime: one skeleton, a walk of queue-like rhs/bound
+    /// perturbations, one persistent basis. Every re-solve must match the
+    /// reference, and after the first solve the basis must actually be
+    /// reused (warm, not silently cold-restarted).
+    #[test]
+    fn warm_rhs_walk_matches_reference(
+        p in bounded_lp(),
+        deltas in proptest::collection::vec(
+            (proptest::collection::vec(-3.0..3.0f64, 6), -2.0..2.0f64),
+            1..8,
+        ),
+    ) {
+        let mut warm = WarmBasis::new();
+        assert_warm_matches_reference(&p, &mut warm)?;
+        let mut window = p.clone();
+        for (rhs_d, ub_d) in &deltas {
+            for (i, d) in rhs_d.iter().take(window.n_constraints()).enumerate() {
+                let rhs = window.constraints()[i].rhs;
+                window.set_constraint_rhs(i, (rhs + d).max(0.1));
+            }
+            let ub0 = window.upper_bounds()[0].unwrap_or(20.0);
+            window.set_upper_bound_exact(0, (ub0 + ub_d).max(0.0));
+            assert_warm_matches_reference(&window, &mut warm)?;
+        }
+        let stats = warm.stats();
+        prop_assert_eq!(stats.solves, 1 + deltas.len() as u64);
+        prop_assert!(
+            stats.warm_solves >= deltas.len() as u64,
+            "expected warm reuse, got {:?}",
+            stats
+        );
+    }
+
+    /// A shape change mid-walk must be detected and answered with a cold
+    /// restart that still matches the reference, and warm reuse must resume
+    /// on the shape that follows.
+    #[test]
+    fn warm_shape_change_cold_restarts(a in bounded_lp(), b in mixed_lp()) {
+        // Guarantee `b` really is a different shape (more rows than `a`).
+        let mut b = b;
+        while b.n_constraints() <= a.n_constraints() {
+            b.add_constraint(vec![(0, 1.0)], Relation::Le, 1000.0);
+        }
+        let mut warm = WarmBasis::new();
+        assert_warm_matches_reference(&a, &mut warm)?;
+        assert_warm_matches_reference(&a, &mut warm)?;
+        assert_warm_matches_reference(&b, &mut warm)?;
+        let after_b = warm.stats().cold_starts;
+        prop_assert!(after_b >= 2, "shape change must cold start: {:?}", warm.stats());
+        assert_warm_matches_reference(&a, &mut warm)?;
     }
 
     /// Tightening a variable's upper bound never increases the optimum of a

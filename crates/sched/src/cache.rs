@@ -2,16 +2,25 @@
 //!
 //! In steady state the EWMA demand estimator converges to a floating-point
 //! fixpoint, so consecutive windows solve the LP on *identical* queue
-//! vectors. [`PlanCache`] memoizes the last solved
-//! `(access-levels fingerprint, quantized queue vector) → Plan` so those
-//! windows skip the simplex entirely. Queue lengths are quantized at
+//! vectors. [`PlanCache`] memoizes recently solved
+//! `(access-levels fingerprint, quantized queue vector) → Plan` entries so
+//! those windows skip the simplex entirely. Queue lengths are quantized at
 //! [`PlanCache::QUANTUM`] (`1e-6` requests) before comparison: differences
 //! below the quantum cannot move any plan by a meaningful amount, while the
 //! key stays an exact integer comparison (no tolerance-chaining bugs).
 //!
-//! The cache holds a single entry — per-window demand walks, it does not
-//! oscillate between a working set of vectors — and is invalidated
-//! whenever the access levels change.
+//! The cache is bounded at [`PlanCache::DEFAULT_CAPACITY`] entries with
+//! least-recently-used eviction — per-window demand fingerprints churn
+//! continuously at large principal counts, and an unbounded map would grow
+//! with every distinct quantized vector ever seen. Evictions are counted
+//! ([`PlanCache::evictions`]) so deployments can see when the working set
+//! outgrows the cache. The whole cache is invalidated whenever the access
+//! levels change.
+//!
+//! Since the warm-started solver landed, the cache is a fast *pre-check* in
+//! front of an already-cheap re-solve (a hit saves the dual-simplex repair
+//! and the plan extraction), not the only thing standing between a window
+//! and a full cold solve.
 
 use crate::Plan;
 use covenant_agreements::{AccessLevels, PrincipalId};
@@ -47,31 +56,60 @@ pub fn levels_fingerprint(levels: &AccessLevels) -> u64 {
     fnv1a_f64(h, levels.capacities().iter().copied())
 }
 
-/// Single-entry memo of the last solved window.
+/// One memoized window.
+#[derive(Debug, Clone)]
+struct Entry {
+    key: Vec<i64>,
+    plan: Plan,
+    /// Logical time of last use (hit or store) — the LRU ordering.
+    used: u64,
+}
+
+/// Bounded LRU memo of recently solved windows.
 #[derive(Debug, Clone)]
 pub struct PlanCache {
     fingerprint: u64,
-    key: Vec<i64>,
-    plan: Option<Plan>,
+    entries: Vec<Entry>,
+    capacity: usize,
+    clock: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl PlanCache {
     /// Queue-length quantization step for cache keys, in requests.
     pub const QUANTUM: f64 = 1e-6;
 
+    /// Default entry cap. Demand walks oscillate over a handful of
+    /// quantized vectors (EWMA fixpoints, alternating phases); a few dozen
+    /// entries cover that working set while keeping lookup a short linear
+    /// scan and memory bounded regardless of churn.
+    pub const DEFAULT_CAPACITY: usize = 32;
+
     /// An empty cache bound to the given levels fingerprint.
     pub fn new(fingerprint: u64) -> Self {
-        PlanCache { fingerprint, key: Vec::new(), plan: None, hits: 0, misses: 0 }
+        Self::with_capacity(fingerprint, Self::DEFAULT_CAPACITY)
     }
 
-    /// Drops the stored plan and rebinds to a new levels fingerprint
+    /// An empty cache with an explicit entry cap (at least 1).
+    pub fn with_capacity(fingerprint: u64, capacity: usize) -> Self {
+        PlanCache {
+            fingerprint,
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Drops every stored plan and rebinds to a new levels fingerprint
     /// (call when capacities or agreements change).
     pub fn invalidate(&mut self, fingerprint: u64) {
         self.fingerprint = fingerprint;
-        self.plan = None;
-        self.key.clear();
+        self.entries.clear();
     }
 
     fn quantized(q: f64) -> i64 {
@@ -80,26 +118,48 @@ impl PlanCache {
         (q / Self::QUANTUM).round() as i64
     }
 
-    /// Returns the memoized plan if `queues` quantizes to the stored key.
-    /// Counts a hit or a miss either way.
+    fn matches(key: &[i64], queues: &[f64]) -> bool {
+        key.len() == queues.len()
+            && queues.iter().zip(key).all(|(&q, &k)| Self::quantized(q) == k)
+    }
+
+    /// Returns the memoized plan if `queues` quantizes to a stored key.
+    /// Counts a hit or a miss either way; a hit refreshes the entry's LRU
+    /// position.
     pub fn lookup(&mut self, queues: &[f64]) -> Option<Plan> {
-        if let Some(plan) = &self.plan {
-            if self.key.len() == queues.len()
-                && queues.iter().zip(&self.key).all(|(&q, &k)| Self::quantized(q) == k)
-            {
-                self.hits += 1;
-                return Some(plan.clone());
-            }
+        self.clock += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| Self::matches(&e.key, queues)) {
+            e.used = self.clock;
+            self.hits += 1;
+            return Some(e.plan.clone());
         }
         self.misses += 1;
         None
     }
 
-    /// Stores the freshly solved plan for `queues`.
+    /// Stores the freshly solved plan for `queues`, evicting the least
+    /// recently used entry when the cache is full.
     pub fn store(&mut self, queues: &[f64], plan: &Plan) {
-        self.key.clear();
-        self.key.extend(queues.iter().map(|&q| Self::quantized(q)));
-        self.plan = Some(plan.clone());
+        self.clock += 1;
+        let key: Vec<i64> = queues.iter().map(|&q| Self::quantized(q)).collect();
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.plan = plan.clone();
+            e.used = self.clock;
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.used)
+                .map(|(i, _)| i)
+            {
+                self.entries.swap_remove(oldest);
+                self.evictions += 1;
+            }
+        }
+        self.entries.push(Entry { key, plan: plan.clone(), used: self.clock });
     }
 
     /// The levels fingerprint this cache is bound to.
@@ -107,7 +167,17 @@ impl PlanCache {
         self.fingerprint
     }
 
-    /// Lookups that returned the memoized plan.
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups that returned a memoized plan.
     pub fn hits(&self) -> u64 {
         self.hits
     }
@@ -115,6 +185,11 @@ impl PlanCache {
     /// Lookups that fell through to the solver.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Entries pushed out by the LRU cap since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -150,12 +225,65 @@ mod tests {
     }
 
     #[test]
-    fn invalidation_clears_the_entry() {
+    fn invalidation_clears_every_entry() {
         let mut c = PlanCache::new(1);
         c.store(&[5.0], &Plan::zero(1, 1));
+        c.store(&[6.0], &Plan::zero(1, 1));
         c.invalidate(2);
+        assert!(c.is_empty());
         assert!(c.lookup(&[5.0]).is_none());
+        assert!(c.lookup(&[6.0]).is_none());
         assert_eq!(c.fingerprint(), 2);
+    }
+
+    #[test]
+    fn multiple_entries_coexist() {
+        // An alternating two-phase demand walk must hit on both vectors —
+        // the single-entry design this replaces thrashed here.
+        let mut c = PlanCache::new(0);
+        c.store(&[1.0], &Plan::zero(1, 1));
+        c.store(&[2.0], &Plan::zero(1, 1));
+        assert!(c.lookup(&[1.0]).is_some());
+        assert!(c.lookup(&[2.0]).is_some());
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn lru_cap_evicts_oldest() {
+        let mut c = PlanCache::with_capacity(0, 2);
+        c.store(&[1.0], &Plan::zero(1, 1));
+        c.store(&[2.0], &Plan::zero(1, 1));
+        // Touch [1.0] so [2.0] becomes the LRU victim.
+        assert!(c.lookup(&[1.0]).is_some());
+        c.store(&[3.0], &Plan::zero(1, 1));
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(&[2.0]).is_none(), "LRU entry must be gone");
+        assert!(c.lookup(&[1.0]).is_some());
+        assert!(c.lookup(&[3.0]).is_some());
+    }
+
+    #[test]
+    fn restore_of_existing_key_does_not_evict() {
+        let mut c = PlanCache::with_capacity(0, 2);
+        c.store(&[1.0], &Plan::zero(1, 1));
+        c.store(&[1.0], &Plan::zero(1, 1));
+        c.store(&[2.0], &Plan::zero(1, 1));
+        assert_eq!((c.len(), c.evictions()), (2, 0));
+    }
+
+    #[test]
+    fn churn_stays_bounded() {
+        let mut c = PlanCache::with_capacity(0, 4);
+        for i in 0..100 {
+            c.store(&[i as f64], &Plan::zero(1, 1));
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.evictions(), 96);
+        // The four most recent keys survive.
+        for i in 96..100 {
+            assert!(c.lookup(&[i as f64]).is_some(), "key {i}");
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@
 
 use crate::Plan;
 use covenant_agreements::{AccessLevels, PrincipalId};
-use covenant_lp::{LpStatus, Problem, Relation, SimplexWorkspace};
+use covenant_lp::{LpStatus, Problem, Relation, SimplexWorkspace, WarmBasis, WarmOutcome, WarmStats};
 
 /// Per-server locality caps: `caps[k]` limits how many requests this
 /// redirector may push to principal `k`'s servers in one window (modelling
@@ -85,12 +85,25 @@ impl CommunityScheduler {
 /// `3i + 1` (θ coverage `≥ 0`), `3i + 2` (mandatory floor `≥ floor_i`);
 /// then one capacity row per server (each followed by its locality row
 /// when caps are configured).
+///
+/// Rows carry only the `x_ik` whose agreement upper bound is positive —
+/// pairs with no agreement are zero-bounded and structurally absent — so
+/// the matrix has `O(agreements)` nonzeros, not `O(n²)`. The θ coefficient
+/// sits at slot 0 of every coverage row (the one per-window coefficient
+/// rewrite). A principal with no agreements at all keeps an empty queue/
+/// floor row and a coverage row of just `−θ·n_i ≥ 0`, which forces `θ = 0`
+/// whenever it has demand — exactly what the dense formulation did via its
+/// zero-bounded columns.
 #[derive(Debug, Clone)]
 pub struct PreparedCommunity {
     n: usize,
     base: Problem,
     /// Window-scaled mandatory level `MC_i` per principal.
     mandatory: Vec<f64>,
+    /// Persistent basis for the warm-started revised solver.
+    warm: WarmBasis,
+    /// Windows the warm engine refused and the dense tableau solved.
+    dense_fallbacks: u64,
 }
 
 impl PreparedCommunity {
@@ -105,35 +118,50 @@ impl PreparedCommunity {
         if n > 0 {
             p.set_upper_bound(0, 1.0); // θ ≤ 1: cannot serve more than the queue
         }
-        let mut mandatory = Vec::with_capacity(n);
+        // Agreement upper bounds, and which pairs exist at all.
+        let mut ub = vec![0.0f64; n * n];
         for i in 0..n {
             let pi = PrincipalId(i);
+            for k in 0..n {
+                let pk = PrincipalId(k);
+                let upper = levels.mand_share(pi, pk) + levels.opt_share(pi, pk);
+                ub[i * n + k] = upper.max(0.0);
+            }
+        }
+        let mut mandatory = Vec::with_capacity(n);
+        for i in 0..n {
+            // Only agreement-backed pairs appear in the rows.
+            let row: Vec<(usize, f64)> = (0..n)
+                .filter(|&k| ub[i * n + k] > 0.0)
+                .map(|k| (xv(i, k), 1.0))
+                .collect();
             // Queue limit: Σ_k x_ik ≤ n_i.
-            let row: Vec<(usize, f64)> = (0..n).map(|k| (xv(i, k), 1.0)).collect();
             p.add_constraint(row.clone(), Relation::Le, 0.0);
-            // θ coverage: Σ_k x_ik − θ n_i ≥ 0. The θ coefficient (slot n,
-            // after the n x-coefficients) is rewritten each window.
-            let mut cov = row.clone();
+            // θ coverage: Σ_k x_ik − θ n_i ≥ 0. The θ coefficient (slot 0)
+            // is rewritten each window.
+            let mut cov = Vec::with_capacity(row.len() + 1);
             cov.push((0, 0.0));
+            cov.extend_from_slice(&row);
             p.add_constraint(cov, Relation::Ge, 0.0);
             // Mandatory guarantee: demand up to MC_i is always served.
             p.add_constraint(row, Relation::Ge, 0.0);
             for k in 0..n {
-                let pk = PrincipalId(k);
-                let upper = levels.mand_share(pi, pk) + levels.opt_share(pi, pk);
-                p.set_upper_bound(xv(i, k), upper.max(0.0));
+                p.set_upper_bound(xv(i, k), ub[i * n + k]);
             }
-            mandatory.push(levels.mandatory(pi));
+            mandatory.push(levels.mandatory(PrincipalId(i)));
         }
         // Server capacities: Σ_i x_ik ≤ V_k, plus locality caps.
         for k in 0..n {
-            let row: Vec<(usize, f64)> = (0..n).map(|i| (xv(i, k), 1.0)).collect();
+            let row: Vec<(usize, f64)> = (0..n)
+                .filter(|&i| ub[i * n + k] > 0.0)
+                .map(|i| (xv(i, k), 1.0))
+                .collect();
             p.add_constraint(row.clone(), Relation::Le, caps[k].max(0.0));
             if let Some(LocalityCaps(c)) = &locality {
                 p.add_constraint(row, Relation::Le, c[k].max(0.0));
             }
         }
-        PreparedCommunity { n, base: p, mandatory }
+        PreparedCommunity { n, base: p, mandatory, warm: WarmBasis::new(), dense_fallbacks: 0 }
     }
 
     /// Number of principals the skeleton was built for.
@@ -150,7 +178,7 @@ impl PreparedCommunity {
         for (i, &q) in queues.iter().enumerate().take(self.n) {
             let ni = q.max(0.0);
             self.base.set_constraint_rhs(3 * i, ni);
-            self.base.set_constraint_coeff(3 * i + 1, self.n, -ni);
+            self.base.set_constraint_coeff(3 * i + 1, 0, -ni);
             let floor = if floors { self.mandatory[i].min(ni).max(0.0) } else { 0.0 };
             self.base.set_constraint_rhs(3 * i + 2, floor);
         }
@@ -165,18 +193,36 @@ impl PreparedCommunity {
         &self.base
     }
 
-    fn extract(&self, ws: &SimplexWorkspace) -> Plan {
+    fn extract(&self, x: &[f64]) -> Plan {
         let n = self.n;
-        let x = ws.x();
         let assignments = (0..n)
             .map(|i| (0..n).map(|k| x[1 + i * n + k].max(0.0)).collect())
             .collect();
         Plan { assignments, theta: x.first().copied(), income: None }
     }
 
-    /// Solves one window through `ws`, with the same semantics as
+    /// Warm solve with dense fallback; `None` means infeasible under both
+    /// engines (caller retries without floors).
+    fn solve_window(&mut self, ws: &mut SimplexWorkspace) -> Option<Plan> {
+        match self.base.solve_warm(&mut self.warm) {
+            WarmOutcome::Optimal => Some(self.extract(self.warm.x())),
+            WarmOutcome::Infeasible => None,
+            WarmOutcome::Unsuitable => {
+                self.dense_fallbacks += 1;
+                if self.base.solve_in_place(ws) == LpStatus::Optimal {
+                    Some(self.extract(ws.x()))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Solves one window, with the same semantics as
     /// [`CommunityScheduler::plan`] (floors dropped on infeasibility, zero
-    /// plan as the last resort).
+    /// plan as the last resort). The window goes through the warm-started
+    /// revised solver, reusing the previous window's basis; `ws` only runs
+    /// when the warm engine declares the problem unsuitable.
     pub fn plan_with(&mut self, ws: &mut SimplexWorkspace, queues: &[f64]) -> Plan {
         let n = self.n;
         assert_eq!(queues.len(), n, "queue vector length must match principal count");
@@ -184,14 +230,24 @@ impl PreparedCommunity {
             return Plan::zero(n, n);
         }
         self.update_queues(queues, true);
-        if self.base.solve_in_place(ws) == LpStatus::Optimal {
-            return self.extract(ws);
+        if let Some(plan) = self.solve_window(ws) {
+            return plan;
         }
         self.update_queues(queues, false);
-        if self.base.solve_in_place(ws) == LpStatus::Optimal {
-            return self.extract(ws);
+        if let Some(plan) = self.solve_window(ws) {
+            return plan;
         }
         Plan::zero(n, n)
+    }
+
+    /// Lifetime counters of the warm-started solver.
+    pub fn warm_stats(&self) -> WarmStats {
+        self.warm.stats()
+    }
+
+    /// Windows the warm engine refused and the dense tableau solved.
+    pub fn dense_fallbacks(&self) -> u64 {
+        self.dense_fallbacks
     }
 }
 

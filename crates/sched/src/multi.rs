@@ -8,7 +8,7 @@
 
 use crate::Plan;
 use covenant_agreements::{MultiAccessLevels, PrincipalId, ResourceKind, ResourceVector};
-use covenant_lp::{LpStatus, Problem, Relation, SimplexWorkspace};
+use covenant_lp::{LpStatus, Problem, Relation, SimplexWorkspace, WarmBasis, WarmOutcome, WarmStats};
 
 /// Community scheduler over multiple resource kinds.
 #[derive(Debug, Clone)]
@@ -56,6 +56,10 @@ pub struct PreparedMulti {
     floors: Vec<f64>,
     /// Principals whose cost vector has no positive entry (queue-bounded).
     zero_cost: Vec<bool>,
+    /// Persistent basis for the warm-started revised solver.
+    warm: WarmBasis,
+    /// Windows the warm engine refused and the dense tableau solved.
+    dense_fallbacks: u64,
 }
 
 impl PreparedMulti {
@@ -77,15 +81,11 @@ impl PreparedMulti {
         let mut floors = Vec::with_capacity(n);
         let mut zero_cost = Vec::with_capacity(n);
         for (i, cost) in costs.iter().enumerate() {
-            let row: Vec<(usize, f64)> = (0..n).map(|k| (xv(i, k), 1.0)).collect();
-            p.add_constraint(row.clone(), Relation::Le, 0.0);
-            let mut cov = row.clone();
-            cov.push((0, 0.0));
-            p.add_constraint(cov, Relation::Ge, 0.0);
-            p.add_constraint(row, Relation::Ge, 0.0);
             let pi = PrincipalId(i);
+            let is_zero_cost = cost.0.iter().all(|&c| c <= 0.0);
             // Pairwise ceilings: binding kind per (i, server) pair.
-            for k in 0..n {
+            let mut ubs = vec![0.0f64; n];
+            for (k, slot) in ubs.iter_mut().enumerate() {
                 let pk = PrincipalId(k);
                 let mut ub = f64::INFINITY;
                 for r in 0..kinds {
@@ -97,9 +97,24 @@ impl PreparedMulti {
                 }
                 // Zero-cost requests are only bounded by the queue; that
                 // bound is installed per window.
-                p.set_upper_bound(xv(i, k), if ub.is_finite() { ub.max(0.0) } else { 0.0 });
+                *slot = if ub.is_finite() { ub.max(0.0) } else { 0.0 };
+                p.set_upper_bound(xv(i, k), *slot);
             }
-            zero_cost.push(cost.0.iter().all(|&c| c <= 0.0));
+            // Only pairs that can ever carry load appear in the rows: a
+            // positive static ceiling, or any pair of a zero-cost principal
+            // (whose ceiling is its queue, installed per window).
+            let row: Vec<(usize, f64)> = (0..n)
+                .filter(|&k| is_zero_cost || ubs[k] > 0.0)
+                .map(|k| (xv(i, k), 1.0))
+                .collect();
+            p.add_constraint(row.clone(), Relation::Le, 0.0);
+            // θ coverage with the per-window θ coefficient at slot 0.
+            let mut cov = Vec::with_capacity(row.len() + 1);
+            cov.push((0, 0.0));
+            cov.extend_from_slice(&row);
+            p.add_constraint(cov, Relation::Ge, 0.0);
+            p.add_constraint(row, Relation::Ge, 0.0);
+            zero_cost.push(is_zero_cost);
             // Mandatory guarantee at the binding-kind rate.
             let floor = levels.mandatory_rate(pi, cost);
             floors.push(if floor.is_finite() { floor } else { 0.0 });
@@ -119,7 +134,14 @@ impl PreparedMulti {
                 }
             }
         }
-        PreparedMulti { n, base: p, floors, zero_cost }
+        PreparedMulti {
+            n,
+            base: p,
+            floors,
+            zero_cost,
+            warm: WarmBasis::new(),
+            dense_fallbacks: 0,
+        }
     }
 
     /// Number of principals the skeleton was built for.
@@ -137,7 +159,7 @@ impl PreparedMulti {
         for (i, &q) in queues.iter().enumerate().take(n) {
             let ni = q.max(0.0);
             self.base.set_constraint_rhs(3 * i, ni);
-            self.base.set_constraint_coeff(3 * i + 1, n, -ni);
+            self.base.set_constraint_coeff(3 * i + 1, 0, -ni);
             let floor = if floors { self.floors[i].min(ni).max(0.0) } else { 0.0 };
             self.base.set_constraint_rhs(3 * i + 2, floor);
             if self.zero_cost[i] {
@@ -148,17 +170,35 @@ impl PreparedMulti {
         }
     }
 
-    fn extract(&self, ws: &SimplexWorkspace) -> Plan {
+    fn extract(&self, x: &[f64]) -> Plan {
         let n = self.n;
-        let x = ws.x();
         let assignments = (0..n)
             .map(|i| (0..n).map(|k| x[1 + i * n + k].max(0.0)).collect())
             .collect();
         Plan { assignments, theta: x.first().copied(), income: None }
     }
 
-    /// Solves one window through `ws`, with the same semantics as
-    /// [`MultiCommunityScheduler::plan`].
+    /// Warm solve with dense fallback; `None` means infeasible under both
+    /// engines (caller retries without floors).
+    fn solve_window(&mut self, ws: &mut SimplexWorkspace) -> Option<Plan> {
+        match self.base.solve_warm(&mut self.warm) {
+            WarmOutcome::Optimal => Some(self.extract(self.warm.x())),
+            WarmOutcome::Infeasible => None,
+            WarmOutcome::Unsuitable => {
+                self.dense_fallbacks += 1;
+                if self.base.solve_in_place(ws) == LpStatus::Optimal {
+                    Some(self.extract(ws.x()))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Solves one window, with the same semantics as
+    /// [`MultiCommunityScheduler::plan`]. The window goes through the
+    /// warm-started revised solver; `ws` only runs when the warm engine
+    /// declares the problem unsuitable.
     pub fn plan_with(&mut self, ws: &mut SimplexWorkspace, queues: &[f64]) -> Plan {
         let n = self.n;
         assert_eq!(queues.len(), n);
@@ -166,14 +206,24 @@ impl PreparedMulti {
             return Plan::zero(n, n);
         }
         self.update_queues(queues, true);
-        if self.base.solve_in_place(ws) == LpStatus::Optimal {
-            return self.extract(ws);
+        if let Some(plan) = self.solve_window(ws) {
+            return plan;
         }
         self.update_queues(queues, false);
-        if self.base.solve_in_place(ws) == LpStatus::Optimal {
-            return self.extract(ws);
+        if let Some(plan) = self.solve_window(ws) {
+            return plan;
         }
         Plan::zero(n, n)
+    }
+
+    /// Lifetime counters of the warm-started solver.
+    pub fn warm_stats(&self) -> WarmStats {
+        self.warm.stats()
+    }
+
+    /// Windows the warm engine refused and the dense tableau solved.
+    pub fn dense_fallbacks(&self) -> u64 {
+        self.dense_fallbacks
     }
 }
 

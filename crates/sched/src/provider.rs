@@ -13,7 +13,7 @@
 
 use crate::Plan;
 use covenant_agreements::{AccessLevels, PrincipalId};
-use covenant_lp::{LpStatus, Problem, Relation, SimplexWorkspace};
+use covenant_lp::{LpStatus, Problem, Relation, SimplexWorkspace, WarmBasis, WarmOutcome, WarmStats};
 
 /// Solver for the provider model.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +57,10 @@ pub struct PreparedProvider {
     optional: Vec<f64>,
     caps: Vec<f64>,
     prices: Vec<f64>,
+    /// Persistent basis for the warm-started revised solver.
+    warm: WarmBasis,
+    /// Windows the warm engine refused and the dense tableau solved.
+    dense_fallbacks: u64,
 }
 
 impl PreparedProvider {
@@ -79,7 +83,16 @@ impl PreparedProvider {
             mandatory.push(levels.mandatory(pi));
             optional.push(levels.optional(pi));
         }
-        PreparedProvider { n, base: p, mandatory, optional, caps, prices }
+        PreparedProvider {
+            n,
+            base: p,
+            mandatory,
+            optional,
+            caps,
+            prices,
+            warm: WarmBasis::new(),
+            dense_fallbacks: 0,
+        }
     }
 
     /// Number of principals the skeleton was built for.
@@ -106,10 +119,18 @@ impl PreparedProvider {
             self.base.set_upper_bound_exact(i, (mc + oc).min(ni).max(0.0));
             self.base.set_constraint_rhs(1 + i, mc.min(ni).max(0.0));
         }
-        if self.base.solve_in_place(ws) != LpStatus::Optimal {
-            return Plan::zero(n, n);
-        }
-        let totals = ws.x();
+        // Warm-started revised solve; dense tableau only on refusal.
+        let totals: &[f64] = match self.base.solve_warm(&mut self.warm) {
+            WarmOutcome::Optimal => self.warm.x(),
+            WarmOutcome::Infeasible => return Plan::zero(n, n),
+            WarmOutcome::Unsuitable => {
+                self.dense_fallbacks += 1;
+                if self.base.solve_in_place(ws) != LpStatus::Optimal {
+                    return Plan::zero(n, n);
+                }
+                ws.x()
+            }
+        };
 
         // Greedy split across servers, never exceeding any single server.
         let mut remaining: Vec<f64> = self.caps.clone();
@@ -131,6 +152,16 @@ impl PreparedProvider {
             .map(|i| self.prices[i] * (totals[i] - self.mandatory[i].min(queues[i])))
             .sum();
         Plan { assignments, theta: None, income: Some(income) }
+    }
+
+    /// Lifetime counters of the warm-started solver.
+    pub fn warm_stats(&self) -> WarmStats {
+        self.warm.stats()
+    }
+
+    /// Windows the warm engine refused and the dense tableau solved.
+    pub fn dense_fallbacks(&self) -> u64 {
+        self.dense_fallbacks
     }
 }
 

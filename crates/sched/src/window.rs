@@ -97,6 +97,20 @@ impl Engine {
             }
         }
     }
+
+    fn warm_stats(&self) -> covenant_lp::WarmStats {
+        match self {
+            Engine::Community(p) => p.warm_stats(),
+            Engine::Provider(p) => p.warm_stats(),
+        }
+    }
+
+    fn dense_fallbacks(&self) -> u64 {
+        match self {
+            Engine::Community(p) => p.dense_fallbacks(),
+            Engine::Provider(p) => p.dense_fallbacks(),
+        }
+    }
 }
 
 /// One redirector's per-window planning engine.
@@ -117,6 +131,11 @@ pub struct WindowScheduler {
     /// Scratch for the global/local demand merge, reused across windows so
     /// steady-state planning allocates nothing.
     merged_buf: Vec<f64>,
+    /// Warm-solver counters accumulated from engines retired by
+    /// [`WindowScheduler::update_levels`] (a level change rebuilds the
+    /// prepared matrix and its basis; lifetime totals must not reset).
+    warm_retired: covenant_lp::WarmStats,
+    dense_retired: u64,
 }
 
 impl WindowScheduler {
@@ -138,6 +157,8 @@ impl WindowScheduler {
             cache,
             cfg,
             merged_buf: Vec::new(),
+            warm_retired: covenant_lp::WarmStats::default(),
+            dense_retired: 0,
         }
     }
 
@@ -152,8 +173,16 @@ impl WindowScheduler {
     }
 
     /// Installs new access levels (capacity or agreement change): rebuilds
-    /// the prepared constraint matrix and invalidates the plan cache.
+    /// the prepared constraint matrix (retiring its warm basis into the
+    /// lifetime counters) and invalidates the plan cache.
     pub fn update_levels(&mut self, levels: &AccessLevels) {
+        let retired = self.engine.warm_stats();
+        self.warm_retired.solves += retired.solves;
+        self.warm_retired.warm_solves += retired.warm_solves;
+        self.warm_retired.cold_starts += retired.cold_starts;
+        self.warm_retired.pivots += retired.pivots;
+        self.warm_retired.refactorizations += retired.refactorizations;
+        self.dense_retired += self.engine.dense_fallbacks();
         self.window_levels = levels.scaled(self.cfg.window_secs);
         self.engine = Engine::build(&self.window_levels, &self.cfg.policy);
         self.cache.invalidate(levels_fingerprint(&self.window_levels));
@@ -164,9 +193,35 @@ impl WindowScheduler {
         (self.cache.hits(), self.cache.misses())
     }
 
-    /// `(solves, pivots)` of the underlying simplex workspace.
+    /// Plan-cache entries pushed out by the LRU cap since construction.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
+    /// `(solves, pivots)` across both solver engines: warm revised solves
+    /// plus any dense-tableau runs (fallbacks, or everything before the
+    /// warm engine existed).
     pub fn lp_stats(&self) -> (u64, u64) {
-        (self.lp_ws.solves(), self.lp_ws.pivots())
+        let warm = self.warm_stats();
+        (self.lp_ws.solves() + warm.solves, self.lp_ws.pivots() + warm.pivots)
+    }
+
+    /// Lifetime counters of the warm-started revised solver, including
+    /// engines retired by level changes.
+    pub fn warm_stats(&self) -> covenant_lp::WarmStats {
+        let live = self.engine.warm_stats();
+        covenant_lp::WarmStats {
+            solves: self.warm_retired.solves + live.solves,
+            warm_solves: self.warm_retired.warm_solves + live.warm_solves,
+            cold_starts: self.warm_retired.cold_starts + live.cold_starts,
+            pivots: self.warm_retired.pivots + live.pivots,
+            refactorizations: self.warm_retired.refactorizations + live.refactorizations,
+        }
+    }
+
+    /// Windows where the warm engine refused and the dense tableau solved.
+    pub fn dense_fallbacks(&self) -> u64 {
+        self.dense_retired + self.engine.dense_fallbacks()
     }
 
     /// Plans one window. `global` is what the combining tree has delivered;
@@ -373,11 +428,24 @@ mod tests {
             &lv,
             SchedulerConfig { plan_cache: false, ..SchedulerConfig::community_default() },
         );
-        // A demand walk with repeats: hits and misses interleave.
+        // A demand walk with repeats: hits and misses interleave. The
+        // final vector differs sub-quantum from the first, so the cache is
+        // allowed to replay the earlier plan — plans must agree within the
+        // quantum, not bit-for-bit.
         let walks =
             [[0.0, 10.0, 5.0], [0.0, 10.0, 5.0], [0.0, 12.0, 5.0], [0.0, 10.0, 5.0 + 1e-9]];
         for q in &walks {
-            assert_eq!(cached.plan_global(q), uncached.plan_global(q), "queues {q:?}");
+            let a = cached.plan_global(q);
+            let b = uncached.plan_global(q);
+            for (ra, rb) in a.assignments.iter().zip(&b.assignments) {
+                for (va, vb) in ra.iter().zip(rb) {
+                    assert!((va - vb).abs() <= 1e-6, "queues {q:?}: {va} vs {vb}");
+                }
+            }
+            assert!(
+                (a.theta.unwrap_or(0.0) - b.theta.unwrap_or(0.0)).abs() <= 1e-6,
+                "queues {q:?}"
+            );
         }
         assert!(cached.cache_stats().0 > 0, "walk contained repeats; cache must hit");
         assert_eq!(uncached.cache_stats(), (0, 0));

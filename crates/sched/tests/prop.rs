@@ -5,8 +5,12 @@
 #![allow(clippy::needless_range_loop)]
 
 use covenant_agreements::{AgreementGraph, PrincipalId};
-use covenant_sched::{CommunityScheduler, ProviderScheduler};
+use covenant_lp::{LpOutcome, SimplexWorkspace};
+use covenant_sched::{
+    CommunityScheduler, PreparedCommunity, ProviderScheduler, SchedulerConfig, WindowScheduler,
+};
 use proptest::prelude::*;
+use proptest::TestCaseError;
 
 fn graph_and_queues() -> impl Strategy<Value = (AgreementGraph, Vec<f64>)> {
     (2usize..6).prop_flat_map(|n| {
@@ -113,6 +117,119 @@ proptest! {
                     "pair ({i},{k}): {} vs {}", recon[i][k], plan.assignments[i][k]);
             }
         }
+    }
+
+    /// Window regime for the warm-started solver: one prepared skeleton, a
+    /// walk of perturbed queue vectors, one basis persisted across windows.
+    /// Every window's θ must equal the reference oracle's optimum on
+    /// exactly the problem the fast path solved, the plan must be feasible
+    /// for it, and the dense fallback must never fire.
+    #[test]
+    fn warm_window_walk_matches_reference(
+        (g, queues) in graph_and_queues(),
+        walk in proptest::collection::vec(proptest::collection::vec(-40.0..40.0f64, 6), 1..6),
+    ) {
+        let lv = g.access_levels();
+        let n = g.len();
+        let mut prepared = PreparedCommunity::new(&lv, None);
+        let mut ws = SimplexWorkspace::new();
+        let mut q = queues.clone();
+        for step in &walk {
+            for i in 0..n {
+                q[i] = (q[i] + step[i % step.len()]).max(0.0);
+            }
+            if q.iter().all(|&v| v <= 0.0) {
+                continue; // plan_with short-circuits to the zero plan
+            }
+            let plan = prepared.plan_with(&mut ws, &q);
+            // When floors are infeasible plan_with retries without them;
+            // safety invariants are covered by community_plan_invariants.
+            if let LpOutcome::Optimal(s) = prepared.window_problem(&q).solve_reference() {
+                prop_assert!(
+                    (plan.theta.unwrap_or(0.0) - s.objective).abs() < 1e-6,
+                    "queues {:?}: warm θ {:?} vs reference {}",
+                    q, plan.theta, s.objective
+                );
+                // The plan must be feasible for the window problem it
+                // claims to solve (θ re-attached as variable 0).
+                let mut x = vec![0.0; 1 + n * n];
+                x[0] = plan.theta.unwrap_or(0.0);
+                for i in 0..n {
+                    for k in 0..n {
+                        x[1 + i * n + k] = plan.assignments[i][k];
+                    }
+                }
+                prop_assert!(
+                    prepared.window_problem(&q).is_feasible(&x, 1e-5),
+                    "warm plan infeasible for its own window"
+                );
+            }
+        }
+        prop_assert_eq!(prepared.dense_fallbacks(), 0, "dense fallback fired");
+    }
+
+    /// A level change mid-walk (update_levels) rebuilds the skeleton; the
+    /// scheduler must keep matching the oracle on the new levels and the
+    /// replacement engine must cold-start rather than reuse a stale basis.
+    #[test]
+    fn warm_survives_level_change_mid_walk(
+        (g, queues) in graph_and_queues(),
+        cap_scale in 1.25..3.0f64,
+    ) {
+        let n = g.len();
+        let lv1 = g.access_levels();
+        let mut sched = WindowScheduler::new(&lv1, SchedulerConfig::community_default());
+        let mut q = queues.clone();
+        q[0] = q[0].max(1.0); // never the all-idle short-circuit
+        let check = |sched: &mut WindowScheduler, q: &[f64]| -> Result<(), TestCaseError> {
+            let plan = sched.plan_global(q);
+            let mut oracle = PreparedCommunity::new(sched.window_levels(), None);
+            if let LpOutcome::Optimal(s) = oracle.window_problem(q).solve_reference() {
+                prop_assert!(
+                    (plan.theta.unwrap_or(0.0) - s.objective).abs() < 1e-6,
+                    "θ {:?} vs reference {}", plan.theta, s.objective
+                );
+            }
+            Ok(())
+        };
+        check(&mut sched, &q)?;
+        q[0] += 5.0;
+        check(&mut sched, &q)?;
+        let cold_before = sched.warm_stats().cold_starts;
+        // Scale every capacity: same principals and share fractions, new
+        // levels. `lv1` is in rates (unscaled), like the graph capacities.
+        let mut g2 = AgreementGraph::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| g2.add_principal(format!("P{i}"), lv1.capacities()[i] * cap_scale))
+            .collect();
+        for j in 0..n {
+            let cap_j = lv1.capacities()[j];
+            if cap_j <= 0.0 {
+                continue;
+            }
+            for i in 0..n {
+                if i == j {
+                    continue;
+                }
+                // i's entitlement on server j, as fractions of j's capacity.
+                let m = lv1.mand_share(PrincipalId(i), PrincipalId(j));
+                let o = lv1.opt_share(PrincipalId(i), PrincipalId(j));
+                if m + o > 0.0 {
+                    let lb = (m / cap_j).min(1.0);
+                    let ub = ((m + o) / cap_j).min(1.0);
+                    let _ = g2.add_agreement(ids[j], ids[i], lb, ub);
+                }
+            }
+        }
+        sched.update_levels(&g2.access_levels());
+        check(&mut sched, &q)?;
+        q[0] += 5.0;
+        check(&mut sched, &q)?;
+        prop_assert!(
+            sched.warm_stats().cold_starts > cold_before,
+            "rebuilt engine must cold-start: {:?}", sched.warm_stats()
+        );
+        prop_assert_eq!(sched.dense_fallbacks(), 0);
     }
 
 }

@@ -202,6 +202,20 @@ pub struct SimReport {
     /// Plan-cache misses summed over all redirectors (windows that ran the
     /// LP).
     pub plan_cache_misses: u64,
+    /// Plan-cache entries pushed out by the LRU cap, summed over all
+    /// redirectors.
+    pub plan_cache_evictions: u64,
+    /// Simplex solves summed over all redirectors (warm revised plus dense
+    /// tableau).
+    pub lp_solves: u64,
+    /// Simplex pivots summed over all redirectors.
+    pub lp_pivots: u64,
+    /// Windows solved by reusing the previous window's optimal basis,
+    /// summed over all redirectors.
+    pub lp_warm_hits: u64,
+    /// Windows the warm solver restarted cold or handed to the dense
+    /// tableau, summed over all redirectors.
+    pub lp_cold_fallbacks: u64,
     /// Discrete events the engine processed (arrivals, ticks, completions,
     /// retries) — identical for both execution paths.
     pub events_processed: u64,
@@ -233,7 +247,8 @@ impl SimReport {
 
     /// True when two reports describe the same simulated behavior: every
     /// observable is compared except the performance profile
-    /// (`peak_event_queue`, `wall_secs`), which legitimately differs
+    /// (`peak_event_queue`, `wall_secs`, and the solver-internal
+    /// `plan_cache_evictions`/`lp_*` counters), which legitimately differs
     /// between the streaming and reference paths.
     pub fn outcome_eq(&self, other: &SimReport) -> bool {
         self.rates == other.rates
@@ -432,6 +447,11 @@ impl Simulation {
             pairwise_messages_equivalent: windows * cfg.tree.pairwise_messages() as u64,
             plan_cache_hits: st.redirectors.iter().map(|r| r.cache_stats().0).sum(),
             plan_cache_misses: st.redirectors.iter().map(|r| r.cache_stats().1).sum(),
+            plan_cache_evictions: st.redirectors.iter().map(|r| r.cache_evictions()).sum(),
+            lp_solves: st.redirectors.iter().map(|r| r.lp_stats().0).sum(),
+            lp_pivots: st.redirectors.iter().map(|r| r.lp_stats().1).sum(),
+            lp_warm_hits: st.redirectors.iter().map(|r| r.warm_stats().0).sum(),
+            lp_cold_fallbacks: st.redirectors.iter().map(|r| r.warm_stats().1).sum(),
             events_processed,
             peak_event_queue,
             wall_secs,

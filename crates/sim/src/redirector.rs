@@ -50,6 +50,21 @@ impl SimRedirector {
         self.core.cache_stats()
     }
 
+    /// Plan-cache entries pushed out by the LRU cap since construction.
+    pub fn cache_evictions(&self) -> u64 {
+        self.core.cache_evictions()
+    }
+
+    /// `(solves, pivots)` across the scheduler's LP engines.
+    pub fn lp_stats(&self) -> (u64, u64) {
+        self.core.lp_stats()
+    }
+
+    /// `(warm_hits, cold_fallbacks)` of the warm-started revised solver.
+    pub fn warm_stats(&self) -> (u64, u64) {
+        self.core.warm_stats()
+    }
+
     /// Requests admitted (forwarded) by this redirector.
     pub fn admitted(&self) -> u64 {
         self.core.admitted()

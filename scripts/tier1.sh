@@ -32,4 +32,7 @@ cargo run -q --offline --release -p covenant-bench --bin sim_smoke
 echo "==> live smoke (loopback L7 + L4 control plane end-to-end)"
 cargo run -q --offline --release -p covenant-bench --bin live_smoke
 
+echo "==> lp smoke (warm-started revised simplex inside the window budget)"
+cargo run -q --offline --release -p covenant-bench --bin lp_smoke
+
 echo "tier-1: OK"
