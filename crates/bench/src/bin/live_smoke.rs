@@ -94,6 +94,7 @@ fn main() {
             services: vec![L4Service { principal: a, bind: "127.0.0.1:0".into() }],
             backends: HashMap::from([(0, origin.addr())]),
             park_limit: 256,
+            live_limit: 1024,
         },
         Arc::clone(&l4_ctrl),
     )

@@ -15,7 +15,10 @@
 //!   demand estimator, window scheduler) with a thread-safe admission entry
 //!   point for the data plane;
 //! * [`WindowDaemon`] — the background ticker thread driving
-//!   [`AdmissionControl::roll_window`] on the configured cadence.
+//!   [`AdmissionControl::roll_window`] on the configured cadence;
+//! * [`ShardCore`] — the single-owner, lock-free variant of
+//!   [`AdmissionControl`] that reactor shards run, one per event loop,
+//!   each joining the tree as its own leaf.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,7 +26,9 @@
 mod admission;
 mod coordinator;
 mod daemon;
+mod shard;
 
 pub use admission::AdmissionControl;
 pub use coordinator::{Coordinator, TreeCoordination};
 pub use daemon::{DaemonHooks, WindowDaemon};
+pub use shard::ShardCore;

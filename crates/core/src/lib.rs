@@ -22,6 +22,8 @@ pub mod report;
 pub mod scenarios;
 pub mod spec;
 
-pub use report::{live_counters_json, sim_counters_json, PhaseRates, ScenarioOutcome};
+pub use report::{
+    live_counters_json, live_counters_sharded_json, sim_counters_json, PhaseRates, ScenarioOutcome,
+};
 pub use scenarios::FigureScenario;
 pub use spec::{DeploymentSpec, SpecError};

@@ -78,6 +78,61 @@ pub fn live_counters_json(counters: &EnforcementCounters) -> crate::json::Value 
     ])
 }
 
+/// Sharded-data-plane counterpart of [`live_counters_json`]: merges the
+/// per-shard snapshots of a reactor deployment into one payload. The
+/// top-level fields are the familiar [`live_counters_json`] keys *summed
+/// across shards* (so dashboards built for the single-core shape keep
+/// working), plus `shards` (the shard count), the aggregate reactor
+/// batching counters (`reactor_wakes`, `batched_verdicts`), and a
+/// `per_shard` array retaining each shard's admission and batching
+/// profile — the load-balance view the sum hides.
+pub fn live_counters_sharded_json(shards: &[covenant_enforce::ShardSnapshot]) -> crate::json::Value {
+    use crate::json::Value;
+    let mut total = EnforcementCounters::default();
+    let mut wakes = 0u64;
+    let mut verdicts = 0u64;
+    for s in shards {
+        let c = &s.counters;
+        total.admitted += c.admitted;
+        total.deferred += c.deferred;
+        total.parked += c.parked;
+        total.plan_cache_hits += c.plan_cache_hits;
+        total.plan_cache_misses += c.plan_cache_misses;
+        total.plan_cache_evictions += c.plan_cache_evictions;
+        total.lp_solves += c.lp_solves;
+        total.lp_pivots += c.lp_pivots;
+        total.lp_warm_hits += c.lp_warm_hits;
+        total.lp_cold_fallbacks += c.lp_cold_fallbacks;
+        wakes += s.reactor_wakes;
+        verdicts += s.batched_verdicts;
+    }
+    let Value::Obj(mut fields) = live_counters_json(&total) else {
+        unreachable!("live_counters_json returns an object");
+    };
+    fields.push(("shards".into(), (shards.len() as f64).into()));
+    fields.push(("reactor_wakes".into(), (wakes as f64).into()));
+    fields.push(("batched_verdicts".into(), (verdicts as f64).into()));
+    fields.push((
+        "per_shard".into(),
+        Value::Arr(
+            shards
+                .iter()
+                .map(|s| {
+                    Value::Obj(vec![
+                        ("admitted".into(), (s.counters.admitted as f64).into()),
+                        ("deferred".into(), (s.counters.deferred as f64).into()),
+                        ("parked".into(), (s.counters.parked as f64).into()),
+                        ("lp_solves".into(), (s.counters.lp_solves as f64).into()),
+                        ("reactor_wakes".into(), (s.reactor_wakes as f64).into()),
+                        ("batched_verdicts".into(), (s.batched_verdicts as f64).into()),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Value::Obj(fields)
+}
+
 /// The outcome of one figure scenario.
 pub struct ScenarioOutcome {
     /// Scenario identifier ("fig6", …).
@@ -242,6 +297,46 @@ mod tests {
         assert_eq!(parsed["lp_pivots"].as_f64().unwrap(), 25.0);
         assert_eq!(parsed["lp_warm_hits"].as_f64().unwrap(), 8.0);
         assert_eq!(parsed["lp_cold_fallbacks"].as_f64().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn sharded_counters_sum_and_retain_per_shard_profile() {
+        use covenant_enforce::ShardSnapshot;
+        let shards = [
+            ShardSnapshot {
+                counters: EnforcementCounters {
+                    admitted: 100,
+                    deferred: 10,
+                    lp_solves: 5,
+                    ..Default::default()
+                },
+                reactor_wakes: 40,
+                batched_verdicts: 110,
+            },
+            ShardSnapshot {
+                counters: EnforcementCounters {
+                    admitted: 60,
+                    deferred: 30,
+                    lp_solves: 5,
+                    ..Default::default()
+                },
+                reactor_wakes: 20,
+                batched_verdicts: 90,
+            },
+        ];
+        let v = live_counters_sharded_json(&shards);
+        let parsed = crate::json::Value::parse(&v.to_pretty()).unwrap();
+        // Summed top level keeps the single-core payload shape.
+        assert_eq!(parsed["admitted"].as_f64().unwrap(), 160.0);
+        assert_eq!(parsed["deferred"].as_f64().unwrap(), 40.0);
+        assert_eq!(parsed["lp_solves"].as_f64().unwrap(), 10.0);
+        assert_eq!(parsed["shards"].as_f64().unwrap(), 2.0);
+        assert_eq!(parsed["reactor_wakes"].as_f64().unwrap(), 60.0);
+        assert_eq!(parsed["batched_verdicts"].as_f64().unwrap(), 200.0);
+        // Per-shard balance survives the merge.
+        assert_eq!(parsed["per_shard"][0]["admitted"].as_f64().unwrap(), 100.0);
+        assert_eq!(parsed["per_shard"][1]["admitted"].as_f64().unwrap(), 60.0);
+        assert_eq!(parsed["per_shard"][1]["reactor_wakes"].as_f64().unwrap(), 20.0);
     }
 
     #[test]

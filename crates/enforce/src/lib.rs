@@ -28,6 +28,7 @@ mod enforcement;
 mod estimator;
 mod queue;
 mod reinject;
+mod shard;
 
 pub use credit::{Admission, CreditGate};
 pub use enforcement::{
@@ -37,3 +38,4 @@ pub use enforcement::{
 pub use estimator::RateEstimator;
 pub use queue::{Dispatch, PrincipalQueues};
 pub use reinject::{reinject_fifo, ParkedQueue};
+pub use shard::{ShardSnapshot, ShardStats};

@@ -225,6 +225,76 @@ impl HttpResponse {
     }
 }
 
+/// A zero-copy view of one request's header block, for readiness-driven
+/// servers that parse straight out of a receive buffer (the blocking
+/// [`HttpRequest::read_from`] path allocates per header; a reactor shard
+/// parsing hundreds of pipelined requests per wake cannot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestHead<'a> {
+    /// Method.
+    pub method: Method,
+    /// Request target, borrowed from the buffer.
+    pub path: &'a str,
+    /// `Connection: close` was requested (HTTP/1.1 defaults to keep-alive).
+    pub close: bool,
+    /// Declared `Content-Length` (0 when absent).
+    pub content_length: usize,
+}
+
+/// Finds the end of the first complete header block (one past the
+/// `\r\n\r\n`), scanning from `from` — the caller's resume cursor over an
+/// incrementally-filled buffer, so repeated calls stay O(bytes) overall.
+/// Rescans up to 3 bytes before `from` to catch a terminator split across
+/// fills.
+pub fn header_block_end(buf: &[u8], from: usize) -> Option<usize> {
+    let start = from.saturating_sub(3);
+    buf.get(start..)?
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|pos| start + pos + 4)
+}
+
+/// Parses one complete header block (through its `\r\n\r\n`) without
+/// copying. Malformed heads are errors — a reactor shard answers 400 and
+/// closes rather than guessing.
+pub fn parse_request_head(head: &[u8]) -> Result<RequestHead<'_>, HttpError> {
+    if head.len() > MAX_HEADER_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    let text = std::str::from_utf8(head).map_err(|_| HttpError::Malformed("non-UTF8 head"))?;
+    let mut lines = text.split("\r\n");
+    let start = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+    let mut parts = start.split_whitespace();
+    let method = Method::parse(parts.next().ok_or(HttpError::Malformed("empty request line"))?)?;
+    let path = parts.next().ok_or(HttpError::Malformed("missing request target"))?;
+    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    let mut close = version == "HTTP/1.0";
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header without colon"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("connection") {
+            close = value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad content-length"))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    Ok(RequestHead { method, path, close, content_length })
+}
+
 fn read_line<R: BufRead>(r: &mut R) -> Result<String, HttpError> {
     let mut line = String::new();
     let n = r.read_line(&mut line)?;
@@ -370,6 +440,41 @@ mod tests {
         let raw = b"GET /x HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n";
         let err = HttpRequest::read_from(&mut BufReader::new(&raw[..])).unwrap_err();
         assert!(matches!(err, HttpError::TooLarge));
+    }
+
+    #[test]
+    fn header_block_end_resumes_across_split_terminators() {
+        let raw = b"GET /x HTTP/1.1\r\nhost: h\r\n\r\nGET /y";
+        assert_eq!(header_block_end(raw, 0), Some(28));
+        // Terminator split across two fills: the resume cursor sits inside
+        // the \r\n\r\n and the rescan window must still find it.
+        for cursor in 24..=27 {
+            assert_eq!(header_block_end(raw, cursor), Some(28), "cursor {cursor}");
+        }
+        assert_eq!(header_block_end(b"GET /x HTTP/1.1\r\nhost:", 0), None);
+        assert_eq!(header_block_end(&[], 0), None);
+    }
+
+    #[test]
+    fn parse_request_head_zero_copy() {
+        let head = parse_request_head(b"GET /org/A/p HTTP/1.1\r\nhost: h\r\n\r\n").unwrap();
+        assert_eq!(head.method, Method::Get);
+        assert_eq!(head.path, "/org/A/p");
+        assert!(!head.close, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(head.content_length, 0);
+
+        let head =
+            parse_request_head(b"POST /s HTTP/1.1\r\nConnection: close\r\ncontent-length: 7\r\n\r\n")
+                .unwrap();
+        assert!(head.close);
+        assert_eq!(head.content_length, 7);
+
+        let head = parse_request_head(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(head.close, "HTTP/1.0 defaults to close");
+
+        assert!(parse_request_head(b"BAD\r\n\r\n").is_err());
+        assert!(parse_request_head(b"GET /x HTTP/1.1\r\nbroken\r\n\r\n").is_err());
+        assert!(parse_request_head(b"GET /x HTTP/1.1\r\ncontent-length: nope\r\n\r\n").is_err());
     }
 
     #[test]

@@ -15,11 +15,17 @@
 //! for a later window. Only the packet-rewriting plumbing differs from the
 //! kernel module, and that part the paper itself treats as substrate (LVS).
 
+//! Two data planes implement these semantics: the legacy blocking
+//! [`L4Redirector`] (accept threads + a bounded splice-thread pool) and
+//! the thread-per-core [`ShardedL4`] reactor.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod proxy;
+mod reactor_proxy;
 mod splice;
 
 pub use proxy::{L4Config, L4Redirector, L4Service};
+pub use reactor_proxy::ShardedL4;
 pub use splice::splice_streams;

@@ -35,6 +35,10 @@ pub struct L4Config {
     /// Maximum parked connections per principal (the kernel queue bound);
     /// connections beyond it are refused (RST analogue).
     pub park_limit: usize,
+    /// Maximum concurrently relayed connections (the splice-thread pool
+    /// bound); admitted connections beyond it are shed with RST instead
+    /// of spawning threads without bound.
+    pub live_limit: usize,
 }
 
 /// Shared mutable state between accept threads and the window daemon.
@@ -49,6 +53,10 @@ struct Shared {
     refused: AtomicU64,
     /// Connections spliced end-to-end.
     spliced: AtomicU64,
+    /// Connections currently being relayed (splice threads alive).
+    live: AtomicU64,
+    /// Cap on `live`; beyond it admitted connections are shed with RST.
+    live_limit: usize,
     stop: AtomicBool,
 }
 
@@ -58,11 +66,18 @@ impl Shared {
         let Some(&backend) = self.backends.get(&server) else {
             return; // no such backend: drop the connection
         };
+        // Counting gate on the splice-thread pool: past the cap the
+        // connection is shed with RST immediately — bounded threads, and
+        // the client learns at once instead of queueing on a doomed spawn.
+        if self.live.fetch_add(1, Ordering::AcqRel) >= self.live_limit as u64 {
+            self.live.fetch_sub(1, Ordering::AcqRel);
+            let _ = covenant_reactor::set_rst_on_close(&client);
+            self.refused.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         self.affinity.lock().insert(peer.ip(), server);
         let shared = Arc::clone(self);
-        // A failed spawn (thread exhaustion) drops the connection — the
-        // client sees RST, the same outcome as a refused park.
-        let _ = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("l4-conn".into())
             .spawn(move || {
                 if let Ok(backend_stream) = TcpStream::connect(backend) {
@@ -72,7 +87,13 @@ impl Shared {
                         shared.spliced.fetch_add(1, Ordering::Relaxed);
                     }
                 }
+                shared.live.fetch_sub(1, Ordering::AcqRel);
             });
+        // A failed spawn (thread exhaustion) drops the connection — the
+        // client sees RST, the same outcome as a refused park.
+        if spawned.is_err() {
+            self.live.fetch_sub(1, Ordering::AcqRel);
+        }
     }
 
     /// Parked-connection counts per principal (the daemon's backlog hint).
@@ -127,6 +148,8 @@ impl L4Redirector {
             affinity: Mutex::new(HashMap::new()),
             refused: AtomicU64::new(0),
             spliced: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+            live_limit: cfg.live_limit,
             stop: AtomicBool::new(false),
         });
 
@@ -202,9 +225,14 @@ impl L4Redirector {
         self.shared.spliced.load(Ordering::Relaxed)
     }
 
-    /// Connections refused at the park limit.
+    /// Connections refused at the park limit or the live-relay cap.
     pub fn refused(&self) -> u64 {
         self.shared.refused.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently being relayed by splice threads.
+    pub fn live(&self) -> u64 {
+        self.shared.live.load(Ordering::Relaxed)
     }
 
     /// Currently parked connections per principal.
@@ -265,6 +293,7 @@ mod tests {
             services: vec![L4Service { principal: a, bind: "127.0.0.1:0".into() }],
             backends: [(0, origin.addr())].into(),
             park_limit: 1024,
+            live_limit: 1024,
         };
         let redirector = L4Redirector::start(cfg, ctrl).unwrap();
         let addr = redirector.service_addr(a).unwrap();
@@ -310,6 +339,7 @@ mod tests {
             ],
             backends: [(0, origin.addr())].into(),
             park_limit: 8,
+            live_limit: 1024,
         };
         let redirector = L4Redirector::start(cfg, ctrl).unwrap();
 
@@ -374,6 +404,7 @@ mod tests {
             services: vec![L4Service { principal: a, bind: "127.0.0.1:0".into() }],
             backends: [(0, o1.addr()), (1, o2.addr())].into(),
             park_limit: 256,
+            live_limit: 1024,
         };
         let redirector = L4Redirector::start(cfg, ctrl).unwrap();
         let addr = redirector.service_addr(a).unwrap();
@@ -398,6 +429,40 @@ mod tests {
         );
     }
 
+    /// With a zero live-relay cap every *admitted* connection is shed at
+    /// the counting gate — no splice thread is ever spawned, and the
+    /// refusal counter proves the gate (not the park queue) fired.
+    #[test]
+    fn live_limit_gates_splice_threads() {
+        let (g, a, _b) = system();
+        let origin =
+            OriginServer::bind("127.0.0.1:0", 1000.0, 16, Duration::from_secs(1)).unwrap();
+        let ctrl = AdmissionControl::new(
+            0,
+            &g.access_levels(),
+            SchedulerConfig::community_default(),
+            Coordinator::new(Topology::star(1, 0.0), 0.0),
+        );
+        let cfg = L4Config {
+            services: vec![L4Service { principal: a, bind: "127.0.0.1:0".into() }],
+            backends: [(0, origin.addr())].into(),
+            park_limit: 1024,
+            live_limit: 0,
+        };
+        let redirector = L4Redirector::start(cfg, ctrl).unwrap();
+        let addr = redirector.service_addr(a).unwrap();
+
+        let client = HttpClient { timeout: Duration::from_millis(300), ..HttpClient::new() };
+        let deadline = Instant::now() + Duration::from_secs(3);
+        while redirector.refused() == 0 && Instant::now() < deadline {
+            // Admitted connections hit the gate and reset; none complete.
+            assert!(client.get(&format!("http://{addr}/x")).is_err());
+        }
+        assert!(redirector.refused() > 0, "gate never fired");
+        assert_eq!(redirector.live(), 0, "no splice thread may be live");
+        assert_eq!(redirector.spliced(), 0);
+    }
+
     #[test]
     fn park_limit_refuses_overflow() {
         // Zero-entitlement principal: every connection parks; beyond the
@@ -415,6 +480,7 @@ mod tests {
             services: vec![L4Service { principal: a, bind: "127.0.0.1:0".into() }],
             backends: HashMap::new(),
             park_limit: 2,
+            live_limit: 1024,
         };
         let redirector = L4Redirector::start(cfg, ctrl).unwrap();
         let addr = redirector.service_addr(a).unwrap();

@@ -15,12 +15,18 @@
 //! Requests are attributed to principals by URL prefix: `/org/<name>/…`,
 //! mirroring the paper's "the request URL signifies the service being
 //! requested".
+//!
+//! Two data planes implement this surface: the legacy thread-per-connection
+//! [`L7Redirector`] and the thread-per-core [`ShardedL7`] reactor, which
+//! batches admission verdicts per readiness wake.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod explicit;
 mod redirector;
+mod shard;
 
 pub use explicit::L7ExplicitRedirector;
 pub use redirector::{L7Config, L7Redirector};
+pub use shard::ShardedL7;

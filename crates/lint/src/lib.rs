@@ -22,6 +22,10 @@
 //!   lexically live adds an acquired-while-held edge; `// covenant:
 //!   lock-order(A < B)` annotations add the cross-crate edges the lexical
 //!   pass cannot see; any cycle in the combined graph fails the lint.
+//! - **R5 `reactor-blocking`** — no blocking syscall wrappers
+//!   (`.read_to_end(`, `set_nonblocking(false)`, `thread::sleep`) in
+//!   reactor callback paths (`crates/reactor/src/` and the reactor data
+//!   planes). One blocking call stalls every connection on that shard.
 //!
 //! Escape hatch: `// covenant: allow(<rule>)` on the offending line, or on
 //! its own line directly above, suppresses that rule there. Test code
@@ -49,6 +53,8 @@ pub enum Rule {
     FloatEq,
     /// R4: lock-order cycles.
     LockOrder,
+    /// R5: blocking syscall wrappers in reactor callback paths.
+    ReactorBlocking,
 }
 
 impl Rule {
@@ -59,11 +65,18 @@ impl Rule {
             Rule::NoPanic => "no-panic",
             Rule::FloatEq => "float-eq",
             Rule::LockOrder => "lock-order",
+            Rule::ReactorBlocking => "reactor-blocking",
         }
     }
 
     /// All rules.
-    pub const ALL: [Rule; 4] = [Rule::WallClock, Rule::NoPanic, Rule::FloatEq, Rule::LockOrder];
+    pub const ALL: [Rule; 5] = [
+        Rule::WallClock,
+        Rule::NoPanic,
+        Rule::FloatEq,
+        Rule::LockOrder,
+        Rule::ReactorBlocking,
+    ];
 }
 
 impl fmt::Display for Rule {
@@ -92,7 +105,7 @@ impl fmt::Display for Diagnostic {
 }
 
 /// Crates whose data plane must take injected time (R1).
-const R1_CRATES: &[&str] = &["enforce", "sched", "l7", "l4", "coord", "http"];
+const R1_CRATES: &[&str] = &["enforce", "sched", "l7", "l4", "coord", "http", "reactor"];
 
 /// The clock/daemon allowlist: the files that *are* the clock. The window
 /// daemon turns wall time into ticks; the http clock module anchors the
@@ -100,10 +113,19 @@ const R1_CRATES: &[&str] = &["enforce", "sched", "l7", "l4", "coord", "http"];
 const R1_ALLOW_FILES: &[&str] = &["crates/coord/src/daemon.rs", "crates/http/src/clock.rs"];
 
 /// Crates on the admission path that must stay panic-free (R2).
-const R2_CRATES: &[&str] = &["enforce", "sched", "l7", "l4", "coord"];
+const R2_CRATES: &[&str] = &["enforce", "sched", "l7", "l4", "coord", "reactor"];
 
 /// Crates included in the lock-order pass (R4).
 const R4_CRATES: &[&str] = &["tree", "coord", "l7", "l4"];
+
+/// Reactor callback paths: everything in the reactor crate plus the
+/// shard data planes driven by its event loops (R5). One blocking call
+/// here stalls every connection on the shard.
+fn r5_in_scope(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/reactor/src/")
+        || rel_path == "crates/l7/src/shard.rs"
+        || rel_path == "crates/l4/src/reactor_proxy.rs"
+}
 
 /// The linter: feed it files, then [`Linter::finish`].
 #[derive(Default)]
@@ -175,6 +197,9 @@ impl Linter {
             rules::check_no_panic(&lexed.tokens, &mut emit);
         }
         rules::check_float_eq(&lexed.tokens, &mut emit);
+        if r5_in_scope(rel_path) {
+            rules::check_reactor_blocking(&lexed.tokens, &mut emit);
+        }
 
         if R4_CRATES.contains(&crate_name) {
             self.lock_order.add_file(rel_path, &lexed, &skip, &allows);

@@ -233,6 +233,51 @@ pub(crate) fn check_no_panic(
     }
 }
 
+/// R5: blocking syscall wrappers in reactor callback paths. A reactor
+/// shard is one thread multiplexing every connection it owns; a single
+/// `read_to_end` (blocks until EOF), `set_nonblocking(false)` (reverts a
+/// socket to blocking mode), or `thread::sleep` stalls them all.
+pub(crate) fn check_reactor_blocking(
+    tokens: &[Token<'_>],
+    emit: &mut impl FnMut(Rule, u32, String),
+) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text {
+            "read_to_end" if i > 0 && is_punct(tokens, i - 1, ".") && is_punct(tokens, i + 1, "(") => {
+                emit(
+                    Rule::ReactorBlocking,
+                    t.line,
+                    ".read_to_end() blocks until EOF; use RecvBuf::fill_from and resume on readiness"
+                        .into(),
+                );
+            }
+            "set_nonblocking"
+                if is_punct(tokens, i + 1, "(") && is_ident(tokens, i + 2, "false") =>
+            {
+                emit(
+                    Rule::ReactorBlocking,
+                    t.line,
+                    "set_nonblocking(false) reverts a reactor socket to blocking mode".into(),
+                );
+            }
+            "sleep" if i > 1 && is_punct(tokens, i - 1, "::") && is_ident(tokens, i - 2, "thread") =>
+            {
+                emit(
+                    Rule::ReactorBlocking,
+                    t.line,
+                    "thread::sleep stalls every connection on the shard; use the epoll timeout"
+                        .into(),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
 /// R3: `==` / `!=` with a float-literal operand. Token-level heuristic:
 /// flags comparisons where a float literal sits directly on either side
 /// (allowing one unary minus); typed float-variable compares are beyond a

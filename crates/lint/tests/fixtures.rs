@@ -135,6 +135,49 @@ fn r4_out_of_scope_crate_is_exempt() {
 }
 
 #[test]
+fn r5_reactor_blocking_fires() {
+    // In the reactor crate itself and in the shard data planes.
+    for rel in [
+        "crates/reactor/src/fixture.rs",
+        "crates/l7/src/shard.rs",
+        "crates/l4/src/reactor_proxy.rs",
+    ] {
+        let diags = lint_as(rel, include_str!("fixtures/r5_bad.rs"));
+        let r5: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == Rule::ReactorBlocking)
+            .collect();
+        assert_eq!(r5.len(), 3, "{rel}: {diags:?}");
+        assert_eq!(r5[0].line, 8, "{rel}: {diags:?}");
+        assert_eq!(r5[1].line, 13, "{rel}: {diags:?}");
+        assert_eq!(r5[2].line, 17, "{rel}: {diags:?}");
+    }
+}
+
+#[test]
+fn r5_nonblocking_idiom_is_clean() {
+    let diags = lint_as(
+        "crates/reactor/src/fixture.rs",
+        include_str!("fixtures/r5_ok.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn r5_out_of_scope_file_is_exempt() {
+    // The same blocking calls in the legacy (thread-per-connection) data
+    // planes are their prerogative.
+    let diags = lint_as(
+        "crates/l4/src/proxy.rs",
+        include_str!("fixtures/r5_bad.rs"),
+    );
+    assert!(
+        diags.iter().all(|d| d.rule != Rule::ReactorBlocking),
+        "{diags:?}"
+    );
+}
+
+#[test]
 fn allow_pragma_suppresses_both_forms() {
     let diags = lint_as(
         "crates/coord/src/fixture.rs",

@@ -1,0 +1,18 @@
+//! R5 fixture: blocking syscall wrappers inside reactor callback paths.
+
+use std::io::Read;
+use std::net::TcpStream;
+
+fn drain_all(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf)?; // line 8: blocks until EOF
+    Ok(buf)
+}
+
+fn go_blocking(stream: &TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false) // line 13: reverts to blocking mode
+}
+
+fn backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(1)); // line 17
+}

@@ -1,0 +1,12 @@
+//! R5 fixture: the nonblocking idiom the rule wants.
+
+use std::net::TcpStream;
+
+fn arm(stream: &TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(true)
+}
+
+fn read_some(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<usize> {
+    use std::io::Read;
+    stream.read(buf) // single nonblocking read; WouldBlock resumes later
+}

@@ -1,0 +1,183 @@
+//! Nonblocking stream buffers: partial reads accumulate, partial writes
+//! resume, and both report exactly one of *progress / would-block / EOF*
+//! so connection state machines stay explicit.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Outcome of one nonblocking I/O attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Io {
+    /// Moved `n > 0` bytes (or, for flush, drained everything pending).
+    Progress(usize),
+    /// The socket is not ready; wait for the next readiness event.
+    WouldBlock,
+    /// Orderly EOF from the peer (reads only).
+    Eof,
+}
+
+/// Read granularity per syscall.
+const CHUNK: usize = 16 * 1024;
+
+/// Accumulates bytes read from a nonblocking stream until a parser can
+/// consume them. `consume` trims from the front lazily (an offset, with
+/// periodic compaction) so pipelined protocol parsing is O(bytes), not
+/// O(bytes²).
+#[derive(Debug)]
+pub struct RecvBuf {
+    data: Vec<u8>,
+    start: usize,
+    cap: usize,
+}
+
+impl RecvBuf {
+    /// A buffer that never grows past `cap` unconsumed bytes.
+    pub fn with_capacity_limit(cap: usize) -> RecvBuf {
+        RecvBuf { data: Vec::new(), start: 0, cap }
+    }
+
+    /// The unconsumed bytes.
+    pub fn data(&self) -> &[u8] {
+        self.data.get(self.start..).unwrap_or(&[])
+    }
+
+    /// Number of unconsumed bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once the capacity limit is reached (stop reading until the
+    /// parser consumes, or fail the connection if it never can).
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.cap
+    }
+
+    /// Marks `n` leading bytes as parsed.
+    pub fn consume(&mut self, n: usize) {
+        self.start = (self.start + n).min(self.data.len());
+        if self.start == self.data.len() {
+            self.data.clear();
+            self.start = 0;
+        } else if self.start > CHUNK {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Reads once from `stream` (up to one chunk, bounded by the capacity
+    /// limit). Returns [`Io::Progress`] with the bytes appended.
+    pub fn fill_from(&mut self, stream: &mut TcpStream) -> io::Result<Io> {
+        let room = self.cap.saturating_sub(self.len());
+        if room == 0 {
+            return Ok(Io::WouldBlock);
+        }
+        let old = self.data.len();
+        self.data.resize(old + room.min(CHUNK), 0);
+        let tail = self.data.get_mut(old..).unwrap_or(&mut []);
+        match stream.read(tail) {
+            Ok(0) => {
+                self.data.truncate(old);
+                Ok(Io::Eof)
+            }
+            Ok(n) => {
+                self.data.truncate(old + n);
+                Ok(Io::Progress(n))
+            }
+            Err(e) => {
+                self.data.truncate(old);
+                match e.kind() {
+                    io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted => Ok(Io::WouldBlock),
+                    _ => Err(e),
+                }
+            }
+        }
+    }
+}
+
+/// Pending bytes queued toward a nonblocking stream, surviving partial
+/// writes. Doubles as the relay buffer: [`SendBuf::read_from`] pulls bytes
+/// from a *source* stream directly into the queue for the destination.
+#[derive(Debug, Default)]
+pub struct SendBuf {
+    data: Vec<u8>,
+    written: usize,
+}
+
+impl SendBuf {
+    /// An empty queue.
+    pub fn new() -> SendBuf {
+        SendBuf::default()
+    }
+
+    /// Queues bytes for transmission.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Bytes still unsent.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.written
+    }
+
+    /// True when everything queued has been flushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes as much pending data as the socket accepts. Returns
+    /// [`Io::Progress`] when the queue fully drained, [`Io::WouldBlock`]
+    /// when bytes remain.
+    pub fn flush_into(&mut self, stream: &mut TcpStream) -> io::Result<Io> {
+        while self.written < self.data.len() {
+            let pending = self.data.get(self.written..).unwrap_or(&[]);
+            match stream.write(pending) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.written += n,
+                Err(e) => match e.kind() {
+                    io::ErrorKind::WouldBlock => return Ok(Io::WouldBlock),
+                    io::ErrorKind::Interrupted => {}
+                    _ => return Err(e),
+                },
+            }
+        }
+        let n = self.written;
+        self.data.clear();
+        self.written = 0;
+        Ok(Io::Progress(n))
+    }
+
+    /// Reads once from `src`, appending to the queue, but never beyond
+    /// `limit` pending bytes (relay backpressure: past the high-watermark
+    /// the caller must drop read interest on `src` until a flush).
+    pub fn read_from(&mut self, src: &mut TcpStream, limit: usize) -> io::Result<Io> {
+        let room = limit.saturating_sub(self.len());
+        if room == 0 {
+            return Ok(Io::WouldBlock);
+        }
+        let old = self.data.len();
+        self.data.resize(old + room.min(CHUNK), 0);
+        let tail = self.data.get_mut(old..).unwrap_or(&mut []);
+        match src.read(tail) {
+            Ok(0) => {
+                self.data.truncate(old);
+                Ok(Io::Eof)
+            }
+            Ok(n) => {
+                self.data.truncate(old + n);
+                Ok(Io::Progress(n))
+            }
+            Err(e) => {
+                self.data.truncate(old);
+                match e.kind() {
+                    io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted => Ok(Io::WouldBlock),
+                    _ => Err(e),
+                }
+            }
+        }
+    }
+}

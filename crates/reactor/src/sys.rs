@@ -1,0 +1,260 @@
+//! The libc syscall shim: every `unsafe` block in the workspace lives in
+//! this module, behind safe wrappers returning `io::Result`.
+//!
+//! The build is offline — no `libc` crate — so the needed glibc entry
+//! points are declared directly. std already links libc, so the symbols
+//! resolve without extra link flags. Constants are the x86_64 Linux
+//! values; the crate is only compiled on that target (the workspace's
+//! only build environment).
+#![allow(unsafe_code)]
+
+use std::io;
+use std::net::{SocketAddr, SocketAddrV4, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd};
+use std::os::raw::{c_int, c_void};
+
+pub(crate) const AF_INET: c_int = 2;
+pub(crate) const SOCK_STREAM: c_int = 1;
+pub(crate) const SOCK_NONBLOCK: c_int = 0o4000;
+pub(crate) const SOCK_CLOEXEC: c_int = 0o2000000;
+pub(crate) const SOL_SOCKET: c_int = 1;
+pub(crate) const SO_REUSEADDR: c_int = 2;
+pub(crate) const SO_ERROR: c_int = 4;
+pub(crate) const SO_SNDBUF: c_int = 7;
+pub(crate) const SO_RCVBUF: c_int = 8;
+pub(crate) const SO_LINGER: c_int = 13;
+pub(crate) const SO_REUSEPORT: c_int = 15;
+pub(crate) const EFD_NONBLOCK: c_int = 0o4000;
+pub(crate) const EFD_CLOEXEC: c_int = 0o2000000;
+pub(crate) const EPOLL_CLOEXEC: c_int = 0o2000000;
+pub(crate) const EPOLL_CTL_ADD: c_int = 1;
+pub(crate) const EPOLL_CTL_DEL: c_int = 2;
+pub(crate) const EPOLL_CTL_MOD: c_int = 3;
+pub(crate) const EPOLLIN: u32 = 0x1;
+pub(crate) const EPOLLOUT: u32 = 0x4;
+pub(crate) const EPOLLERR: u32 = 0x8;
+pub(crate) const EPOLLHUP: u32 = 0x10;
+pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+const EINPROGRESS: i32 = 115;
+
+/// The kernel's `struct epoll_event`. On x86_64 it is packed (alignment
+/// 1, size 12); field reads must copy, never reference.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub(crate) struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+#[repr(C)]
+struct Linger {
+    onoff: c_int,
+    linger: c_int,
+}
+
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    port_be: u16,
+    addr_be: u32,
+    zero: [u8; 8],
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int)
+        -> c_int;
+    fn eventfd(initval: u32, flags: c_int) -> c_int;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn setsockopt(fd: c_int, level: c_int, name: c_int, val: *const c_void, len: u32) -> c_int;
+    fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
+    fn connect(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+pub(crate) fn epoll_create() -> io::Result<OwnedFd> {
+    let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+pub(crate) fn epoll_control(
+    epfd: &OwnedFd,
+    op: c_int,
+    fd: i32,
+    events: u32,
+    token: u64,
+) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data: token };
+    cvt(unsafe { epoll_ctl(epfd.as_raw_fd(), op, fd, &mut ev) })?;
+    Ok(())
+}
+
+pub(crate) fn epoll_pwait(
+    epfd: &OwnedFd,
+    events: &mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    let n = cvt(unsafe {
+        epoll_wait(
+            epfd.as_raw_fd(),
+            events.as_mut_ptr(),
+            events.len() as c_int,
+            timeout_ms,
+        )
+    })?;
+    Ok(n as usize)
+}
+
+pub(crate) fn eventfd_create() -> io::Result<OwnedFd> {
+    let fd = cvt(unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) })?;
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+pub(crate) fn fd_write_u64(fd: &OwnedFd, value: u64) -> io::Result<()> {
+    let bytes = value.to_ne_bytes();
+    let n = unsafe { write(fd.as_raw_fd(), bytes.as_ptr().cast(), bytes.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(())
+    }
+}
+
+pub(crate) fn fd_read_u64(fd: &OwnedFd) -> io::Result<u64> {
+    let mut bytes = [0u8; 8];
+    let n = unsafe { read(fd.as_raw_fd(), bytes.as_mut_ptr().cast(), bytes.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(u64::from_ne_bytes(bytes))
+    }
+}
+
+fn set_opt_int(fd: c_int, level: c_int, name: c_int, value: c_int) -> io::Result<()> {
+    cvt(unsafe {
+        setsockopt(
+            fd,
+            level,
+            name,
+            (&value as *const c_int).cast(),
+            std::mem::size_of::<c_int>() as u32,
+        )
+    })?;
+    Ok(())
+}
+
+fn sockaddr_of(addr: SocketAddrV4) -> SockAddrIn {
+    SockAddrIn {
+        family: AF_INET as u16,
+        port_be: addr.port().to_be(),
+        addr_be: u32::from(*addr.ip()).to_be(),
+        zero: [0; 8],
+    }
+}
+
+fn v4_of(addr: SocketAddr) -> io::Result<SocketAddrV4> {
+    match addr {
+        SocketAddr::V4(v4) => Ok(v4),
+        SocketAddr::V6(_) => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "reactor sockets are IPv4-only",
+        )),
+    }
+}
+
+fn nonblocking_v4_socket() -> io::Result<OwnedFd> {
+    let fd = cvt(unsafe { socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+/// Binds a nonblocking listener with `SO_REUSEPORT` set, so N shards can
+/// bind the same address and let the kernel spray accepted connections
+/// across them (the thread-per-core pattern).
+pub fn reuseport_listener(addr: SocketAddr) -> io::Result<TcpListener> {
+    let addr = v4_of(addr)?;
+    let fd = nonblocking_v4_socket()?;
+    set_opt_int(fd.as_raw_fd(), SOL_SOCKET, SO_REUSEADDR, 1)?;
+    set_opt_int(fd.as_raw_fd(), SOL_SOCKET, SO_REUSEPORT, 1)?;
+    let sa = sockaddr_of(addr);
+    cvt(unsafe {
+        bind(
+            fd.as_raw_fd(),
+            (&sa as *const SockAddrIn).cast(),
+            std::mem::size_of::<SockAddrIn>() as u32,
+        )
+    })?;
+    cvt(unsafe { listen(fd.as_raw_fd(), 1024) })?;
+    Ok(TcpListener::from(fd))
+}
+
+/// Starts a nonblocking connect. Returns the in-flight stream; completion
+/// is signalled by writability, and the caller must then check
+/// [`TcpStream::take_error`] for the `SO_ERROR` verdict.
+pub fn connect_nonblocking(addr: SocketAddr) -> io::Result<TcpStream> {
+    let addr = v4_of(addr)?;
+    let fd = nonblocking_v4_socket()?;
+    let sa = sockaddr_of(addr);
+    let ret = unsafe {
+        connect(
+            fd.as_raw_fd(),
+            (&sa as *const SockAddrIn).cast(),
+            std::mem::size_of::<SockAddrIn>() as u32,
+        )
+    };
+    if ret < 0 {
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() != Some(EINPROGRESS) {
+            return Err(err);
+        }
+    }
+    Ok(TcpStream::from(fd))
+}
+
+/// Arms `SO_LINGER {on, 0}` so dropping the stream sends RST instead of a
+/// graceful FIN — the shed path for connections refused past a cap, which
+/// must not occupy a TIME_WAIT slot per refusal.
+pub fn set_rst_on_close(stream: &TcpStream) -> io::Result<()> {
+    let lg = Linger { onoff: 1, linger: 0 };
+    cvt(unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_LINGER,
+            (&lg as *const Linger).cast(),
+            std::mem::size_of::<Linger>() as u32,
+        )
+    })?;
+    Ok(())
+}
+
+/// Shrinks the kernel send buffer (tests use this to force partial writes).
+pub fn set_send_buffer(sock: &impl AsRawFd, bytes: usize) -> io::Result<()> {
+    set_opt_int(sock.as_raw_fd(), SOL_SOCKET, SO_SNDBUF, bytes as c_int)
+}
+
+/// Shrinks the kernel receive buffer (tests use this to force partial
+/// reads and backpressure). Only effective *before* the TCP handshake —
+/// set it on the listener, accepted sockets inherit it; shrinking an
+/// established connection's buffer below its negotiated window wedges
+/// the transfer.
+pub fn set_recv_buffer(sock: &impl AsRawFd, bytes: usize) -> io::Result<()> {
+    set_opt_int(sock.as_raw_fd(), SOL_SOCKET, SO_RCVBUF, bytes as c_int)
+}
+
+/// The pending `SO_ERROR` on a socket, as a completed-connect check
+/// (`None` = connected). Thin alias over [`TcpStream::take_error`].
+pub fn take_socket_error(stream: &TcpStream) -> io::Result<Option<io::Error>> {
+    let _ = SO_ERROR; // documented constant; std's take_error reads it
+    stream.take_error()
+}

@@ -1,0 +1,50 @@
+//! Cross-thread shard wakeup via `eventfd`.
+
+use crate::sys;
+use std::io;
+use std::os::fd::{AsRawFd, OwnedFd, RawFd};
+use std::sync::Arc;
+
+/// A wakeup channel into a shard's epoll loop: any thread calls
+/// [`WakeHandle::wake`], the shard registers the fd under a reserved token
+/// and calls [`WakeFd::drain`] when it fires. The eventfd counter
+/// coalesces concurrent wakes into one readiness edge.
+pub struct WakeFd {
+    fd: Arc<OwnedFd>,
+}
+
+/// The sending side of a [`WakeFd`] (cheaply cloneable, `Send`).
+#[derive(Clone)]
+pub struct WakeHandle {
+    fd: Arc<OwnedFd>,
+}
+
+impl WakeFd {
+    /// A fresh nonblocking eventfd pair.
+    pub fn new() -> io::Result<(WakeFd, WakeHandle)> {
+        let fd = Arc::new(sys::eventfd_create()?);
+        Ok((WakeFd { fd: Arc::clone(&fd) }, WakeHandle { fd }))
+    }
+
+    /// Consumes pending wakes so level-triggered epoll stops reporting.
+    pub fn drain(&self) {
+        // A read on an armed eventfd returns its counter and zeroes it;
+        // EAGAIN means another drain already consumed it.
+        let _ = sys::fd_read_u64(&self.fd);
+    }
+}
+
+impl AsRawFd for WakeFd {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+}
+
+impl WakeHandle {
+    /// Wakes the owning shard's epoll loop.
+    pub fn wake(&self) {
+        // The only failure modes (EAGAIN on counter overflow) still leave
+        // the fd readable, which is all a wake needs.
+        let _ = sys::fd_write_u64(&self.fd, 1);
+    }
+}

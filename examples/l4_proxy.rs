@@ -46,6 +46,7 @@ fn main() {
             ],
             backends: [(0, origin.addr())].into(),
             park_limit: 64,
+            live_limit: 1024,
         },
         ctrl,
     )

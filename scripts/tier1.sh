@@ -17,7 +17,7 @@ cargo test -q --offline
 echo "==> cargo test (workspace)"
 cargo test -q --offline --workspace
 
-echo "==> covenant-lint --deny all (workspace invariants, R1-R4)"
+echo "==> covenant-lint --deny all (workspace invariants, R1-R5)"
 cargo run -q --offline -p covenant-lint -- --deny all
 
 echo "==> cargo clippy -D warnings (workspace)"
@@ -34,5 +34,8 @@ cargo run -q --offline --release -p covenant-bench --bin live_smoke
 
 echo "==> lp smoke (warm-started revised simplex inside the window budget)"
 cargo run -q --offline --release -p covenant-bench --bin lp_smoke
+
+echo "==> live throughput smoke (sharded epoll reactor admissions/s floor)"
+cargo run -q --offline --release -p covenant-bench --bin live_throughput
 
 echo "tier-1: OK"

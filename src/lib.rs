@@ -21,6 +21,7 @@ pub use covenant_http as http;
 pub use covenant_l4 as l4;
 pub use covenant_l7 as l7;
 pub use covenant_lp as lp;
+pub use covenant_reactor as reactor;
 pub use covenant_sched as sched;
 pub use covenant_sim as sim;
 pub use covenant_tree as tree;

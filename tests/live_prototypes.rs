@@ -62,6 +62,7 @@ fn l7_and_l4_enforce_the_same_agreements() {
             }],
             backends: [(0, origin.addr())].into(),
             park_limit: 256,
+            live_limit: 1024,
         },
         l4_ctrl,
     )

@@ -17,7 +17,7 @@
 //! identically.
 
 use covenant::agreements::AgreementGraph;
-use covenant::coord::{AdmissionControl, Coordinator};
+use covenant::coord::{AdmissionControl, Coordinator, ShardCore};
 use covenant::sim::{ArrivalDecision, QueueMode, SimConfig, Simulation};
 use covenant::tree::Topology;
 use covenant::workload::{ClientMachine, PhasedLoad};
@@ -97,6 +97,43 @@ fn replay(decisions: &[ArrivalDecision], duration: f64) -> Vec<Option<usize>> {
     outcomes
 }
 
+/// Replays the trace against reactor shard cores — the lock-free
+/// state machines the sharded epoll data planes own one-per-thread —
+/// joined to one coordinator tree exactly as the live shards are.
+fn replay_sharded(decisions: &[ArrivalDecision], duration: f64) -> Vec<Option<usize>> {
+    let levels = fig6_graph().access_levels();
+    let window = SchedulerConfig::community_default().window_secs;
+    let coordinator = Coordinator::new(Topology::star(2, 0.0), 0.0);
+    let mut shards: Vec<_> = (0..2)
+        .map(|node| {
+            ShardCore::new(
+                node,
+                &levels,
+                SchedulerConfig::community_default(),
+                coordinator.clone(),
+            )
+        })
+        .collect();
+
+    let mut boundary: u64 = 0;
+    let mut outcomes = Vec::with_capacity(decisions.len());
+    for d in decisions {
+        loop {
+            let t = boundary as f64 * window;
+            if t > d.time || t > duration {
+                break;
+            }
+            for shard in shards.iter_mut() {
+                shard.roll_window_at(None, t);
+            }
+            boundary += 1;
+        }
+        assert_eq!(d.cost, 1.0, "replay assumes unit-cost arrivals");
+        outcomes.push(shards[d.redirector].try_admit_at(d.principal, None, d.time));
+    }
+    outcomes
+}
+
 /// The tentpole acceptance test: every recorded simulator decision —
 /// admit/defer and the assigned server — is reproduced by the live control
 /// plane, with tolerance zero.
@@ -147,6 +184,46 @@ fn live_control_plane_reproduces_simulator_decisions_exactly() {
         mismatches,
         0,
         "{mismatches} of {} decisions diverged between sim and live",
+        decisions.len()
+    );
+}
+
+/// The sharded data plane's acceptance test: the same trace replayed
+/// through per-shard [`ShardCore`]s (no mutex, one tree leaf per shard)
+/// also reproduces every simulator decision with zero mismatches — the
+/// epoll refactor changed the transport, not the enforcement semantics.
+#[test]
+fn sharded_cores_reproduce_simulator_decisions_exactly() {
+    let duration = 3.0;
+    let decisions = simulate(duration);
+    assert!(decisions.len() > 300, "thin trace: {}", decisions.len());
+
+    let live = replay_sharded(&decisions, duration);
+    assert_eq!(live.len(), decisions.len());
+    let mut mismatches = 0;
+    for (i, (d, got)) in decisions.iter().zip(&live).enumerate() {
+        let want = match d.outcome {
+            ArrivalOutcome::Forward { server } => Some(server),
+            ArrivalOutcome::Defer => None,
+            ArrivalOutcome::Queued => {
+                panic!("credit-retry scenarios never queue internally: decision {i}")
+            }
+        };
+        if *got != want {
+            mismatches += 1;
+            if mismatches <= 5 {
+                eprintln!(
+                    "decision {i} at t={:.4} (shard {}, principal {:?}): \
+                     sim {:?}, sharded {:?}",
+                    d.time, d.redirector, d.principal, want, got
+                );
+            }
+        }
+    }
+    assert_eq!(
+        mismatches,
+        0,
+        "{mismatches} of {} decisions diverged between sim and sharded cores",
         decisions.len()
     );
 }
