@@ -1,17 +1,19 @@
-//! Figure 6 over real sockets: the L7 prototype on loopback.
+//! Figure 6 over real sockets: the sharded L7 prototype on loopback.
 //!
 //! The simulator version (`fig6_l7_agreements`) reproduces the exact rate
 //! levels; this binary runs the same experiment through the actual HTTP
-//! redirector stack — origin server, two coordinated L7 redirectors, and
-//! rate-capped client threads — to show the prototype enforcing the same
-//! shares on a real network path.
+//! redirector stack — origin server, two coordinated *sharded* L7
+//! redirectors (each a thread-per-core epoll data plane; shard *i* of
+//! redirector *k* publishes as tree leaf `k·shards + i`), and rate-capped
+//! client threads — to show the prototype enforcing the same shares on a
+//! real network path.
 //!
 //! Default phases are 8 s (pass a phase length in seconds to change).
 
 use covenant_agreements::{AgreementGraph, PrincipalId};
-use covenant_coord::{AdmissionControl, Coordinator};
+use covenant_coord::Coordinator;
 use covenant_http::{HttpClient, OriginServer, StatusCode};
-use covenant_l7::{L7Config, L7Redirector};
+use covenant_l7::{L7Config, ShardedL7};
 use covenant_sched::SchedulerConfig;
 use covenant_tree::Topology;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -75,20 +77,23 @@ fn main() {
 
     let origin =
         OriginServer::bind("127.0.0.1:0", 2000.0, 64, Duration::from_secs(2)).expect("origin");
-    let coordinator = Coordinator::new(Topology::star(2, 0.0), 0.0);
-    let mk = |node| {
-        L7Redirector::start(
+    // Two sharded redirectors on one coordination tree: redirector k's
+    // shard i publishes as leaf k·SHARDS + i, so the tree spans every
+    // reactor thread in the deployment.
+    const SHARDS: usize = 2;
+    let coordinator = Coordinator::new(Topology::star(2 * SHARDS, 0.0), 0.0);
+    let mk = |redirector: usize| {
+        ShardedL7::start_at(
             "127.0.0.1:0",
             L7Config {
                 principal_names: vec!["S".into(), "A".into(), "B".into()],
                 backends: [(0, origin.addr())].into(),
             },
-            AdmissionControl::new(
-                node,
-                &levels,
-                SchedulerConfig::community_default(),
-                coordinator.clone(),
-            ),
+            SHARDS,
+            &levels,
+            SchedulerConfig::community_default(),
+            coordinator.clone(),
+            redirector * SHARDS,
         )
         .expect("redirector")
     };

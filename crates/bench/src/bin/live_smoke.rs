@@ -1,22 +1,24 @@
-//! Loopback smoke test for the live prototypes: one L7 redirector and one
-//! L4 proxy, both driven by the shared enforcement core, must forward real
-//! requests end-to-end within a couple of seconds.
+//! Loopback smoke test for the live prototypes: the sharded L7 redirector
+//! and sharded L4 proxy (the thread-per-core epoll data planes), plus the
+//! legacy thread-per-connection L4 proxy for schema parity, must forward
+//! real requests end-to-end within a couple of seconds.
 //!
-//! Run by `scripts/tier1.sh`: exits non-zero if either transport fails to
-//! complete a request, and prints each control plane's counter snapshot as
-//! JSON (`covenant_core::live_counters_json`) so CI logs show admission,
-//! plan-cache, and LP activity at a glance.
+//! Run by `scripts/tier1.sh`: exits non-zero if any transport fails to
+//! complete a request, and prints each data plane's counter snapshot as
+//! JSON (`live_counters_sharded_json` for the sharded planes,
+//! `live_counters_json` for the legacy proxy — the same keys either way,
+//! including `shed`) so CI logs show admission, plan-cache, LP, and
+//! shedding activity at a glance.
 
 use covenant_agreements::AgreementGraph;
 use covenant_coord::{AdmissionControl, Coordinator};
-use covenant_core::live_counters_json;
+use covenant_core::{live_counters_json, live_counters_sharded_json};
 use covenant_http::{HttpClient, OriginServer, StatusCode};
-use covenant_l4::{L4Config, L4Redirector, L4Service};
-use covenant_l7::{L7Config, L7Redirector};
+use covenant_l4::{L4Config, L4Redirector, L4Service, ShardedL4};
+use covenant_l7::{L7Config, ShardedL7};
 use covenant_sched::SchedulerConfig;
 use covenant_tree::Topology;
 use std::collections::HashMap;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Server 200 req/s; A entitled to [0.5, 1].
@@ -28,8 +30,8 @@ fn system() -> AgreementGraph {
     g
 }
 
-/// Issues requests against `url` until one completes (HTTP 200) or the
-/// deadline passes; returns completions.
+/// Issues requests against `url` until the deadline passes; returns
+/// completions (HTTP 200).
 fn drive(url: &str, deadline: Instant) -> u64 {
     let client = HttpClient {
         max_redirects: 64,
@@ -48,79 +50,112 @@ fn drive(url: &str, deadline: Instant) -> u64 {
 }
 
 fn main() {
+    const SHARDS: usize = 2;
     let g = system();
     let levels = g.access_levels();
+    let a = covenant_agreements::PrincipalId(1);
     let mut failed = false;
 
-    // --- L7: credit gate + self-redirect over real HTTP. ---
     let origin =
         OriginServer::bind("127.0.0.1:0", 2000.0, 64, Duration::from_secs(2)).expect("origin");
-    let l7_ctrl = AdmissionControl::new(
-        0,
-        &levels,
-        SchedulerConfig::community_default(),
-        Coordinator::new(Topology::star(1, 0.0), 0.0),
-    );
-    let l7 = L7Redirector::start(
+
+    // --- Sharded L7: reuseport reactor shards + credit gate + self-redirect. ---
+    let l7 = ShardedL7::start(
         "127.0.0.1:0",
         L7Config {
             principal_names: vec!["S".into(), "A".into()],
             backends: [(0, origin.addr())].into(),
         },
-        Arc::clone(&l7_ctrl),
+        SHARDS,
+        &levels,
+        SchedulerConfig::community_default(),
+        Coordinator::new(Topology::star(SHARDS, 0.0), 0.0),
     )
-    .expect("l7 redirector");
+    .expect("sharded l7 redirector");
     let l7_done = drive(
         &format!("http://{}/org/A/page", l7.addr()),
         Instant::now() + Duration::from_millis(900),
     );
     println!("l7_completed: {l7_done}");
-    println!("l7_counters: {}", live_counters_json(&l7_ctrl.counters_snapshot()).to_pretty());
+    println!("l7_counters: {}", live_counters_sharded_json(&l7.shard_snapshots()).to_pretty());
     if l7_done == 0 {
-        eprintln!("FAIL: no request completed through the L7 redirector");
+        eprintln!("FAIL: no request completed through the sharded L7 redirector");
         failed = true;
     }
 
-    // --- L4: accept-time admission + parking over raw TCP splicing. ---
-    let a = covenant_agreements::PrincipalId(1);
-    let l4_ctrl = AdmissionControl::new(
-        0,
-        &levels,
-        SchedulerConfig::community_default(),
-        Coordinator::new(Topology::star(1, 0.0), 0.0),
-    );
-    let l4 = L4Redirector::start(
+    // --- Sharded L4: accept-time admission + parking on reactor shards. ---
+    let l4 = ShardedL4::start(
         L4Config {
             services: vec![L4Service { principal: a, bind: "127.0.0.1:0".into() }],
             backends: HashMap::from([(0, origin.addr())]),
             park_limit: 256,
             live_limit: 1024,
         },
-        Arc::clone(&l4_ctrl),
+        SHARDS,
+        &levels,
+        SchedulerConfig::community_default(),
+        Coordinator::new(Topology::star(SHARDS, 0.0), 0.0),
     )
-    .expect("l4 redirector");
+    .expect("sharded l4 redirector");
     let l4_done = drive(
         &format!("http://{}/page", l4.service_addr(a).expect("service addr")),
         Instant::now() + Duration::from_millis(900),
     );
     println!("l4_completed: {l4_done}");
-    println!("l4_counters: {}", live_counters_json(&l4_ctrl.counters_snapshot()).to_pretty());
+    println!("l4_counters: {}", live_counters_sharded_json(&l4.shard_snapshots()).to_pretty());
     if l4_done == 0 {
-        eprintln!("FAIL: no request completed through the L4 proxy");
+        eprintln!("FAIL: no request completed through the sharded L4 proxy");
         failed = true;
     }
 
-    // Both control planes must have actually rolled windows and admitted.
-    for (name, ctrl) in [("l7", &l7_ctrl), ("l4", &l4_ctrl)] {
-        let c = ctrl.counters_snapshot();
-        if c.admitted == 0 {
-            eprintln!("FAIL: {name} control plane admitted nothing");
+    // --- Legacy L4 (thread-per-connection): same JSON schema, `shed`
+    // carrying the live-thread-limit RST counter. ---
+    let legacy_ctrl = AdmissionControl::new(
+        0,
+        &levels,
+        SchedulerConfig::community_default(),
+        Coordinator::new(Topology::star(1, 0.0), 0.0),
+    );
+    let legacy = L4Redirector::start(
+        L4Config {
+            services: vec![L4Service { principal: a, bind: "127.0.0.1:0".into() }],
+            backends: HashMap::from([(0, origin.addr())]),
+            park_limit: 256,
+            live_limit: 1024,
+        },
+        std::sync::Arc::clone(&legacy_ctrl),
+    )
+    .expect("legacy l4 redirector");
+    let legacy_done = drive(
+        &format!("http://{}/page", legacy.service_addr(a).expect("service addr")),
+        Instant::now() + Duration::from_millis(600),
+    );
+    println!("l4_legacy_completed: {legacy_done}");
+    println!(
+        "l4_legacy_counters: {}",
+        live_counters_json(&legacy_ctrl.counters_snapshot(), legacy.refused()).to_pretty()
+    );
+    if legacy_done == 0 {
+        eprintln!("FAIL: no request completed through the legacy L4 proxy");
+        failed = true;
+    }
+
+    // The sharded planes must have actually rolled windows and admitted.
+    for (name, snaps) in [("l7", l7.shard_snapshots()), ("l4", l4.shard_snapshots())] {
+        let admitted: u64 = snaps.iter().map(|s| s.counters.admitted).sum();
+        if admitted == 0 {
+            eprintln!("FAIL: sharded {name} control plane admitted nothing");
             failed = true;
         }
+    }
+    if legacy_ctrl.counters_snapshot().admitted == 0 {
+        eprintln!("FAIL: legacy l4 control plane admitted nothing");
+        failed = true;
     }
 
     drop(l7);
     drop(l4);
+    drop(legacy);
     if failed {
         std::process::exit(1);
     }

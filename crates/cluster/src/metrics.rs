@@ -1,0 +1,113 @@
+//! Prometheus-style text rendering for one cluster node.
+//!
+//! Every process in the cluster serves `GET /metrics` in the standard
+//! text exposition format (`# TYPE` comments plus `name{labels} value`
+//! samples), so off-the-shelf scrapers — or `curl` in `tier1.sh` — can
+//! watch the tree do its work: admission counters from the enforcement
+//! core, LP warm/cold activity, and the wire runtime's frame/round/RTT
+//! counters, all labelled with the node's tree id.
+
+use covenant_enforce::ShardSnapshot;
+use covenant_wire::WireStats;
+use std::fmt::Write as _;
+
+/// One metric sample: `name{node="<node>",role="<role>"} <value>`.
+fn sample(out: &mut String, name: &str, kind: &str, node: usize, role: &str, value: u64) {
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name}{{node=\"{node}\",role=\"{role}\"}} {value}");
+}
+
+/// Renders the exposition body for one node: wire-runtime counters
+/// always, enforcement counters when the node runs a data plane.
+pub fn render_metrics(
+    node: usize,
+    role: &str,
+    wire: &WireStats,
+    shards: Option<&[ShardSnapshot]>,
+) -> String {
+    let mut out = String::new();
+    sample(&mut out, "covenant_tree_frames_sent", "counter", node, role, wire.frames_sent());
+    sample(
+        &mut out,
+        "covenant_tree_frames_received",
+        "counter",
+        node,
+        role,
+        wire.frames_received(),
+    );
+    sample(
+        &mut out,
+        "covenant_tree_rounds_completed",
+        "counter",
+        node,
+        role,
+        wire.rounds_completed(),
+    );
+    sample(&mut out, "covenant_tree_rounds_forced", "counter", node, role, wire.rounds_forced());
+    sample(&mut out, "covenant_tree_reconnects", "counter", node, role, wire.reconnects());
+    sample(&mut out, "covenant_tree_rtt_us", "gauge", node, role, wire.last_rtt_us());
+
+    if let Some(snaps) = shards {
+        let mut admitted = 0u64;
+        let mut deferred = 0u64;
+        let mut parked = 0u64;
+        let mut lp_solves = 0u64;
+        let mut lp_warm_hits = 0u64;
+        let mut lp_cold_fallbacks = 0u64;
+        let mut shed = 0u64;
+        let mut reactor_wakes = 0u64;
+        let mut batched_verdicts = 0u64;
+        for s in snaps {
+            admitted += s.counters.admitted;
+            deferred += s.counters.deferred;
+            parked += s.counters.parked;
+            lp_solves += s.counters.lp_solves;
+            lp_warm_hits += s.counters.lp_warm_hits;
+            lp_cold_fallbacks += s.counters.lp_cold_fallbacks;
+            shed += s.shed;
+            reactor_wakes += s.reactor_wakes;
+            batched_verdicts += s.batched_verdicts;
+        }
+        sample(&mut out, "covenant_admitted", "counter", node, role, admitted);
+        sample(&mut out, "covenant_deferred", "counter", node, role, deferred);
+        sample(&mut out, "covenant_parked", "gauge", node, role, parked);
+        sample(&mut out, "covenant_lp_solves", "counter", node, role, lp_solves);
+        sample(&mut out, "covenant_lp_warm_hits", "counter", node, role, lp_warm_hits);
+        sample(&mut out, "covenant_lp_cold_fallbacks", "counter", node, role, lp_cold_fallbacks);
+        sample(&mut out, "covenant_shed", "counter", node, role, shed);
+        sample(&mut out, "covenant_reactor_wakes", "counter", node, role, reactor_wakes);
+        sample(&mut out, "covenant_batched_verdicts", "counter", node, role, batched_verdicts);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covenant_enforce::EnforcementCounters;
+
+    #[test]
+    fn tree_only_nodes_render_wire_counters() {
+        let wire = WireStats::new();
+        let body = render_metrics(0, "root", &wire, None);
+        assert!(body.contains("covenant_tree_frames_sent{node=\"0\",role=\"root\"} 0"));
+        assert!(body.contains("# TYPE covenant_tree_rtt_us gauge"));
+        assert!(!body.contains("covenant_admitted"));
+    }
+
+    #[test]
+    fn redirector_nodes_sum_shards_into_enforcement_counters() {
+        let wire = WireStats::new();
+        let snap = |admitted| ShardSnapshot {
+            counters: EnforcementCounters { admitted, deferred: 1, ..Default::default() },
+            reactor_wakes: 2,
+            batched_verdicts: 3,
+            shed: 1,
+        };
+        let body = render_metrics(2, "redirector", &wire, Some(&[snap(5), snap(7)]));
+        assert!(body.contains("covenant_admitted{node=\"2\",role=\"redirector\"} 12"));
+        assert!(body.contains("covenant_deferred{node=\"2\",role=\"redirector\"} 2"));
+        assert!(body.contains("covenant_shed{node=\"2\",role=\"redirector\"} 2"));
+        assert!(body.contains("covenant_reactor_wakes{node=\"2\",role=\"redirector\"} 4"));
+    }
+}

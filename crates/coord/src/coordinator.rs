@@ -1,61 +1,53 @@
-//! In-process combining tree shared by redirector threads.
+//! Coordination endpoint shared by redirector threads.
+//!
+//! `Coordinator` is a thin, clonable handle over a [`CoordTransport`]: the
+//! in-process combining tree ([`InProcessTree`], the default), or a socket
+//! transport from `covenant-wire` where tree edges are real connections.
+//! Everything above it — [`TreeCoordination`], `AdmissionControl`,
+//! `ShardCore` — is transport-agnostic.
 
 use covenant_enforce::CoordinationView;
-use covenant_tree::{DelayedView, Topology};
-use parking_lot::Mutex;
+use covenant_tree::{CoordTransport, InProcessTree, Topology};
 use std::sync::Arc;
 use std::time::Instant;
 
-struct CoordinatorState {
-    /// Latest demand vector published by each node.
-    demands: Vec<Option<Vec<f64>>>,
-    /// Per-node delayed views of the global aggregate.
-    views: Vec<DelayedView<Vec<f64>>>,
-    /// Total tree messages "sent" (2(n−1) per aggregation).
-    messages: u64,
-    /// Timestamp of the newest aggregation round, used to clamp explicit
-    /// publish times so the per-node views stay monotone even when the
-    /// caller's clock jitters.
-    last_publish_t: f64,
-}
-
-/// An in-process combining tree: thread-safe publish/read of per-principal
-/// demand vectors with per-node information lag.
+/// A clonable coordination endpoint: thread-safe publish/read of
+/// per-principal demand vectors with per-node information lag, plus the
+/// deployment's shared clock.
 ///
-/// Every [`Coordinator::publish`] triggers one aggregation round (the tree
-/// combines whatever each node last reported — exactly the estimate-lag
-/// semantics of the paper's periodic exchange), and the result becomes
-/// visible to each node once its tree lag has elapsed.
+/// Over the default in-process transport, every [`Coordinator::publish`]
+/// triggers one aggregation round (the tree combines whatever each node
+/// last reported — exactly the estimate-lag semantics of the paper's
+/// periodic exchange), and the result becomes visible to each node once
+/// its tree lag has elapsed. Over a wire transport the same calls enqueue
+/// frames to real peers and read whatever aggregates have arrived.
 #[derive(Clone)]
 pub struct Coordinator {
-    topology: Arc<Topology>,
-    state: Arc<Mutex<CoordinatorState>>,
+    transport: Arc<dyn CoordTransport>,
     epoch: Instant,
     extra_lag: f64,
 }
 
 impl Coordinator {
-    /// Creates a coordinator over `topology` with `extra_lag` seconds added
-    /// to every node's visibility delay (Figure 8's injected 10 s).
+    /// Creates a coordinator over an in-process tree on `topology`, with
+    /// `extra_lag` seconds added to every node's visibility delay
+    /// (Figure 8's injected 10 s).
     pub fn new(topology: Topology, extra_lag: f64) -> Self {
-        let n = topology.len();
-        let views = (0..n)
-            .map(|i| DelayedView::new(topology.information_lag(i) + extra_lag))
-            .collect();
-        Coordinator {
-            topology: Arc::new(topology),
-            state: Arc::new(Mutex::new(CoordinatorState {
-                demands: vec![None; n],
-                views,
-                messages: 0,
-                last_publish_t: 0.0,
-            })),
+        Coordinator::with_transport(Arc::new(InProcessTree::new(topology, extra_lag)), extra_lag)
+    }
+
+    /// Creates a coordinator over an explicit transport (e.g. a
+    /// `covenant-wire` socket tree). If the transport owns a physical
+    /// clock, its epoch becomes the deployment clock so arrival stamps and
+    /// [`Coordinator::now`] share one time base.
+    pub fn with_transport(transport: Arc<dyn CoordTransport>, extra_lag: f64) -> Self {
+        let epoch = transport.clock_epoch().unwrap_or_else(|| {
             // The coordinator *is* the live deployment's clock source:
             // every data-plane timestamp derives from this epoch via
             // `Coordinator::now`, so this is the one sanctioned read.
-            epoch: Instant::now(), // covenant: allow(wall-clock)
-            extra_lag,
-        }
+            Instant::now() // covenant: allow(wall-clock)
+        });
+        Coordinator { transport, epoch, extra_lag }
     }
 
     /// Seconds since this coordinator was created (the shared clock).
@@ -70,12 +62,12 @@ impl Coordinator {
 
     /// Number of redirector nodes.
     pub fn len(&self) -> usize {
-        self.topology.len()
+        self.transport.nodes()
     }
 
     /// True if the tree has no nodes (never constructible via [`Topology`]).
     pub fn is_empty(&self) -> bool {
-        self.topology.is_empty()
+        self.transport.nodes() == 0
     }
 
     /// Publishes node `node`'s current demand vector and runs one
@@ -89,44 +81,33 @@ impl Coordinator {
     /// than the previous round are clamped forward so the per-node views
     /// stay monotone.
     pub fn publish_at(&self, node: usize, demand: Vec<f64>, t: f64) {
-        let mut st = self.state.lock();
-        let t = t.max(st.last_publish_t);
-        st.last_publish_t = t;
-        let width = demand.len();
-        st.demands[node] = Some(demand);
-        let locals: Vec<Vec<f64>> = st
-            .demands
-            .iter()
-            .map(|d| d.clone().unwrap_or_else(|| vec![0.0; width]))
-            .collect();
-        let round = self.topology.aggregate(&locals);
-        st.messages += round.messages() as u64;
-        for v in &mut st.views {
-            v.publish(t, round.total.clone());
-        }
+        self.transport.publish_at(node, demand, t);
     }
 
     /// Reads the aggregate visible to `node` at the current time, if its
     /// lag has elapsed.
     pub fn read(&self, node: usize) -> Option<Vec<f64>> {
-        let now = self.now();
-        let mut st = self.state.lock();
-        st.views[node].read(now).cloned()
+        self.transport.read_at(node, self.now())
     }
 
     /// Reads the aggregate visible to `node` at time `t`, excluding
-    /// same-instant publishes ([`DelayedView::read_before`]): inside a
-    /// window-roll round, where every node publishes at the same boundary
-    /// time, no node observes this round's publications. This is the read
-    /// the enforcement core's read-before-publish tick order relies on.
+    /// same-instant publishes ([`covenant_tree::DelayedView::read_before`]):
+    /// inside a window-roll round, where every node publishes at the same
+    /// boundary time, no node observes this round's publications. This is
+    /// the read the enforcement core's read-before-publish tick order
+    /// relies on.
     pub fn read_at(&self, node: usize, t: f64) -> Option<Vec<f64>> {
-        let mut st = self.state.lock();
-        st.views[node].read_before(t).cloned()
+        self.transport.read_before(node, t)
     }
 
-    /// Total tree messages exchanged so far.
+    /// Total tree messages exchanged so far, as observed by this endpoint.
     pub fn messages(&self) -> u64 {
-        self.state.lock().messages
+        self.transport.messages()
+    }
+
+    /// The transport this coordinator publishes and reads through.
+    pub fn transport(&self) -> &Arc<dyn CoordTransport> {
+        &self.transport
     }
 }
 
@@ -200,5 +181,15 @@ mod tests {
         assert_eq!(c.messages(), 6); // 2(n-1) = 6
         c.publish(1, vec![1.0]);
         assert_eq!(c.messages(), 12);
+    }
+
+    #[test]
+    fn explicit_transport_is_shared_across_clones() {
+        let transport = Arc::new(InProcessTree::new(Topology::star(2, 0.0), 0.0));
+        let c = Coordinator::with_transport(transport, 0.0);
+        let c2 = c.clone();
+        c.publish_at(0, vec![2.0], 0.0);
+        c2.publish_at(1, vec![3.0], 0.0);
+        assert_eq!(c.transport().read_at(0, 0.0).unwrap(), vec![5.0]);
     }
 }

@@ -1,6 +1,7 @@
 //! The background window ticker (the paper's user-space daemon loop).
 
 use crate::AdmissionControl;
+use covenant_enforce::next_aligned_boundary;
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -46,7 +47,7 @@ impl WindowDaemon {
                         std::thread::sleep((next - now).min(Duration::from_millis(5)));
                         continue;
                     }
-                    next = next_boundary(next, now, window);
+                    next = next_aligned_boundary(next, now, window);
                     let backlog = hooks.backlog.as_ref().map(|f| f());
                     ctrl.roll_window(backlog);
                     if let Some(after) = &hooks.after_roll {
@@ -70,26 +71,6 @@ impl Drop for WindowDaemon {
     fn drop(&mut self) {
         self.shutdown();
     }
-}
-
-/// The boundary after `fired` that the daemon should tick next, given that
-/// it is currently `now`.
-///
-/// Normally that is simply `fired + window`. But if the process stalled
-/// (scheduler hiccup, VM freeze, suspended laptop) past one or more
-/// boundaries, the missed windows are *skipped*, jumping to the first
-/// aligned boundary after `now`: quotas are per-window and replaying every
-/// missed roll back-to-back would install several windows of credit in a
-/// burst, exactly what the agreements bound.
-fn next_boundary(fired: Instant, now: Instant, window: Duration) -> Instant {
-    let next = fired + window;
-    if next > now {
-        return next;
-    }
-    let behind = now.duration_since(next).as_nanos();
-    let w = window.as_nanos().max(1);
-    let skip = (behind / w + 1).min(u128::from(u32::MAX)) as u32;
-    next + window * skip
 }
 
 #[cfg(test)]
@@ -131,23 +112,6 @@ mod tests {
         }
         daemon.shutdown();
         assert!(admitted, "daemon never installed credit");
-    }
-
-    #[test]
-    fn stall_skips_missed_windows_instead_of_bursting() {
-        let base = Instant::now();
-        let w = Duration::from_millis(100);
-        // On time: the very next boundary.
-        assert_eq!(next_boundary(base, base + Duration::from_millis(50), w), base + w);
-        // Exactly at the boundary still schedules the next one.
-        assert_eq!(next_boundary(base, base + w, w), base + 2 * w);
-        // A 1.35 s stall skips 13 whole windows and resumes on the aligned
-        // grid right after `now` — no catch-up burst.
-        let next = next_boundary(base, base + Duration::from_millis(1350), w);
-        assert_eq!(next, base + 14 * w);
-        // Degenerate zero window must not divide by zero.
-        let z = next_boundary(base, base + w, Duration::ZERO);
-        assert!(z <= base + w);
     }
 
     #[test]

@@ -59,10 +59,13 @@ pub fn sim_counters_json(report: &SimReport) -> crate::json::Value {
 
 /// Live-deployment counterpart of [`sim_counters_json`]: one enforcement
 /// core's counters (admission, parking, plan cache, LP work) as a JSON
-/// object. Feed it `AdmissionControl::counters_snapshot()` from a running
-/// redirector; the shared shape lets the same tooling watch either a
-/// simulation or a live control plane.
-pub fn live_counters_json(counters: &EnforcementCounters) -> crate::json::Value {
+/// object, plus `shed` — connections refused with RST at a hard cap
+/// before they ever reached admission (the legacy L4 `live_limit` gate,
+/// the sharded planes' connection/relay caps). Feed it
+/// `AdmissionControl::counters_snapshot()` from a running redirector; the
+/// shared shape lets the same tooling watch either a simulation or a live
+/// control plane.
+pub fn live_counters_json(counters: &EnforcementCounters, shed: u64) -> crate::json::Value {
     use crate::json::Value;
     Value::Obj(vec![
         ("admitted".into(), (counters.admitted as f64).into()),
@@ -75,6 +78,7 @@ pub fn live_counters_json(counters: &EnforcementCounters) -> crate::json::Value 
         ("lp_pivots".into(), (counters.lp_pivots as f64).into()),
         ("lp_warm_hits".into(), (counters.lp_warm_hits as f64).into()),
         ("lp_cold_fallbacks".into(), (counters.lp_cold_fallbacks as f64).into()),
+        ("shed".into(), (shed as f64).into()),
     ])
 }
 
@@ -85,12 +89,15 @@ pub fn live_counters_json(counters: &EnforcementCounters) -> crate::json::Value 
 /// working), plus `shards` (the shard count), the aggregate reactor
 /// batching counters (`reactor_wakes`, `batched_verdicts`), and a
 /// `per_shard` array retaining each shard's admission and batching
-/// profile — the load-balance view the sum hides.
+/// profile — the load-balance view the sum hides. `shed` is summed across
+/// shards like the rest, so this payload carries exactly the
+/// [`live_counters_json`] keys plus the sharding extras.
 pub fn live_counters_sharded_json(shards: &[covenant_enforce::ShardSnapshot]) -> crate::json::Value {
     use crate::json::Value;
     let mut total = EnforcementCounters::default();
     let mut wakes = 0u64;
     let mut verdicts = 0u64;
+    let mut shed = 0u64;
     for s in shards {
         let c = &s.counters;
         total.admitted += c.admitted;
@@ -105,8 +112,9 @@ pub fn live_counters_sharded_json(shards: &[covenant_enforce::ShardSnapshot]) ->
         total.lp_cold_fallbacks += c.lp_cold_fallbacks;
         wakes += s.reactor_wakes;
         verdicts += s.batched_verdicts;
+        shed += s.shed;
     }
-    let Value::Obj(mut fields) = live_counters_json(&total) else {
+    let Value::Obj(mut fields) = live_counters_json(&total, shed) else {
         unreachable!("live_counters_json returns an object");
     };
     fields.push(("shards".into(), (shards.len() as f64).into()));
@@ -125,6 +133,7 @@ pub fn live_counters_sharded_json(shards: &[covenant_enforce::ShardSnapshot]) ->
                         ("lp_solves".into(), (s.counters.lp_solves as f64).into()),
                         ("reactor_wakes".into(), (s.reactor_wakes as f64).into()),
                         ("batched_verdicts".into(), (s.batched_verdicts as f64).into()),
+                        ("shed".into(), (s.shed as f64).into()),
                     ])
                 })
                 .collect(),
@@ -288,7 +297,8 @@ mod tests {
             lp_warm_hits: 8,
             lp_cold_fallbacks: 2,
         };
-        let parsed = crate::json::Value::parse(&live_counters_json(&counters).to_pretty()).unwrap();
+        let parsed =
+            crate::json::Value::parse(&live_counters_json(&counters, 5).to_pretty()).unwrap();
         assert_eq!(parsed["admitted"].as_f64().unwrap(), 42.0);
         assert_eq!(parsed["deferred"].as_f64().unwrap(), 7.0);
         assert_eq!(parsed["parked"].as_f64().unwrap(), 3.0);
@@ -297,6 +307,7 @@ mod tests {
         assert_eq!(parsed["lp_pivots"].as_f64().unwrap(), 25.0);
         assert_eq!(parsed["lp_warm_hits"].as_f64().unwrap(), 8.0);
         assert_eq!(parsed["lp_cold_fallbacks"].as_f64().unwrap(), 2.0);
+        assert_eq!(parsed["shed"].as_f64().unwrap(), 5.0);
     }
 
     #[test]
@@ -312,6 +323,7 @@ mod tests {
                 },
                 reactor_wakes: 40,
                 batched_verdicts: 110,
+                shed: 4,
             },
             ShardSnapshot {
                 counters: EnforcementCounters {
@@ -322,6 +334,7 @@ mod tests {
                 },
                 reactor_wakes: 20,
                 batched_verdicts: 90,
+                shed: 1,
             },
         ];
         let v = live_counters_sharded_json(&shards);
@@ -333,10 +346,12 @@ mod tests {
         assert_eq!(parsed["shards"].as_f64().unwrap(), 2.0);
         assert_eq!(parsed["reactor_wakes"].as_f64().unwrap(), 60.0);
         assert_eq!(parsed["batched_verdicts"].as_f64().unwrap(), 200.0);
+        assert_eq!(parsed["shed"].as_f64().unwrap(), 5.0);
         // Per-shard balance survives the merge.
         assert_eq!(parsed["per_shard"][0]["admitted"].as_f64().unwrap(), 100.0);
         assert_eq!(parsed["per_shard"][1]["admitted"].as_f64().unwrap(), 60.0);
         assert_eq!(parsed["per_shard"][1]["reactor_wakes"].as_f64().unwrap(), 20.0);
+        assert_eq!(parsed["per_shard"][0]["shed"].as_f64().unwrap(), 4.0);
     }
 
     #[test]

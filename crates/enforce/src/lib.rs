@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod boundary;
 mod credit;
 mod enforcement;
 mod estimator;
@@ -30,6 +31,7 @@ mod queue;
 mod reinject;
 mod shard;
 
+pub use boundary::next_aligned_boundary;
 pub use credit::{Admission, CreditGate};
 pub use enforcement::{
     ArrivalOutcome, CoordinationView, DelayedCoordination, EnforcementCore, EnforcementCounters,

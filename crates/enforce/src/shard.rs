@@ -21,6 +21,10 @@ pub struct ShardStats {
     /// `batched_verdicts / reactor_wakes` is the mean verdict batch one
     /// wake amortizes its syscalls over.
     batched_verdicts: AtomicU64,
+    /// Connections shed with RST at a hard cap (connection table, relay
+    /// table, park overflow, legacy live-thread limit) — work refused
+    /// before it ever reached admission.
+    shed: AtomicU64,
     admitted: AtomicU64,
     deferred: AtomicU64,
     parked: AtomicU64,
@@ -43,6 +47,11 @@ impl ShardStats {
     pub fn record_wake(&self, verdicts: u64) {
         self.reactor_wakes.fetch_add(1, Ordering::Relaxed);
         self.batched_verdicts.fetch_add(verdicts, Ordering::Relaxed);
+    }
+
+    /// Records one connection shed with RST at a hard cap.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Publishes the shard core's current counters.
@@ -76,6 +85,7 @@ impl ShardStats {
             },
             reactor_wakes: self.reactor_wakes.load(Ordering::Relaxed),
             batched_verdicts: self.batched_verdicts.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
         }
     }
 }
@@ -89,6 +99,8 @@ pub struct ShardSnapshot {
     pub reactor_wakes: u64,
     /// Verdicts issued across all wakes.
     pub batched_verdicts: u64,
+    /// Connections shed with RST at a hard cap.
+    pub shed: u64,
 }
 
 #[cfg(test)]
@@ -100,11 +112,13 @@ mod tests {
         let stats = ShardStats::new();
         stats.record_wake(3);
         stats.record_wake(5);
+        stats.record_shed();
         let counters = EnforcementCounters { admitted: 7, deferred: 1, ..Default::default() };
         stats.store_counters(&counters);
         let snap = stats.snapshot();
         assert_eq!(snap.reactor_wakes, 2);
         assert_eq!(snap.batched_verdicts, 8);
+        assert_eq!(snap.shed, 1);
         assert_eq!(snap.counters, counters);
     }
 }

@@ -119,8 +119,11 @@ fn serve_connection(
         Err(HttpError::UnexpectedEof) => return Ok(()), // health probe / cancelled
         Err(_) => HttpResponse::status(StatusCode::BAD_REQUEST),
     };
-    response.write_to(&mut writer)?;
+    // Count before writing: once a client has read the response, the
+    // counter must already reflect it, or observers that join on client
+    // completion can read a stale total.
     *served.lock() += 1;
+    response.write_to(&mut writer)?;
     Ok(())
 }
 

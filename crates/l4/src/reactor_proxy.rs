@@ -223,6 +223,7 @@ impl ShardRuntime {
             _ => {
                 let _ = set_rst_on_close(&stream);
                 self.refused.fetch_add(1, Ordering::Relaxed);
+                self.stats.record_shed();
             }
         }
     }
@@ -259,6 +260,7 @@ impl ShardRuntime {
         if self.conns.len() >= MAX_RELAYS {
             let _ = set_rst_on_close(&client);
             self.refused.fetch_add(1, Ordering::Relaxed);
+            self.stats.record_shed();
             return;
         }
         self.affinity.insert(peer.ip(), server);
@@ -401,6 +403,20 @@ impl ShardedL4 {
         sched: SchedulerConfig,
         coordinator: Coordinator,
     ) -> io::Result<ShardedL4> {
+        ShardedL4::start_at(cfg, shards, levels, sched, coordinator, 0)
+    }
+
+    /// Like [`Self::start`], but shard *i* publishes as tree node
+    /// `base_node + i` — multiple proxy instances (or cluster processes)
+    /// can share one coordination tree without colliding on leaf ids.
+    pub fn start_at(
+        cfg: L4Config,
+        shards: usize,
+        levels: &AccessLevels,
+        sched: SchedulerConfig,
+        coordinator: Coordinator,
+        base_node: usize,
+    ) -> io::Result<ShardedL4> {
         let shards = shards.max(1);
         let n_principals = cfg
             .services
@@ -454,7 +470,7 @@ impl ShardedL4 {
                     wake,
                     services,
                     conns: Slab::new(),
-                    core: ShardCore::new(node, levels, sched.clone(), coordinator.clone()),
+                    core: ShardCore::new(base_node + node, levels, sched.clone(), coordinator.clone()),
                     stats: Arc::clone(&shard_stats),
                     stop: Arc::clone(&stop),
                     backends: cfg.backends.clone(),

@@ -175,6 +175,7 @@ impl ShardRuntime {
                     if self.conns.len() >= MAX_CONNS {
                         let _ = set_rst_on_close(&stream);
                         self.shed.fetch_add(1, Ordering::Relaxed);
+                        self.stats.record_shed();
                         continue;
                     }
                     if stream.set_nonblocking(true).is_err() {
@@ -409,6 +410,23 @@ impl ShardedL7 {
         sched: SchedulerConfig,
         coordinator: Coordinator,
     ) -> io::Result<ShardedL7> {
+        ShardedL7::start_at(bind, cfg, shards, levels, sched, coordinator, 0)
+    }
+
+    /// Like [`Self::start`], but shard *i* publishes as tree node
+    /// `base_node + i` — multiple redirector instances (or cluster
+    /// processes) can share one coordination tree without colliding on
+    /// leaf ids.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_at(
+        bind: &str,
+        cfg: L7Config,
+        shards: usize,
+        levels: &AccessLevels,
+        sched: SchedulerConfig,
+        coordinator: Coordinator,
+        base_node: usize,
+    ) -> io::Result<ShardedL7> {
         let shards = shards.max(1);
         let requested: SocketAddr = bind
             .parse()
@@ -453,7 +471,7 @@ impl ShardedL7 {
                     wake,
                     listener,
                     conns: Slab::new(),
-                    core: ShardCore::new(node, levels, sched.clone(), coordinator.clone()),
+                    core: ShardCore::new(base_node + node, levels, sched.clone(), coordinator.clone()),
                     stats: Arc::clone(&shard_stats),
                     shed: Arc::clone(&shed),
                     stop: Arc::clone(&stop),

@@ -7,13 +7,16 @@
 //! diagnostics:
 //!
 //! - **R1 `wall-clock`** — no `Instant::now()` / `SystemTime::now()` in
-//!   data-plane crates (`enforce`, `sched`, `l7`, `l4`, `coord`, `http`)
-//!   outside the clock/daemon allowlist. Data-plane code takes injected
-//!   time, or the sim/live differential replay breaks.
+//!   data-plane crates (`enforce`, `sched`, `l7`, `l4`, `coord`, `http`,
+//!   `wire`, `cluster`) outside the clock/daemon allowlist. Data-plane
+//!   code takes injected time, or the sim/live differential replay
+//!   breaks. The wire transport's `WireClock` carries the only sanctioned
+//!   reads in its crate (per-line pragmas): RTT and propagation delay are
+//!   *measured* quantities there.
 //! - **R2 `no-panic`** — no `unwrap()` / `expect(` / `panic!` /
 //!   indexing-by-integer-literal in admission-path crates (`enforce`,
-//!   `sched`, `l7`, `l4`, `coord`). A panicked redirector thread silently
-//!   stops enforcing its agreements.
+//!   `sched`, `l7`, `l4`, `coord`, `wire`, `cluster`). A panicked
+//!   redirector thread silently stops enforcing its agreements.
 //! - **R3 `float-eq`** — no `==` / `!=` with a float-literal operand,
 //!   workspace-wide. Credit and LP-tableau arithmetic must use epsilon
 //!   compares; exact compares belong behind an explicit pragma.
@@ -105,7 +108,8 @@ impl fmt::Display for Diagnostic {
 }
 
 /// Crates whose data plane must take injected time (R1).
-const R1_CRATES: &[&str] = &["enforce", "sched", "l7", "l4", "coord", "http", "reactor"];
+const R1_CRATES: &[&str] =
+    &["enforce", "sched", "l7", "l4", "coord", "http", "reactor", "wire", "cluster"];
 
 /// The clock/daemon allowlist: the files that *are* the clock. The window
 /// daemon turns wall time into ticks; the http clock module anchors the
@@ -113,7 +117,7 @@ const R1_CRATES: &[&str] = &["enforce", "sched", "l7", "l4", "coord", "http", "r
 const R1_ALLOW_FILES: &[&str] = &["crates/coord/src/daemon.rs", "crates/http/src/clock.rs"];
 
 /// Crates on the admission path that must stay panic-free (R2).
-const R2_CRATES: &[&str] = &["enforce", "sched", "l7", "l4", "coord", "reactor"];
+const R2_CRATES: &[&str] = &["enforce", "sched", "l7", "l4", "coord", "reactor", "wire", "cluster"];
 
 /// Crates included in the lock-order pass (R4).
 const R4_CRATES: &[&str] = &["tree", "coord", "l7", "l4"];

@@ -20,7 +20,11 @@
 //! * [`QueueStats`] — the richer aggregate the paper mentions (max, min,
 //!   average, variance) combined in the same single round;
 //! * [`DelayedView`] — a timestamped pipeline that models what a redirector
-//!   actually *sees*: the newest aggregate older than the propagation lag.
+//!   actually *sees*: the newest aggregate older than the propagation lag;
+//! * [`CoordTransport`] / [`InProcessTree`] — the publish/read transport
+//!   surface the coordination plane runs over, with the synchronous
+//!   in-process tree as the zero-cost implementation (socket transports
+//!   live in `covenant-wire`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,8 +33,10 @@ mod delay;
 mod overlay;
 mod stats;
 mod topology;
+mod transport;
 
 pub use delay::DelayedView;
 pub use overlay::{best_root, build_overlay};
 pub use stats::QueueStats;
 pub use topology::{AggregationRound, Topology, TreeError};
+pub use transport::{CoordTransport, InProcessTree};

@@ -1,0 +1,69 @@
+//! The wire transport's physical clock.
+//!
+//! A multi-process deployment has no shared epoch: each process's
+//! coordinator clock starts when the process does. The wire runtime needs
+//! a physical clock anyway — to *measure* propagation (the whole point of
+//! the socket transport: `tree_rtt_us` is a measured quantity, not an
+//! injected delay), to stamp arriving aggregates into the local view, and
+//! to pace round-timeout and reconnect deadlines. `WireClock` is that
+//! clock, and its two methods below are the only sanctioned wall-clock
+//! reads in this crate; a `Coordinator` built over the wire transport
+//! adopts the same epoch via `CoordTransport::clock_epoch`, so data-plane
+//! timestamps and measured arrival stamps share one time base.
+
+use std::time::Instant;
+
+/// Seconds-since-epoch clock shared by the wire runtime and the
+/// coordinator built over it.
+#[derive(Debug, Clone, Copy)]
+pub struct WireClock {
+    epoch: Instant,
+}
+
+impl WireClock {
+    /// A clock starting now — created once per process, at transport
+    /// construction.
+    pub fn new() -> Self {
+        // The RTT/propagation measurement epoch (see module docs): the
+        // one place the wire crate is allowed to touch the wall clock.
+        WireClock { epoch: Instant::now() } // covenant: allow(wall-clock)
+    }
+
+    /// The raw instant for deadline arithmetic and RTT deltas.
+    pub fn now_instant(&self) -> Instant {
+        // Companion read to `new`: all wire-runtime time measurement
+        // funnels through this method.
+        Instant::now() // covenant: allow(wall-clock)
+    }
+
+    /// Seconds since the epoch (the process's coordination time base).
+    pub fn now(&self) -> f64 {
+        self.now_instant().duration_since(self.epoch).as_secs_f64()
+    }
+
+    /// The epoch itself, adopted by `Coordinator::with_transport`.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+}
+
+impl Default for WireClock {
+    fn default() -> Self {
+        WireClock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone_from_its_epoch() {
+        let c = WireClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+        assert!(c.now_instant() >= c.epoch());
+    }
+}

@@ -1,0 +1,363 @@
+//! The length-prefixed binary codec for combining-tree frames.
+//!
+//! Every frame is `u32-LE payload length` followed by the payload:
+//!
+//! ```text
+//! Hello  kind=1 · node u32
+//! Up     kind=2 · node u32 · epoch u32 · round u64 · t f64 · count u32 · count × f64
+//! Down   kind=3 · node u32 · epoch u32 · round u64 · t f64 · count u32 · count × f64
+//! ```
+//!
+//! `Up` carries a node's *subtree* aggregate toward its parent; `Down`
+//! carries the root's global total back toward the leaves; `Hello`
+//! identifies a child connection so the parent knows which tree edge it
+//! is. `round` is the sender's publish-round counter (per-process window
+//! counters never align across machines, so rounds — not window ids — key
+//! the combine), `t` the sender's boundary timestamp, and `epoch` the tree
+//! generation, letting peers drop frames from a stale topology.
+//!
+//! Decoding never panics: truncated input yields `Ok(None)` (read more),
+//! and structurally invalid input yields a [`WireError`] so the connection
+//! can be dropped and re-established.
+
+use std::fmt;
+
+/// Hard cap on per-frame vector width — bounds a frame at ~32 KiB so a
+/// hostile or corrupt length prefix cannot balloon buffers.
+pub const MAX_VALUES: usize = 4096;
+
+/// Largest legal payload: the fixed `Up`/`Down` header plus
+/// [`MAX_VALUES`] doubles.
+pub const MAX_PAYLOAD: usize = 1 + 4 + 4 + 8 + 8 + 4 + MAX_VALUES * 8;
+
+const KIND_HELLO: u8 = 1;
+const KIND_UP: u8 = 2;
+const KIND_DOWN: u8 = 3;
+
+/// One combining-tree frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Child-connection handshake: which tree node this edge leads to.
+    Hello {
+        /// The connecting child's node id.
+        node: u32,
+    },
+    /// A subtree aggregate travelling toward the root.
+    Up {
+        /// Sender node id.
+        node: u32,
+        /// Tree generation.
+        epoch: u32,
+        /// Sender's publish-round counter.
+        round: u64,
+        /// Sender's window-boundary timestamp (its clock domain).
+        t: f64,
+        /// Per-principal subtree demand sums.
+        values: Vec<f64>,
+    },
+    /// The root's global total travelling toward the leaves.
+    Down {
+        /// Sender node id (the root, or the interior node forwarding).
+        node: u32,
+        /// Tree generation.
+        epoch: u32,
+        /// The root's round this total closes.
+        round: u64,
+        /// The root's boundary timestamp for the round.
+        t: f64,
+        /// Per-principal global demand sums.
+        values: Vec<f64>,
+    },
+}
+
+/// A structural decode failure — drop the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// Length prefix exceeds [`MAX_PAYLOAD`].
+    Oversized(usize),
+    /// Payload ended before the fields it promised.
+    Truncated,
+    /// Value count exceeds [`MAX_VALUES`].
+    TooManyValues(usize),
+    /// Payload longer than its fields.
+    TrailingBytes,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Oversized(n) => write!(f, "frame payload of {n} bytes exceeds cap"),
+            WireError::Truncated => write!(f, "frame payload truncated"),
+            WireError::TooManyValues(n) => write!(f, "frame carries {n} values, over cap"),
+            WireError::TrailingBytes => write!(f, "frame payload has trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Byte cursor over a frame payload; every read is bounds-checked.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?.first().copied().unwrap_or(0))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let s = self.take(4)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(s);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+impl Frame {
+    /// Appends the length-prefixed encoding of `self` to `out`. Vectors
+    /// wider than [`MAX_VALUES`] are silently clipped — the enforcement
+    /// plane never approaches the cap, and clipping beats a panic on the
+    /// data path.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let len_at = out.len();
+        put_u32(out, 0); // placeholder
+        let payload_at = out.len();
+        match self {
+            Frame::Hello { node } => {
+                out.push(KIND_HELLO);
+                put_u32(out, *node);
+            }
+            Frame::Up { node, epoch, round, t, values }
+            | Frame::Down { node, epoch, round, t, values } => {
+                out.push(match self {
+                    Frame::Up { .. } => KIND_UP,
+                    _ => KIND_DOWN,
+                });
+                put_u32(out, *node);
+                put_u32(out, *epoch);
+                put_u64(out, *round);
+                put_f64(out, *t);
+                let vals = values.get(..values.len().min(MAX_VALUES)).unwrap_or(&[]);
+                put_u32(out, vals.len() as u32);
+                for v in vals {
+                    put_f64(out, *v);
+                }
+            }
+        }
+        let payload_len = (out.len() - payload_at) as u32;
+        if let Some(slot) = out.get_mut(len_at..len_at + 4) {
+            slot.copy_from_slice(&payload_len.to_le_bytes());
+        }
+    }
+
+    /// Attempts to decode one frame from the front of `buf`.
+    ///
+    /// Returns `Ok(Some((frame, consumed)))` on success, `Ok(None)` when
+    /// more bytes are needed, and `Err` when the stream is structurally
+    /// invalid and the connection should be dropped.
+    pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+        let Some(prefix) = buf.get(..4) else {
+            return Ok(None);
+        };
+        let mut b = [0u8; 4];
+        b.copy_from_slice(prefix);
+        let len = u32::from_le_bytes(b) as usize;
+        if len > MAX_PAYLOAD {
+            return Err(WireError::Oversized(len));
+        }
+        let total = 4 + len;
+        let Some(payload) = buf.get(4..total) else {
+            return Ok(None);
+        };
+        let mut c = Cursor::new(payload);
+        let kind = c.u8()?;
+        let frame = match kind {
+            KIND_HELLO => Frame::Hello { node: c.u32()? },
+            KIND_UP | KIND_DOWN => {
+                let node = c.u32()?;
+                let epoch = c.u32()?;
+                let round = c.u64()?;
+                let t = c.f64()?;
+                let count = c.u32()? as usize;
+                if count > MAX_VALUES {
+                    return Err(WireError::TooManyValues(count));
+                }
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(c.f64()?);
+                }
+                if kind == KIND_UP {
+                    Frame::Up { node, epoch, round, t, values }
+                } else {
+                    Frame::Down { node, epoch, round, t, values }
+                }
+            }
+            other => return Err(WireError::BadKind(other)),
+        };
+        if !c.done() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(Some((frame, total)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: &Frame) -> Frame {
+        let mut buf = Vec::new();
+        f.encode(&mut buf);
+        let (decoded, used) = Frame::decode(&buf).unwrap().unwrap();
+        assert_eq!(used, buf.len());
+        decoded
+    }
+
+    #[test]
+    fn hello_roundtrips() {
+        let f = Frame::Hello { node: 7 };
+        assert_eq!(roundtrip(&f), f);
+    }
+
+    #[test]
+    fn up_and_down_roundtrip() {
+        let up = Frame::Up {
+            node: 3,
+            epoch: 1,
+            round: 42,
+            t: 4.2,
+            values: vec![0.0, -1.5, 1e9],
+        };
+        assert_eq!(roundtrip(&up), up);
+        let down = Frame::Down {
+            node: 0,
+            epoch: 1,
+            round: 42,
+            t: 4.2,
+            values: vec![f64::MAX, f64::MIN_POSITIVE],
+        };
+        assert_eq!(roundtrip(&down), down);
+    }
+
+    #[test]
+    fn truncated_input_wants_more_bytes() {
+        let mut buf = Vec::new();
+        Frame::Up { node: 1, epoch: 0, round: 9, t: 1.0, values: vec![1.0, 2.0] }
+            .encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(Frame::decode(&buf[..cut]).unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn two_frames_in_one_buffer_decode_in_order() {
+        let mut buf = Vec::new();
+        Frame::Hello { node: 2 }.encode(&mut buf);
+        Frame::Down { node: 0, epoch: 0, round: 1, t: 0.1, values: vec![5.0] }.encode(&mut buf);
+        let (first, used) = Frame::decode(&buf).unwrap().unwrap();
+        assert_eq!(first, Frame::Hello { node: 2 });
+        let (second, used2) = Frame::decode(&buf[used..]).unwrap().unwrap();
+        assert!(matches!(second, Frame::Down { round: 1, .. }));
+        assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_an_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(Frame::decode(&buf), Err(WireError::Oversized(_))));
+    }
+
+    #[test]
+    fn oversized_value_count_is_an_error() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1 + 4 + 4 + 8 + 8 + 4);
+        buf.push(KIND_UP);
+        put_u32(&mut buf, 0);
+        put_u32(&mut buf, 0);
+        put_u64(&mut buf, 1);
+        put_f64(&mut buf, 0.0);
+        put_u32(&mut buf, (MAX_VALUES + 1) as u32);
+        assert!(matches!(Frame::decode(&buf), Err(WireError::TooManyValues(_))));
+    }
+
+    #[test]
+    fn bad_kind_is_an_error() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1);
+        buf.push(9);
+        assert!(matches!(Frame::decode(&buf), Err(WireError::BadKind(9))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 6);
+        buf.push(KIND_HELLO);
+        put_u32(&mut buf, 3);
+        buf.push(0xee);
+        assert!(matches!(Frame::decode(&buf), Err(WireError::TrailingBytes)));
+    }
+
+    #[test]
+    fn encode_clips_at_max_values() {
+        let f = Frame::Up {
+            node: 0,
+            epoch: 0,
+            round: 1,
+            t: 0.0,
+            values: vec![1.0; MAX_VALUES + 10],
+        };
+        let mut buf = Vec::new();
+        f.encode(&mut buf);
+        let (decoded, _) = Frame::decode(&buf).unwrap().unwrap();
+        match decoded {
+            Frame::Up { values, .. } => assert_eq!(values.len(), MAX_VALUES),
+            other => panic!("{other:?}"),
+        }
+    }
+}

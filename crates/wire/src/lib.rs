@@ -1,0 +1,41 @@
+//! `covenant-wire`: the combining tree over real sockets.
+//!
+//! The in-process tree (`covenant-tree`) models the paper's hierarchy of
+//! redirectors as a data structure with injected propagation lag. This
+//! crate replaces the model with the thing itself: each tree node is a
+//! wire endpoint speaking a tiny length-prefixed binary protocol
+//! ([`Frame`]) over TCP along its tree edges, served by one nonblocking
+//! epoll loop per node ([`WireNode`]) on the `covenant-reactor`
+//! primitives. The enforcement plane is oblivious — it talks to a
+//! [`WireTransport`], the socket-backed implementation of
+//! `covenant_tree::CoordTransport`, through the same `Coordinator` it
+//! always used.
+//!
+//! What changes is epistemology, not semantics: per-window message counts
+//! (the paper's 2(n−1)) and propagation delay stop being simulation
+//! parameters and become measured quantities ([`WireStats`]). Fault
+//! tolerance maps onto the same staleness story — a lost edge degrades to
+//! last-good values and bounded staleness, not to blocking.
+//!
+//! Layout:
+//! - [`frame`]: the codec — never panics on hostile bytes (proptested).
+//! - [`clock`]: the per-process measurement clock (the crate's only
+//!   sanctioned wall-clock reads).
+//! - [`stats`]: frames/rounds/reconnects/RTT counters.
+//! - [`transport`]: the `CoordTransport` the enforcement plane holds.
+//! - [`node`]: the epoll runtime and [`spawn_local`] loopback helper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod frame;
+mod node;
+mod stats;
+mod transport;
+
+pub use clock::WireClock;
+pub use frame::{Frame, WireError, MAX_VALUES};
+pub use node::{spawn_local, WireNode, WireNodeConfig};
+pub use stats::WireStats;
+pub use transport::{StampMode, WireTransport};

@@ -1,0 +1,221 @@
+//! The socket-tree [`CoordTransport`]: what the enforcement plane sees.
+//!
+//! One `WireTransport` lives in each process (or, in loopback tests, each
+//! runtime thread) and represents exactly one tree node. Publishes are
+//! queued to the node's wire runtime and become `Up` frames; reads scan a
+//! small local view of the `Down` totals the runtime has delivered. The
+//! staleness contract is structural: a round's total is only ever stamped
+//! *at or after* the boundary that round was published at, so the
+//! enforcement core's strictly-before reads observe at best the previous
+//! round — one window stale, exactly like the in-process tree.
+
+use crate::clock::WireClock;
+use crate::stats::WireStats;
+use covenant_reactor::WakeHandle;
+use covenant_tree::CoordTransport;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How the runtime stamps delivered totals into the local view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StampMode {
+    /// Stamp with the boundary time carried in the frame, and never force
+    /// a round on timeout — deterministic virtual-time replays (the
+    /// sim/live differential test) where the caller barriers on
+    /// [`WireTransport::completed_rounds`] between boundaries.
+    Virtual,
+    /// Stamp with the local receive time from the [`WireClock`] — the
+    /// propagation delay becomes a *measured* quantity — and force rounds
+    /// with last-good child values at the next aligned window boundary.
+    Live,
+}
+
+/// Aggregates the local view retains; old rounds beyond this are dropped.
+const VIEW_CAP: usize = 128;
+
+/// One queued own-publish: (round, demand, boundary time).
+pub(crate) type OwnPublish = (u64, Vec<f64>, f64);
+
+pub(crate) struct ViewState {
+    /// `(stamp, total)` in monotone stamp order, capped at [`VIEW_CAP`].
+    entries: VecDeque<(f64, Vec<f64>)>,
+}
+
+pub(crate) struct SharedState {
+    /// Own publishes awaiting the runtime (drained on wake).
+    pub(crate) outbox: Mutex<VecDeque<OwnPublish>>,
+    /// Round counter: one per publish.
+    pub(crate) rounds_published: AtomicU64,
+    /// Highest round whose global total reached this node.
+    pub(crate) rounds_completed: AtomicU64,
+    /// Delivered global totals, visible to reads.
+    pub(crate) view: Mutex<ViewState>,
+}
+
+impl SharedState {
+    pub(crate) fn new() -> SharedState {
+        SharedState {
+            outbox: Mutex::new(VecDeque::new()),
+            rounds_published: AtomicU64::new(0),
+            rounds_completed: AtomicU64::new(0),
+            view: Mutex::new(ViewState { entries: VecDeque::new() }),
+        }
+    }
+
+    /// Runtime-side delivery of a round's global total.
+    pub(crate) fn deliver(&self, round: u64, stamp: f64, total: Vec<f64>) {
+        let mut view = self.view.lock();
+        // Clamp non-monotone (or NaN) stamps forward so reads stay sane.
+        let last = view.entries.back().map(|(s, _)| *s).unwrap_or(f64::NEG_INFINITY);
+        let stamp = if stamp > last { stamp } else { last };
+        view.entries.push_back((stamp, total));
+        while view.entries.len() > VIEW_CAP {
+            view.entries.pop_front();
+        }
+        drop(view);
+        self.rounds_completed.fetch_max(round, Ordering::Release);
+    }
+}
+
+/// The per-node [`CoordTransport`] over the wire runtime (see module docs).
+pub struct WireTransport {
+    pub(crate) shared: Arc<SharedState>,
+    pub(crate) stats: Arc<WireStats>,
+    pub(crate) clock: WireClock,
+    pub(crate) mode: StampMode,
+    pub(crate) wake: WakeHandle,
+    /// Tree size, for `CoordTransport::nodes`.
+    pub(crate) n_nodes: usize,
+    /// This endpoint's tree node id (publish/read `node` args must match).
+    pub(crate) node: usize,
+}
+
+impl WireTransport {
+    /// This endpoint's tree node id.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The runtime's counters (frames, rounds, reconnects, RTT).
+    pub fn stats(&self) -> &Arc<WireStats> {
+        &self.stats
+    }
+
+    /// The shared physical clock.
+    pub fn clock(&self) -> WireClock {
+        self.clock
+    }
+
+    /// Highest round whose global total has reached this node — the
+    /// barrier virtual-time replays wait on between boundaries.
+    pub fn completed_rounds(&self) -> u64 {
+        self.shared.rounds_completed.load(Ordering::Acquire)
+    }
+
+    /// Rounds this node has published so far.
+    pub fn published_rounds(&self) -> u64 {
+        self.shared.rounds_published.load(Ordering::Acquire)
+    }
+}
+
+impl CoordTransport for WireTransport {
+    fn nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    fn publish_at(&self, node: usize, demand: Vec<f64>, t: f64) {
+        debug_assert_eq!(node, self.node, "wire transport is bound to one node");
+        let round = self.shared.rounds_published.fetch_add(1, Ordering::AcqRel) + 1;
+        self.shared.outbox.lock().push_back((round, demand, t));
+        self.wake.wake();
+    }
+
+    fn read_at(&self, node: usize, t: f64) -> Option<Vec<f64>> {
+        debug_assert_eq!(node, self.node, "wire transport is bound to one node");
+        let view = self.shared.view.lock();
+        view.entries.iter().rev().find(|(s, _)| *s <= t).map(|(_, v)| v.clone())
+    }
+
+    fn read_before(&self, node: usize, t: f64) -> Option<Vec<f64>> {
+        debug_assert_eq!(node, self.node, "wire transport is bound to one node");
+        let view = self.shared.view.lock();
+        view.entries.iter().rev().find(|(s, _)| *s < t).map(|(_, v)| v.clone())
+    }
+
+    fn messages(&self) -> u64 {
+        self.stats.frames_sent() + self.stats.frames_received()
+    }
+
+    fn clock_epoch(&self) -> Option<Instant> {
+        match self.mode {
+            StampMode::Live => Some(self.clock.epoch()),
+            StampMode::Virtual => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covenant_reactor::WakeFd;
+
+    fn transport() -> WireTransport {
+        let (_fd, wake) = WakeFd::new().expect("eventfd");
+        WireTransport {
+            shared: Arc::new(SharedState::new()),
+            stats: Arc::new(WireStats::new()),
+            clock: WireClock::new(),
+            mode: StampMode::Virtual,
+            wake,
+            n_nodes: 3,
+            node: 1,
+        }
+    }
+
+    #[test]
+    fn publishes_queue_rounds_in_order() {
+        let t = transport();
+        t.publish_at(1, vec![1.0], 0.1);
+        t.publish_at(1, vec![2.0], 0.2);
+        assert_eq!(t.published_rounds(), 2);
+        let outbox = t.shared.outbox.lock();
+        let rounds: Vec<u64> = outbox.iter().map(|(r, _, _)| *r).collect();
+        assert_eq!(rounds, vec![1, 2]);
+    }
+
+    #[test]
+    fn reads_honor_strict_and_inclusive_cutoffs() {
+        let t = transport();
+        t.shared.deliver(1, 0.1, vec![5.0]);
+        t.shared.deliver(2, 0.2, vec![7.0]);
+        assert_eq!(t.read_at(1, 0.2), Some(vec![7.0]));
+        assert_eq!(t.read_before(1, 0.2), Some(vec![5.0]));
+        assert_eq!(t.read_before(1, 0.1), None);
+        assert_eq!(t.completed_rounds(), 2);
+    }
+
+    #[test]
+    fn non_monotone_stamps_clamp_forward() {
+        let t = transport();
+        t.shared.deliver(1, 0.5, vec![1.0]);
+        t.shared.deliver(2, 0.3, vec![2.0]); // clamped to 0.5
+        t.shared.deliver(3, f64::NAN, vec![3.0]); // clamped to 0.5
+        assert_eq!(t.read_at(1, 0.5), Some(vec![3.0]));
+        assert_eq!(t.read_before(1, 0.5), None);
+    }
+
+    #[test]
+    fn view_is_bounded() {
+        let t = transport();
+        for i in 0..(VIEW_CAP as u64 + 50) {
+            t.shared.deliver(i + 1, i as f64, vec![i as f64]);
+        }
+        assert_eq!(t.shared.view.lock().entries.len(), VIEW_CAP);
+        // The newest entries survive.
+        let newest = (VIEW_CAP as u64 + 49) as f64;
+        assert_eq!(t.read_at(1, 1e18), Some(vec![newest]));
+    }
+}

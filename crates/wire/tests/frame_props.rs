@@ -1,0 +1,108 @@
+//! Property tests for the wire codec: the frame parser faces bytes from
+//! the network, so it must never panic — not on truncation, not on
+//! garbage, not on adversarial length prefixes — and every encodable
+//! frame must survive a roundtrip bit-exactly.
+
+use covenant_wire::{Frame, MAX_VALUES};
+use proptest::prelude::*;
+
+/// A value vector mixing ordinary magnitudes with the float specials
+/// (NaN, infinities, signed zero) the aggregation path can produce.
+fn arb_values() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((0u8..6, any::<f64>(), any::<u64>()), 0..32).prop_map(|elems| {
+        elems
+            .into_iter()
+            .map(|(kind, unit, bits)| match kind {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => -0.0,
+                4 => f64::from_bits(bits), // arbitrary bit patterns
+                _ => unit * 1e9 - 5e8,
+            })
+            .collect()
+    })
+}
+
+/// Any encodable frame (values capped well under the protocol limit).
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (0u8..3, any::<u32>(), any::<u32>(), any::<u64>(), any::<f64>(), arb_values()).prop_map(
+        |(kind, node, epoch, round, t, values)| match kind {
+            0 => Frame::Hello { node },
+            1 => Frame::Up { node, epoch, round, t: t * 1e6, values },
+            _ => Frame::Down { node, epoch, round, t: t * 1e6, values },
+        },
+    )
+}
+
+/// Bit-exact equality (plain `==` on NaN payloads would spuriously fail).
+fn frames_bit_equal(a: &Frame, b: &Frame) -> bool {
+    let mut ea = Vec::new();
+    let mut eb = Vec::new();
+    a.encode(&mut ea);
+    b.encode(&mut eb);
+    ea == eb
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_is_bit_exact(frame in arb_frame()) {
+        let mut buf = Vec::new();
+        frame.encode(&mut buf);
+        let (decoded, used) = Frame::decode(&buf)
+            .expect("own encoding must parse")
+            .expect("own encoding must be complete");
+        prop_assert_eq!(used, buf.len());
+        prop_assert!(frames_bit_equal(&frame, &decoded));
+    }
+
+    #[test]
+    fn every_truncation_asks_for_more_bytes(frame in arb_frame(), cut_seed in any::<usize>()) {
+        let mut buf = Vec::new();
+        frame.encode(&mut buf);
+        let cut = cut_seed % buf.len(); // 0..len, strictly short
+        // A prefix of a valid frame is never an error and never a frame:
+        // the decoder must wait for the rest.
+        prop_assert_eq!(Frame::decode(&buf[..cut]), Ok(None));
+    }
+
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Any outcome is fine; panicking or over-consuming is not.
+        if let Ok(Some((_, used))) = Frame::decode(&bytes) {
+            prop_assert!(used <= bytes.len());
+            prop_assert!(used >= 4);
+        }
+    }
+
+    #[test]
+    fn adversarial_length_prefixes_never_panic(
+        len in any::<u32>(),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut buf = len.to_le_bytes().to_vec();
+        buf.extend_from_slice(&body);
+        // Oversized prefixes must be rejected (or starved), not trusted.
+        let _ = Frame::decode(&buf);
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_order(a in arb_frame(), b in arb_frame()) {
+        let mut buf = Vec::new();
+        a.encode(&mut buf);
+        let first_len = buf.len();
+        b.encode(&mut buf);
+
+        let (da, ua) = Frame::decode(&buf).expect("valid").expect("complete");
+        prop_assert_eq!(ua, first_len);
+        prop_assert!(frames_bit_equal(&a, &da));
+        let (db, ub) = Frame::decode(&buf[ua..]).expect("valid").expect("complete");
+        prop_assert_eq!(ua + ub, buf.len());
+        prop_assert!(frames_bit_equal(&b, &db));
+    }
+}
+
+#[test]
+fn the_value_cap_is_the_documented_constant() {
+    assert_eq!(MAX_VALUES, 4096);
+}

@@ -32,6 +32,12 @@ cargo run -q --offline --release -p covenant-bench --bin sim_smoke
 echo "==> live smoke (loopback L7 + L4 control plane end-to-end)"
 cargo run -q --offline --release -p covenant-bench --bin live_smoke
 
+echo "==> cluster soak (multi-process combining tree + /metrics scrape)"
+cargo run -q --offline --release -p covenant-bench --bin cluster_soak -- 3
+
+echo "==> tree bench smoke (wire frame economy: 2(n-1) frames per round)"
+cargo run -q --offline --release -p covenant-bench --bin tree_bench -- --quick
+
 echo "==> lp smoke (warm-started revised simplex inside the window budget)"
 cargo run -q --offline --release -p covenant-bench --bin lp_smoke
 

@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 
 pub use covenant_agreements as agreements;
+pub use covenant_cluster as cluster;
 pub use covenant_coord as coord;
 pub use covenant_core as core;
 pub use covenant_enforce as enforce;
@@ -25,4 +26,5 @@ pub use covenant_reactor as reactor;
 pub use covenant_sched as sched;
 pub use covenant_sim as sim;
 pub use covenant_tree as tree;
+pub use covenant_wire as wire;
 pub use covenant_workload as workload;

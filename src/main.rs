@@ -9,6 +9,11 @@
 //!                                      # table, CSV series, or a JSON report
 //!                                      # with engine counters
 //! covenant figures                     # reproduce Figures 1 and 6-10
+//! covenant cluster deployment.json [secs]
+//!                                      # launch the spec's combining tree as
+//!                                      # real OS processes, run for `secs`
+//!                                      # (default 5), scrape every node's
+//!                                      # /metrics endpoint, and tear down
 //! ```
 
 use covenant::agreements::PrincipalId;
@@ -18,6 +23,9 @@ use covenant::sim::Simulation;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // If this process was fork/exec'd as a cluster node, run the node and
+    // never return; the CLI path continues below otherwise.
+    covenant::cluster::maybe_run_node();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("example-spec") => {
@@ -115,6 +123,38 @@ fn main() -> ExitCode {
             );
             Ok(())
         }),
+        Some("cluster") => with_spec(args.get(1), |spec| {
+            let secs = args
+                .get(2)
+                .and_then(|a| a.parse::<f64>().ok())
+                .unwrap_or(5.0)
+                .clamp(0.5, 600.0);
+            let mut cluster = covenant::cluster::Cluster::launch(spec)?;
+            println!("origin backend: http://{}/", cluster.origin_addr());
+            println!("{:<6}{:<12}{:<24}{:<24}{:<24}", "node", "role", "wire", "metrics", "http");
+            for n in cluster.nodes() {
+                println!(
+                    "{:<6}{:<12}{:<24}{:<24}{:<24}",
+                    n.node,
+                    n.role,
+                    n.wire_addr.to_string(),
+                    n.metrics_addr.to_string(),
+                    n.http_addr.map(|a| a.to_string()).unwrap_or_else(|| "-".into())
+                );
+            }
+            println!("\nrunning for {secs:.1} s …\n");
+            std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+            let ids: Vec<usize> = cluster.nodes().iter().map(|n| n.node).collect();
+            for node in ids {
+                println!("--- node {node} /metrics ---");
+                match cluster.scrape(node) {
+                    Ok(body) => print!("{body}"),
+                    Err(e) => println!("scrape failed: {e}"),
+                }
+            }
+            cluster.shutdown();
+            Ok(())
+        }),
         Some("figures") => {
             let f1 = scenarios::fig1();
             println!("== Figure 1 ==");
@@ -136,7 +176,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: covenant <example-spec | levels <spec.json> | run <spec.json> [--csv | --json] | figures>"
+                "usage: covenant <example-spec | levels <spec.json> | run <spec.json> [--csv | --json] | figures | cluster <spec.json> [secs]>"
             );
             ExitCode::FAILURE
         }
