@@ -71,6 +71,22 @@ impl Cluster {
     /// Launches one process per tree node of `spec`, parents before
     /// children, plus an in-launcher origin server backing the leaves.
     pub fn launch(spec: &DeploymentSpec) -> io::Result<Cluster> {
+        // Static verification first: refuse to fork processes for a spec
+        // with error-severity contract findings (V1-V7).
+        {
+            use covenant_verify::{RuleMeta, Severity};
+            let errors: Vec<String> = covenant_verify::verify_spec(spec)
+                .iter()
+                .filter(|f| f.rule.severity() == Severity::Error)
+                .map(|f| f.to_string())
+                .collect();
+            if !errors.is_empty() {
+                return Err(invalid(format!(
+                    "spec failed verification: {}",
+                    errors.join("; ")
+                )));
+            }
+        }
         let parents = &spec.redirector_tree;
         let roots: Vec<usize> = parents
             .iter()

@@ -30,14 +30,7 @@ static NULL: Value = Value::Null;
 impl Value {
     /// Parses a JSON document.
     pub fn parse(text: &str) -> Result<Value, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err("trailing characters after JSON value"));
-        }
-        Ok(v)
+        Spanned::parse(text).map(Spanned::into_value)
     }
 
     /// Object field lookup; `None` for non-objects or missing keys.
@@ -217,6 +210,88 @@ impl fmt::Display for Value {
     }
 }
 
+/// A JSON value annotated with the 1-based line and column of its first
+/// character, so diagnostics can point back into the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// 1-based source line of the value's first character.
+    pub line: u32,
+    /// 1-based byte column within that line.
+    pub col: u32,
+    /// The value itself.
+    pub node: Node,
+}
+
+/// The value alternatives of a [`Spanned`] tree; mirrors [`Value`] with
+/// positioned children.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (kept as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array of positioned values.
+    Arr(Vec<Spanned>),
+    /// An object; insertion order is preserved, values positioned.
+    Obj(Vec<(String, Spanned)>),
+}
+
+impl Spanned {
+    /// Parses a JSON document, recording the position of every value.
+    pub fn parse(text: &str) -> Result<Spanned, JsonError> {
+        let mut p =
+            Parser { bytes: text.as_bytes(), pos: 0, scanned: 0, line: 1, line_start: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Spanned> {
+        match &self.node {
+            Node::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array element lookup; `None` for non-arrays or out-of-range indices.
+    pub fn item(&self, i: usize) -> Option<&Spanned> {
+        match &self.node {
+            Node::Arr(items) => items.get(i),
+            _ => None,
+        }
+    }
+
+    /// The value's source position as a `(line, col)` pair.
+    pub fn pos(&self) -> (u32, u32) {
+        (self.line, self.col)
+    }
+
+    /// Strips positions, yielding the plain [`Value`] tree.
+    pub fn into_value(self) -> Value {
+        match self.node {
+            Node::Null => Value::Null,
+            Node::Bool(b) => Value::Bool(b),
+            Node::Num(n) => Value::Num(n),
+            Node::Str(s) => Value::Str(s),
+            Node::Arr(items) => {
+                Value::Arr(items.into_iter().map(Spanned::into_value).collect())
+            }
+            Node::Obj(fields) => {
+                Value::Obj(fields.into_iter().map(|(k, v)| (k, v.into_value())).collect())
+            }
+        }
+    }
+}
+
 fn push_indent(out: &mut String, levels: usize) {
     for _ in 0..levels {
         out.push_str("  ");
@@ -256,8 +331,8 @@ fn write_escaped(out: &mut String, s: &str) {
 #[derive(Debug, Clone)]
 pub struct JsonError {
     msg: String,
-    /// Byte offset of the error, when raised by the parser.
-    pos: Option<usize>,
+    /// 1-based (line, column) of the error, when raised by the parser.
+    pos: Option<(u32, u32)>,
 }
 
 impl JsonError {
@@ -265,12 +340,17 @@ impl JsonError {
     pub fn msg<S: Into<String>>(msg: S) -> Self {
         JsonError { msg: msg.into(), pos: None }
     }
+
+    /// The error's 1-based `(line, col)` source position, when known.
+    pub fn position(&self) -> Option<(u32, u32)> {
+        self.pos
+    }
 }
 
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.pos {
-            Some(p) => write!(f, "{} at byte {}", self.msg, p),
+            Some((l, c)) => write!(f, "{} at line {l} column {c}", self.msg),
             None => f.write_str(&self.msg),
         }
     }
@@ -281,11 +361,42 @@ impl std::error::Error for JsonError {}
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Bytes already checked for newlines by [`Parser::mark`].
+    scanned: usize,
+    /// 1-based line of the byte at `scanned`.
+    line: u32,
+    /// Byte offset where `line` starts.
+    line_start: usize,
 }
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> JsonError {
-        JsonError { msg: msg.to_string(), pos: Some(self.pos) }
+        // Cold path: recompute the position from scratch so `err` can take
+        // `&self` from any context.
+        let mut line = 1u32;
+        let mut line_start = 0usize;
+        for (i, b) in self.bytes.iter().take(self.pos).enumerate() {
+            if *b == b'\n' {
+                line += 1;
+                line_start = i + 1;
+            }
+        }
+        let col = (self.pos - line_start + 1) as u32;
+        JsonError { msg: msg.to_string(), pos: Some((line, col)) }
+    }
+
+    /// Advances the newline scanner to `self.pos` and returns the 1-based
+    /// (line, column) of the byte there. Positions are only ever requested
+    /// at monotonically increasing offsets, so the scan is linear overall.
+    fn mark(&mut self) -> (u32, u32) {
+        while self.scanned < self.pos {
+            if self.bytes[self.scanned] == b'\n' {
+                self.line += 1;
+                self.line_start = self.scanned + 1;
+            }
+            self.scanned += 1;
+        }
+        (self.line, (self.pos - self.line_start + 1) as u32)
     }
 
     fn skip_ws(&mut self) {
@@ -309,36 +420,40 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn literal(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+    fn literal(&mut self, word: &str, node: Node) -> Result<Node, JsonError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
-            Ok(value)
+            Ok(node)
         } else {
             Err(self.err(&format!("expected '{word}'")))
         }
     }
 
-    fn value(&mut self) -> Result<Value, JsonError> {
-        match self.peek() {
-            None => Err(self.err("unexpected end of input")),
-            Some(b'n') => self.literal("null", Value::Null),
-            Some(b't') => self.literal("true", Value::Bool(true)),
-            Some(b'f') => self.literal("false", Value::Bool(false)),
-            Some(b'"') => self.string().map(Value::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            Some(c) => Err(self.err(&format!("unexpected character '{}'", c as char))),
-        }
+    fn value(&mut self) -> Result<Spanned, JsonError> {
+        let (line, col) = self.mark();
+        let node = match self.peek() {
+            None => return Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Node::Null)?,
+            Some(b't') => self.literal("true", Node::Bool(true))?,
+            Some(b'f') => self.literal("false", Node::Bool(false))?,
+            Some(b'"') => Node::Str(self.string()?),
+            Some(b'[') => self.array()?,
+            Some(b'{') => self.object()?,
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number()?,
+            Some(c) => {
+                return Err(self.err(&format!("unexpected character '{}'", c as char)))
+            }
+        };
+        Ok(Spanned { line, col, node })
     }
 
-    fn array(&mut self) -> Result<Value, JsonError> {
+    fn array(&mut self) -> Result<Node, JsonError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(Value::Arr(items));
+            return Ok(Node::Arr(items));
         }
         loop {
             self.skip_ws();
@@ -348,20 +463,20 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
-                    return Ok(Value::Arr(items));
+                    return Ok(Node::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
             }
         }
     }
 
-    fn object(&mut self) -> Result<Value, JsonError> {
+    fn object(&mut self) -> Result<Node, JsonError> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(Value::Obj(fields));
+            return Ok(Node::Obj(fields));
         }
         loop {
             self.skip_ws();
@@ -376,7 +491,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(Value::Obj(fields));
+                    return Ok(Node::Obj(fields));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
             }
@@ -439,7 +554,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn number(&mut self) -> Result<Value, JsonError> {
+    fn number(&mut self) -> Result<Node, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -453,7 +568,7 @@ impl<'a> Parser<'a> {
         std::str::from_utf8(&self.bytes[start..self.pos])
             .ok()
             .and_then(|s| s.parse::<f64>().ok())
-            .map(Value::Num)
+            .map(Node::Num)
             .ok_or_else(|| self.err("invalid number"))
     }
 }
@@ -510,5 +625,35 @@ mod tests {
         let v = Value::Str("quote \" slash \\ tab \t".into());
         let again = Value::parse(&v.to_pretty()).unwrap();
         assert_eq!(v, again);
+    }
+
+    #[test]
+    fn spanned_values_carry_line_and_column() {
+        let src = "{\n  \"a\": [1,\n    2.5],\n  \"b\": true\n}";
+        let s = Spanned::parse(src).unwrap();
+        assert_eq!(s.pos(), (1, 1));
+        let a = s.get("a").unwrap();
+        assert_eq!(a.pos(), (2, 8));
+        assert_eq!(a.item(0).unwrap().pos(), (2, 9));
+        assert_eq!(a.item(1).unwrap().pos(), (3, 5));
+        assert_eq!(s.get("b").unwrap().pos(), (4, 8));
+        // Missing keys and out-of-range items degrade to None.
+        assert!(s.get("missing").is_none());
+        assert!(a.item(9).is_none());
+    }
+
+    #[test]
+    fn spanned_strips_to_the_same_value_tree() {
+        let src = r#"{"a": [1, 2.5, null, true], "b": {"c": "x"}, "d": -3e2}"#;
+        let spanned = Spanned::parse(src).unwrap();
+        assert_eq!(spanned.into_value(), Value::parse(src).unwrap());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let err = Value::parse("{\n  \"a\": nulL\n}").unwrap_err();
+        assert_eq!(err.position(), Some((2, 8)));
+        assert!(err.to_string().contains("line 2 column 8"), "{err}");
+        assert!(JsonError::msg("shape").position().is_none());
     }
 }

@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A whole-deployment specification.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeploymentSpec {
     /// Principals in id order.
     pub principals: Vec<PrincipalSpec>,
@@ -43,6 +43,11 @@ pub struct DeploymentSpec {
     pub clients: Vec<ClientSpec>,
     /// Run length, seconds.
     pub duration: f64,
+    /// Verifier rules (`covenant check`) suppressed for this spec, by
+    /// code (e.g. `["V4"]`). The escape hatch for deployments that
+    /// knowingly violate an advisory contract.
+    #[serde(default)]
+    pub allow: Vec<String>,
 }
 
 fn default_tree() -> Vec<Option<usize>> {
@@ -54,7 +59,7 @@ fn default_window() -> f64 {
 }
 
 /// One principal.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PrincipalSpec {
     /// Display name (also used in client references).
     pub name: String,
@@ -64,7 +69,7 @@ pub struct PrincipalSpec {
 }
 
 /// One `[lb, ub]` agreement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AgreementSpec {
     /// Issuer principal name.
     pub issuer: String,
@@ -77,7 +82,7 @@ pub struct AgreementSpec {
 }
 
 /// Scheduling policy selection.
-#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 #[serde(rename_all = "snake_case", tag = "kind")]
 pub enum PolicySpec {
     /// Max-min θ (community).
@@ -96,7 +101,7 @@ pub enum PolicySpec {
 }
 
 /// Queuing mode selection.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case", tag = "kind")]
 pub enum QueueModeSpec {
     /// Explicit per-principal queues.
@@ -122,7 +127,7 @@ fn default_retry() -> f64 {
 }
 
 /// One client machine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClientSpec {
     /// Principal whose agreements fund this client's requests.
     pub principal: String,
@@ -283,6 +288,10 @@ mod decode {
             },
             clients: list(&v, "clients", client)?,
             duration: req_f64(&v, "duration")?,
+            allow: match v.get("allow") {
+                None => Vec::new(),
+                Some(a) => str_array(a, "allow")?,
+            },
         })
     }
 
@@ -349,7 +358,10 @@ mod decode {
             .iter()
             .map(|ph| {
                 match (ph[0].as_f64(), ph[1].as_f64()) {
-                    (Some(d), Some(r)) if ph.as_array().is_some_and(|a| a.len() == 2) => Ok((d, r)),
+                    (Some(d), Some(r)) if ph.as_array().is_some_and(|a| a.len() == 2) => Ok((
+                        finite_nonneg(d, "phase duration")?,
+                        finite_nonneg(r, "phase rate")?,
+                    )),
                     _ => Err(JsonError::msg("each phase must be a [duration, rate] pair")),
                 }
             })
@@ -387,6 +399,18 @@ mod decode {
             .collect()
     }
 
+    fn str_array(v: &Value, what: &str) -> Result<Vec<String>, JsonError> {
+        v.as_array()
+            .ok_or_else(|| JsonError::msg(format!("'{what}' must be an array of strings")))?
+            .iter()
+            .map(|e| {
+                e.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| JsonError::msg(format!("'{what}' entries must be strings")))
+            })
+            .collect()
+    }
+
     fn f64_array(v: &Value, what: &str) -> Result<Vec<f64>, JsonError> {
         v.as_array()
             .ok_or_else(|| JsonError::msg(format!("{what} must be an array of numbers")))?
@@ -395,10 +419,24 @@ mod decode {
             .collect()
     }
 
+    /// Every scalar the spec carries is a duration, rate, capacity, or
+    /// fraction — NaN, infinities, and negatives would flow straight into
+    /// the scheduler's credit arithmetic, so they are rejected here.
+    fn finite_nonneg(x: f64, what: &str) -> Result<f64, JsonError> {
+        if x.is_finite() && x >= 0.0 {
+            Ok(x)
+        } else {
+            Err(JsonError::msg(format!(
+                "{what} must be a finite, non-negative number, got {x}"
+            )))
+        }
+    }
+
     fn req_f64(v: &Value, key: &str) -> Result<f64, JsonError> {
         v.get(key)
             .and_then(Value::as_f64)
             .ok_or_else(|| JsonError::msg(format!("'{key}' must be a number")))
+            .and_then(|x| finite_nonneg(x, &format!("'{key}'")))
     }
 
     fn opt_f64(v: &Value, key: &str, default: f64) -> Result<f64, JsonError> {
@@ -406,7 +444,8 @@ mod decode {
             None => Ok(default),
             Some(n) => n
                 .as_f64()
-                .ok_or_else(|| JsonError::msg(format!("'{key}' must be a number"))),
+                .ok_or_else(|| JsonError::msg(format!("'{key}' must be a number")))
+                .and_then(|x| finite_nonneg(x, &format!("'{key}'"))),
         }
     }
 
@@ -425,7 +464,7 @@ mod encode {
     use crate::json::Value;
 
     pub fn deployment(spec: &DeploymentSpec) -> Value {
-        Value::Obj(vec![
+        let mut fields = vec![
             (
                 "principals".into(),
                 Value::Arr(spec.principals.iter().map(principal).collect()),
@@ -453,7 +492,14 @@ mod encode {
                 Value::Arr(spec.clients.iter().map(client).collect()),
             ),
             ("duration".into(), spec.duration.into()),
-        ])
+        ];
+        if !spec.allow.is_empty() {
+            fields.push((
+                "allow".into(),
+                Value::Arr(spec.allow.iter().map(|s| s.as_str().into()).collect()),
+            ));
+        }
+        Value::Obj(fields)
     }
 
     fn principal(p: &PrincipalSpec) -> Value {
@@ -593,6 +639,52 @@ mod tests {
         let mut spec = DeploymentSpec::from_json(EXAMPLE).unwrap();
         spec.clients[0].redirector = 5;
         assert!(matches!(spec.build_sim(), Err(SpecError::BadRedirector(5))));
+    }
+
+    #[test]
+    fn rejects_nan_and_negative_numerics() {
+        // Infinity sneaks into JSON as an out-of-range literal; negatives
+        // are plain syntax. Every numeric field must reject both.
+        for (field, bad) in [
+            ("\"capacity\": 100.0", "\"capacity\": -100.0"),
+            ("\"capacity\": 100.0", "\"capacity\": 1e999"),
+            ("\"lb\": 0.2", "\"lb\": -0.2"),
+            ("\"ub\": 1.0", "\"ub\": -1.0"),
+            ("\"duration\": 20.0", "\"duration\": -20.0"),
+            ("\"duration\": 20.0", "\"duration\": 1e999"),
+            ("[20.0, 150.0]", "[-20.0, 150.0]"),
+            ("[20.0, 150.0]", "[20.0, -150.0]"),
+        ] {
+            let bad_spec = EXAMPLE.replace(field, bad);
+            assert!(
+                matches!(DeploymentSpec::from_json(&bad_spec), Err(SpecError::Json(_))),
+                "{bad} should be rejected at decode"
+            );
+        }
+        let with_extras = EXAMPLE.replace(
+            "\"duration\": 20.0",
+            "\"duration\": 20.0, \"window_secs\": -0.1",
+        );
+        assert!(DeploymentSpec::from_json(&with_extras).is_err());
+        let with_retry = EXAMPLE.replace(
+            "\"duration\": 20.0",
+            "\"duration\": 20.0, \"queue_mode\": {\"kind\": \"credit_retry\", \"retry_delay\": -0.05}",
+        );
+        assert!(DeploymentSpec::from_json(&with_retry).is_err());
+    }
+
+    #[test]
+    fn allow_list_parses_and_roundtrips() {
+        let with_allow =
+            EXAMPLE.replace("\"duration\": 20.0", "\"duration\": 20.0, \"allow\": [\"V4\"]");
+        let spec = DeploymentSpec::from_json(&with_allow).unwrap();
+        assert_eq!(spec.allow, vec!["V4".to_string()]);
+        let again = DeploymentSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, again);
+        // Absent `allow` decodes empty and is omitted from the encoding.
+        let plain = DeploymentSpec::from_json(EXAMPLE).unwrap();
+        assert!(plain.allow.is_empty());
+        assert!(!plain.to_json().contains("allow"));
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Property test: the deployment-spec JSON encoder and decoder are exact
+//! inverses. Numbers are printed shortest-roundtrip, so any spec that
+//! passes decode validation (finite, non-negative numerics) must survive
+//! encode → decode bit-for-bit.
+
+use covenant_core::spec::{
+    AgreementSpec, ClientSpec, DeploymentSpec, PolicySpec, PrincipalSpec, QueueModeSpec,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn policy_strategy() -> impl Strategy<Value = PolicySpec> {
+    (0usize..3, vec(0.0..1000.0f64, 0..4)).prop_map(|(kind, xs)| match kind {
+        0 => PolicySpec::Community,
+        1 => PolicySpec::CommunityWithLocality { caps: xs },
+        _ => PolicySpec::Provider { prices: xs },
+    })
+}
+
+fn queue_strategy() -> impl Strategy<Value = QueueModeSpec> {
+    (0usize..3, 0.0..1.0f64).prop_map(|(kind, delay)| match kind {
+        0 => QueueModeSpec::Explicit,
+        1 => QueueModeSpec::CreditRetry { retry_delay: delay },
+        _ => QueueModeSpec::CreditPark,
+    })
+}
+
+/// A client referencing one of `n` generated principals by index.
+fn client_strategy(n: usize) -> impl Strategy<Value = ClientSpec> {
+    (
+        0..n,
+        0usize..8,
+        vec((0.0..100.0f64, 0.0..5000.0f64), 1..4),
+        any::<bool>(),
+        1usize..256,
+    )
+        .prop_map(|(p, redirector, phases, closed_loop, max)| ClientSpec {
+            principal: format!("P{p}"),
+            redirector,
+            phases,
+            max_outstanding: closed_loop.then_some(max),
+        })
+}
+
+fn spec_strategy() -> impl Strategy<Value = DeploymentSpec> {
+    (1usize..5).prop_flat_map(|n| {
+        let principals = vec(0.0..1000.0f64, n);
+        let agreements = vec((0..n, 0..n, 0.0..0.5f64, 0.5..1.0f64), 0..5);
+        let tree = vec((any::<bool>(), 0..n), 0..4);
+        let scalars = (0.0..0.2f64, 0.0..0.2f64, 0.001..10.0f64, 0.1..100.0f64);
+        let rest = (
+            policy_strategy(),
+            queue_strategy(),
+            vec(client_strategy(n), 0..3),
+            vec(0usize..7, 0..3),
+        );
+        (principals, agreements, tree, scalars, rest).prop_map(
+            |(caps, ags, tree, (delay, lag, window, duration), (policy, queue, clients, allow))| {
+                DeploymentSpec {
+                    principals: caps
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| PrincipalSpec { name: format!("P{i}"), capacity: c })
+                        .collect(),
+                    agreements: ags
+                        .into_iter()
+                        .map(|(i, j, lb, ub)| AgreementSpec {
+                            issuer: format!("P{i}"),
+                            holder: format!("P{j}"),
+                            lb,
+                            ub,
+                        })
+                        .collect(),
+                    redirector_tree: tree
+                        .into_iter()
+                        .map(|(is_child, p)| is_child.then_some(p))
+                        .collect(),
+                    tree_edge_delay: delay,
+                    extra_tree_lag: lag,
+                    policy,
+                    window_secs: window,
+                    queue_mode: queue,
+                    clients,
+                    duration,
+                    allow: allow.into_iter().map(|i| format!("V{}", i + 1)).collect(),
+                }
+            },
+        )
+    })
+}
+
+proptest! {
+    /// Encode → decode returns the identical spec, floats included.
+    #[test]
+    fn deployment_spec_json_roundtrip(spec in spec_strategy()) {
+        let json = spec.to_json();
+        let back = DeploymentSpec::from_json(&json)
+            .unwrap_or_else(|e| panic!("encoded spec must decode: {e}\n{json}"));
+        prop_assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,191 @@
+//! Shared diagnostics machinery: severity, rule registry, positioned
+//! diagnostics, and machine output.
+//!
+//! `covenant-lint` (Rust-source rules R1–R5) and `covenant-verify`
+//! (deployment-spec rules V1–V7) both report findings the same way — a
+//! rule from a registry, a severity, and a `file:line[:col]` position —
+//! so the common shape lives here, generic over the rule enum.
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but legal; reported, never fatal unless denied.
+    Warning,
+    /// A contract violation; fatal wherever the check gates execution.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The registry contract a family of rules implements so the shared
+/// diagnostics, `--deny` parsing, and `--list-rules` output work over it.
+pub trait RuleMeta: Copy + Eq + Sized + 'static {
+    /// Stable code printed in diagnostics (`"wall-clock"`, `"V3"`).
+    fn code(self) -> &'static str;
+    /// Default severity of the rule's findings.
+    fn severity(self) -> Severity;
+    /// Every rule, in registry order.
+    fn registry() -> &'static [Self];
+    /// One-line description for `--list-rules`.
+    fn describe(self) -> &'static str;
+
+    /// Looks a rule up by its code (trimmed, case-insensitive).
+    fn from_code(code: &str) -> Option<Self> {
+        let code = code.trim();
+        Self::registry()
+            .iter()
+            .copied()
+            .find(|r| r.code().eq_ignore_ascii_case(code))
+    }
+
+    /// Parses a `--deny` argument: `all` or a comma-separated code list.
+    /// `None` means an unknown code was named.
+    fn parse_deny(spec: &str) -> Option<Vec<Self>> {
+        if spec == "all" {
+            return Some(Self::registry().to_vec());
+        }
+        spec.split(',').map(Self::from_code).collect()
+    }
+}
+
+/// One finding, positioned in a source file. `line` 0 means the whole
+/// file; `col` 0 means the whole line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag<R> {
+    /// The rule that fired.
+    pub rule: R,
+    /// The finding's severity (the rule's default unless overridden).
+    pub severity: Severity,
+    /// Workspace-relative path (or the label the caller passed).
+    pub path: String,
+    /// 1-based line; 0 for whole-file findings.
+    pub line: u32,
+    /// 1-based column; 0 when only the line is known.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl<R: RuleMeta> Diag<R> {
+    /// A diagnostic at `path:line:col` carrying the rule's default
+    /// severity.
+    pub fn new(rule: R, path: String, line: u32, col: u32, message: String) -> Self {
+        Diag { rule, severity: rule.severity(), path, line, col, message }
+    }
+}
+
+impl<R: RuleMeta> fmt::Display for Diag<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.path, self.line)?;
+        if self.col > 0 {
+            write!(f, ":{}", self.col)?;
+        }
+        write!(f, ": {}[{}] {}", self.severity, self.rule.code(), self.message)
+    }
+}
+
+/// Renders diagnostics as a JSON array (machine output for CI).
+pub fn to_json<R: RuleMeta>(diags: &[Diag<R>]) -> String {
+    let mut s = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \
+             \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+            d.rule.code(),
+            d.severity,
+            json_escape(&d.path),
+            d.line,
+            d.col,
+            json_escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        s.push('\n');
+    }
+    s.push_str("]\n");
+    s
+}
+
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Toy {
+        A,
+        B,
+    }
+
+    impl RuleMeta for Toy {
+        fn code(self) -> &'static str {
+            match self {
+                Toy::A => "T1",
+                Toy::B => "T2",
+            }
+        }
+        fn severity(self) -> Severity {
+            match self {
+                Toy::A => Severity::Error,
+                Toy::B => Severity::Warning,
+            }
+        }
+        fn registry() -> &'static [Self] {
+            &[Toy::A, Toy::B]
+        }
+        fn describe(self) -> &'static str {
+            "toy"
+        }
+    }
+
+    #[test]
+    fn display_includes_position_and_severity() {
+        let d = Diag::new(Toy::A, "spec.json".into(), 12, 7, "boom".into());
+        assert_eq!(d.to_string(), "spec.json:12:7: error[T1] boom");
+        let whole_line = Diag::new(Toy::B, "a.rs".into(), 3, 0, "hm".into());
+        assert_eq!(whole_line.to_string(), "a.rs:3: warning[T2] hm");
+    }
+
+    #[test]
+    fn deny_parsing_covers_all_and_lists() {
+        assert_eq!(Toy::parse_deny("all"), Some(vec![Toy::A, Toy::B]));
+        assert_eq!(Toy::parse_deny("T2, t1"), Some(vec![Toy::B, Toy::A]));
+        assert_eq!(Toy::parse_deny("T9"), None);
+    }
+
+    #[test]
+    fn json_output_carries_every_field()
+    {
+        let out = to_json(&[Diag::new(Toy::B, "x".into(), 1, 2, "q\"uote".into())]);
+        assert!(out.contains("\"rule\": \"T2\""), "{out}");
+        assert!(out.contains("\"severity\": \"warning\""), "{out}");
+        assert!(out.contains("\"col\": 2"), "{out}");
+        assert!(out.contains("q\\\"uote"), "{out}");
+    }
+}

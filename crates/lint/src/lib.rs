@@ -8,15 +8,15 @@
 //!
 //! - **R1 `wall-clock`** — no `Instant::now()` / `SystemTime::now()` in
 //!   data-plane crates (`enforce`, `sched`, `l7`, `l4`, `coord`, `http`,
-//!   `wire`, `cluster`) outside the clock/daemon allowlist. Data-plane
-//!   code takes injected time, or the sim/live differential replay
-//!   breaks. The wire transport's `WireClock` carries the only sanctioned
-//!   reads in its crate (per-line pragmas): RTT and propagation delay are
-//!   *measured* quantities there.
+//!   `wire`, `cluster`, `verify`) outside the clock/daemon allowlist.
+//!   Data-plane code takes injected time, or the sim/live differential
+//!   replay breaks. The wire transport's `WireClock` carries the only
+//!   sanctioned reads in its crate (per-line pragmas): RTT and
+//!   propagation delay are *measured* quantities there.
 //! - **R2 `no-panic`** — no `unwrap()` / `expect(` / `panic!` /
 //!   indexing-by-integer-literal in admission-path crates (`enforce`,
-//!   `sched`, `l7`, `l4`, `coord`, `wire`, `cluster`). A panicked
-//!   redirector thread silently stops enforcing its agreements.
+//!   `sched`, `l7`, `l4`, `coord`, `wire`, `cluster`, `verify`). A
+//!   panicked redirector thread silently stops enforcing its agreements.
 //! - **R3 `float-eq`** — no `==` / `!=` with a float-literal operand,
 //!   workspace-wide. Credit and LP-tableau arithmetic must use epsilon
 //!   compares; exact compares belong behind an explicit pragma.
@@ -34,10 +34,12 @@
 //! its own line directly above, suppresses that rule there. Test code
 //! (`#[cfg(test)]` items) is skipped entirely.
 
+mod diag;
 mod lexer;
 mod lockorder;
 mod rules;
 
+pub use diag::{to_json, Diag, RuleMeta, Severity};
 pub use lexer::{lex, Comment, Lexed, TokKind, Token};
 pub use lockorder::LockOrderAnalysis;
 
@@ -88,36 +90,49 @@ impl fmt::Display for Rule {
     }
 }
 
-/// One violation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Diagnostic {
-    /// The rule that fired.
-    pub rule: Rule,
-    /// Workspace-relative path.
-    pub path: String,
-    /// 1-based line.
-    pub line: u32,
-    /// Human-readable description.
-    pub message: String,
-}
+impl RuleMeta for Rule {
+    fn code(self) -> &'static str {
+        self.name()
+    }
 
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    fn severity(self) -> Severity {
+        // Every workspace-invariant rule guards a correctness property;
+        // there are no advisory source lints.
+        Severity::Error
+    }
+
+    fn registry() -> &'static [Self] {
+        &Rule::ALL
+    }
+
+    fn describe(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock reads in data-plane code",
+            Rule::NoPanic => "panic paths in admission code",
+            Rule::FloatEq => "exact float equality",
+            Rule::LockOrder => "lock-order cycles",
+            Rule::ReactorBlocking => "blocking calls in reactor callback paths",
+        }
     }
 }
 
+/// One violation: a positioned [`Diag`] carrying a source [`Rule`].
+pub type Diagnostic = Diag<Rule>;
+
 /// Crates whose data plane must take injected time (R1).
 const R1_CRATES: &[&str] =
-    &["enforce", "sched", "l7", "l4", "coord", "http", "reactor", "wire", "cluster"];
+    &["enforce", "sched", "l7", "l4", "coord", "http", "reactor", "wire", "cluster", "verify"];
 
 /// The clock/daemon allowlist: the files that *are* the clock. The window
 /// daemon turns wall time into ticks; the http clock module anchors the
 /// default wall clock the origin's token bucket takes by injection.
 const R1_ALLOW_FILES: &[&str] = &["crates/coord/src/daemon.rs", "crates/http/src/clock.rs"];
 
-/// Crates on the admission path that must stay panic-free (R2).
-const R2_CRATES: &[&str] = &["enforce", "sched", "l7", "l4", "coord", "reactor", "wire", "cluster"];
+/// Crates on the admission path that must stay panic-free (R2). The
+/// verifier joins the list because `Cluster::launch` runs it on the
+/// admission-control startup path.
+const R2_CRATES: &[&str] =
+    &["enforce", "sched", "l7", "l4", "coord", "reactor", "wire", "cluster", "verify"];
 
 /// Crates included in the lock-order pass (R4).
 const R4_CRATES: &[&str] = &["tree", "coord", "l7", "l4"];
@@ -185,12 +200,8 @@ impl Linter {
 
         let mut emit = |rule: Rule, line: u32, message: String| {
             if in_scope(line) && !allows.allowed(line, rule) {
-                self.diagnostics.push(Diagnostic {
-                    rule,
-                    path: rel_path.to_string(),
-                    line,
-                    message,
-                });
+                self.diagnostics
+                    .push(Diagnostic::new(rule, rel_path.to_string(), line, 0, message));
             }
         };
 
@@ -250,12 +261,13 @@ pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
             .replace('\\', "/");
         match std::fs::read(path) {
             Ok(bytes) => linter.add_file(&rel, &String::from_utf8_lossy(&bytes)),
-            Err(e) => linter.diagnostics.push(Diagnostic {
-                rule: Rule::WallClock,
-                path: rel,
-                line: 0,
-                message: format!("unreadable file: {e}"),
-            }),
+            Err(e) => linter.diagnostics.push(Diagnostic::new(
+                Rule::WallClock,
+                rel,
+                0,
+                0,
+                format!("unreadable file: {e}"),
+            )),
         }
     }
     linter.finish()
@@ -279,39 +291,3 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Renders diagnostics as a JSON array (machine output for CI).
-pub fn to_json(diags: &[Diagnostic]) -> String {
-    let mut s = String::from("[");
-    for (i, d) in diags.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        s.push_str(&format!(
-            "\n  {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
-            d.rule,
-            json_escape(&d.path),
-            d.line,
-            json_escape(&d.message)
-        ));
-    }
-    if !diags.is_empty() {
-        s.push('\n');
-    }
-    s.push_str("]\n");
-    s
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}

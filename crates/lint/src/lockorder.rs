@@ -158,11 +158,12 @@ impl LockOrderAnalysis {
                             let mut cycle: Vec<&str> = stack[pos..].to_vec();
                             cycle.push(next);
                             let kind = if site.declared { "declared" } else { "observed" };
-                            diags.push(Diagnostic {
-                                rule: Rule::LockOrder,
-                                path: site.path.clone(),
-                                line: site.line,
-                                message: format!(
+                            diags.push(Diagnostic::new(
+                                Rule::LockOrder,
+                                site.path.clone(),
+                                site.line,
+                                0,
+                                format!(
                                     "lock-order cycle: {} ({} edge `{}` -> `{}` closes it); \
                                      fix the acquisition order or the lock-order annotations",
                                     cycle.join(" -> "),
@@ -170,7 +171,7 @@ impl LockOrderAnalysis {
                                     node,
                                     next
                                 ),
-                            });
+                            ));
                         }
                         _ => {}
                     }

@@ -8,7 +8,7 @@
 //! Exit status is 1 when any denied rule fired (all rules are denied by
 //! default), 0 otherwise. `--json` emits a machine-readable array for CI.
 
-use covenant_lint::{lint_workspace, to_json, Rule};
+use covenant_lint::{lint_workspace, to_json, Rule, RuleMeta};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -27,7 +27,7 @@ fn main() -> ExitCode {
             },
             "--json" => json = true,
             "--deny" => match it.next() {
-                Some(spec) => match parse_rules(spec) {
+                Some(spec) => match Rule::parse_deny(spec) {
                     Some(rules) => deny = rules,
                     None => return usage("unknown rule in --deny"),
                 },
@@ -35,7 +35,7 @@ fn main() -> ExitCode {
             },
             "--list-rules" => {
                 for r in Rule::ALL {
-                    println!("{r}");
+                    println!("{r}  {}", r.describe());
                 }
                 return ExitCode::SUCCESS;
             }
@@ -72,18 +72,6 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
-}
-
-fn parse_rules(spec: &str) -> Option<Vec<Rule>> {
-    if spec == "all" {
-        return Some(Rule::ALL.to_vec());
-    }
-    let mut out = Vec::new();
-    for name in spec.split(',') {
-        let rule = Rule::ALL.into_iter().find(|r| r.name() == name.trim())?;
-        out.push(rule);
-    }
-    Some(out)
 }
 
 /// Walks up from the current directory to the first `Cargo.toml` declaring

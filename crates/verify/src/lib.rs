@@ -1,0 +1,256 @@
+//! `covenant-verify` — static agreement-contract verifier.
+//!
+//! The enforcement machinery silently assumes the agreement set it is
+//! handed is *sane*: guarantees don't oversubscribe capacity, currency
+//! actually backs issued tickets, and tree staleness stays within one
+//! window. This crate checks those contracts statically, before anything
+//! runs, against the declarative [`DeploymentSpec`] — with the same
+//! `file:line:col` diagnostic quality `covenant-lint` gives Rust source.
+//!
+//! Rules, in check order:
+//!
+//! - **V1 `references`** — every agreement issuer/holder and client
+//!   principal names a declared principal, client redirector indices fit
+//!   the tree, principal names are unique, and `allow` entries name real
+//!   rules.
+//! - **V2 `agreements`** — `0 ≤ lb ≤ ub ≤ 1`, issuer ≠ holder, no
+//!   duplicate issuer/holder pairs, and no NaN/negative numerics (the
+//!   JSON decoder rejects those too; this covers specs built in Rust).
+//! - **V3 `solvency`** — Σ lb over an issuer's direct agreements stays
+//!   within 1, and every issuer's currency has real backing: its own
+//!   capacity or transitive flow along the agreement graph, computed with
+//!   the same simple-path closure the scheduler uses (paper Formulae 1–2).
+//! - **V4 `cycles`** (warning) — currency cycles are legal (the flow
+//!   closure follows simple paths only) but each one is surfaced with its
+//!   full path, because value around a cycle is easy to misread.
+//! - **V5 `timing`** — the redirector tree is well-formed (one root,
+//!   parents in range, no parent cycles) and worst-case coordination
+//!   staleness `2 × depth × tree_edge_delay + extra_tree_lag` fits within
+//!   one scheduling window — the one-window-staleness assumption the
+//!   sim/live differential proves. Deployments that deliberately model
+//!   WAN lag (the paper's Figure 8 regime) can opt out per spec with
+//!   `"allow": ["V5"]`.
+//! - **V6 `policy-shape`** — `caps`/`prices` vectors are exactly one
+//!   entry per principal, all finite and non-negative.
+//! - **V7 `load`** (warning) — worst-case offered client demand per
+//!   principal (max over phases, summed across its clients) fits the
+//!   principal's entitled mandatory + optional share; excess is legal but
+//!   will be deferred or dropped.
+//!
+//! Suppress a rule for one spec by listing its code in the spec's
+//! `"allow"` field. Findings are structural ([`Finding`], a JSON path
+//! into the spec); [`check_text`] resolves them against the positioned
+//! parse of the source text into [`Diagnostic`]s that print
+//! `spec.json:12:7: error[V3] …`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod rules;
+
+pub use covenant_lint::{to_json, Diag, RuleMeta, Severity};
+
+use covenant_core::json::Spanned;
+use covenant_core::spec::DeploymentSpec;
+use covenant_core::SpecError;
+use std::fmt;
+
+/// The verifier rules, in check order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum VRule {
+    /// V1: dangling references (principals, redirectors, rule codes).
+    References,
+    /// V2: agreement sanity (bounds, self-deals, duplicates, numerics).
+    Agreements,
+    /// V3: issuer solvency (direct guarantees and currency backing).
+    Solvency,
+    /// V4: currency cycles (legal; reported with the full path).
+    Cycles,
+    /// V5: timing sanity (tree shape and staleness vs the window).
+    Timing,
+    /// V6: policy vector shape.
+    PolicyShape,
+    /// V7: worst-case client load vs entitled share.
+    Load,
+}
+
+impl VRule {
+    /// All rules.
+    pub const ALL: [VRule; 7] = [
+        VRule::References,
+        VRule::Agreements,
+        VRule::Solvency,
+        VRule::Cycles,
+        VRule::Timing,
+        VRule::PolicyShape,
+        VRule::Load,
+    ];
+}
+
+impl RuleMeta for VRule {
+    fn code(self) -> &'static str {
+        match self {
+            VRule::References => "V1",
+            VRule::Agreements => "V2",
+            VRule::Solvency => "V3",
+            VRule::Cycles => "V4",
+            VRule::Timing => "V5",
+            VRule::PolicyShape => "V6",
+            VRule::Load => "V7",
+        }
+    }
+
+    fn severity(self) -> Severity {
+        match self {
+            // Cycles are legal and overload degrades gracefully; everything
+            // else breaks a contract the enforcement machinery assumes.
+            VRule::Cycles | VRule::Load => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    fn registry() -> &'static [Self] {
+        &VRule::ALL
+    }
+
+    fn describe(self) -> &'static str {
+        match self {
+            VRule::References => "references to unknown principals, redirectors, or rule codes",
+            VRule::Agreements => "agreement sanity: bounds order and range, self-deals, duplicates",
+            VRule::Solvency => "issuer solvency: direct guarantees and transitive currency backing",
+            VRule::Cycles => "currency cycles (legal; reported with the full path)",
+            VRule::Timing => "timing sanity: tree well-formedness and staleness vs the window",
+            VRule::PolicyShape => "policy caps/prices vector shape vs the principal list",
+            VRule::Load => "worst-case client demand vs entitled mandatory+optional share",
+        }
+    }
+}
+
+impl fmt::Display for VRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One step of a JSON path from the spec document root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// An object key.
+    Key(&'static str),
+    /// An array index.
+    Index(usize),
+}
+
+/// A structural finding: a rule plus the JSON path to the offending value.
+///
+/// Findings are produced against the decoded [`DeploymentSpec`] (which may
+/// never have been JSON at all — `Cluster::launch` verifies Rust-built
+/// specs too); [`resolve`] turns them into positioned [`Diagnostic`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: VRule,
+    /// Path from the document root to the offending value.
+    pub at: Vec<Step>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// The JSON path rendered `agreements[2].lb` style (`spec` for the
+    /// document root).
+    pub fn path(&self) -> String {
+        if self.at.is_empty() {
+            return "spec".to_string();
+        }
+        let mut out = String::new();
+        for step in &self.at {
+            match step {
+                Step::Key(k) => {
+                    if !out.is_empty() {
+                        out.push('.');
+                    }
+                    out.push_str(k);
+                }
+                Step::Index(i) => {
+                    out.push('[');
+                    out.push_str(&i.to_string());
+                    out.push(']');
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}[{}] {}", self.path(), self.rule.severity(), self.rule, self.message)
+    }
+}
+
+/// A positioned verifier diagnostic (shared [`Diag`] shape with
+/// `covenant-lint`, so `--json`, `--deny`, and Display all match).
+pub type Diagnostic = Diag<VRule>;
+
+/// Statically verifies a decoded spec. Findings for rules listed in the
+/// spec's `allow` field are suppressed; everything else is returned in
+/// check order (V1 first).
+pub fn verify_spec(spec: &DeploymentSpec) -> Vec<Finding> {
+    rules::run(spec)
+}
+
+/// Positions structural findings against the spanned parse of the source
+/// text. Without a source (`None` — the spec was built in Rust), the
+/// diagnostics carry line 0 / col 0 and lean on the JSON path embedded in
+/// the message.
+pub fn resolve(findings: &[Finding], source: Option<&Spanned>, label: &str) -> Vec<Diagnostic> {
+    findings
+        .iter()
+        .map(|f| {
+            let (line, col) = source.map_or((0, 0), |s| locate(s, &f.at));
+            Diagnostic::new(
+                f.rule,
+                label.to_string(),
+                line,
+                col,
+                format!("{}: {}", f.path(), f.message),
+            )
+        })
+        .collect()
+}
+
+/// Walks `steps` into the positioned tree, returning the position of the
+/// deepest value that exists (defaulted fields have no source text — the
+/// nearest existing ancestor is the best anchor).
+fn locate(root: &Spanned, steps: &[Step]) -> (u32, u32) {
+    let mut at = root;
+    for step in steps {
+        let next = match step {
+            Step::Key(k) => at.get(k),
+            Step::Index(i) => at.item(*i),
+        };
+        match next {
+            Some(n) => at = n,
+            None => break,
+        }
+    }
+    at.pos()
+}
+
+/// The full `covenant check` pipeline: positioned parse, spec decode,
+/// verification, and position resolution. `label` is the path printed in
+/// diagnostics. Parse and decode failures are themselves load-time
+/// errors and surface as `Err`.
+pub fn check_text(label: &str, text: &str) -> Result<Vec<Diagnostic>, SpecError> {
+    let spanned = Spanned::parse(text).map_err(SpecError::Json)?;
+    let spec = DeploymentSpec::from_json(text)?;
+    let findings = verify_spec(&spec);
+    Ok(resolve(&findings, Some(&spanned), label))
+}
+
+/// Whether any diagnostic carries error severity (the launch-refusal
+/// predicate).
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}

@@ -1,0 +1,569 @@
+//! The V1–V7 rule implementations.
+//!
+//! Every rule walks the decoded [`DeploymentSpec`] and reports structural
+//! [`Finding`]s addressed by JSON path; position resolution happens later
+//! against the spanned parse. Rules that need the agreement graph (V3's
+//! backing walk, V4, V7) only run when the graph builds — the structural
+//! rules ahead of them cover every reason it could not.
+
+use crate::{Finding, RuleMeta, Step, VRule};
+use covenant_agreements::{AgreementGraph, PrincipalId};
+use covenant_core::spec::{DeploymentSpec, PolicySpec};
+use Step::{Index, Key};
+
+/// Slack for floating-point sums of fractions.
+const TOL: f64 = 1e-9;
+
+/// At most this many distinct cycles are reported per spec (V4).
+const MAX_CYCLES: usize = 16;
+
+/// Work bound on the cycle search; beyond it the report notes truncation.
+const MAX_CYCLE_STEPS: usize = 100_000;
+
+pub(crate) fn run(spec: &DeploymentSpec) -> Vec<Finding> {
+    let mut out = Vec::new();
+    references(spec, &mut out);
+    agreement_sanity(spec, &mut out);
+    scalar_sanity(spec, &mut out);
+    solvency_direct(spec, &mut out);
+    tree_and_timing(spec, &mut out);
+    policy_shape(spec, &mut out);
+    if let Ok(graph) = spec.build_graph() {
+        solvency_backing(spec, &graph, &mut out);
+        cycles(spec, &mut out);
+        load(spec, &graph, &mut out);
+    }
+    let allowed =
+        |code: &str| spec.allow.iter().any(|a| a.trim().eq_ignore_ascii_case(code));
+    out.retain(|f| !allowed(f.rule.code()));
+    out
+}
+
+fn push(out: &mut Vec<Finding>, rule: VRule, at: Vec<Step>, message: String) {
+    out.push(Finding { rule, at, message });
+}
+
+fn finite_nonneg(x: f64) -> bool {
+    x.is_finite() && x >= 0.0
+}
+
+/// V1 — reference integrity: unique principal names; agreement and client
+/// principal references resolve; client redirector indices fit the tree;
+/// `allow` entries name real rules.
+fn references(spec: &DeploymentSpec, out: &mut Vec<Finding>) {
+    let known = |name: &str| spec.principals.iter().any(|p| p.name == name);
+    for (i, p) in spec.principals.iter().enumerate() {
+        if spec.principals.iter().take(i).any(|q| q.name == p.name) {
+            push(
+                out,
+                VRule::References,
+                vec![Key("principals"), Index(i), Key("name")],
+                format!("duplicate principal name '{}'", p.name),
+            );
+        }
+    }
+    for (i, a) in spec.agreements.iter().enumerate() {
+        for (role, name) in [("issuer", a.issuer.as_str()), ("holder", a.holder.as_str())] {
+            if !known(name) {
+                push(
+                    out,
+                    VRule::References,
+                    vec![Key("agreements"), Index(i), Key(role)],
+                    format!("{role} '{name}' is not a declared principal"),
+                );
+            }
+        }
+    }
+    let n_redirectors = spec.redirector_tree.len();
+    for (i, c) in spec.clients.iter().enumerate() {
+        if !known(&c.principal) {
+            push(
+                out,
+                VRule::References,
+                vec![Key("clients"), Index(i), Key("principal")],
+                format!("client principal '{}' is not a declared principal", c.principal),
+            );
+        }
+        if c.redirector >= n_redirectors {
+            push(
+                out,
+                VRule::References,
+                vec![Key("clients"), Index(i), Key("redirector")],
+                format!(
+                    "redirector index {} out of range for a {n_redirectors}-node tree",
+                    c.redirector
+                ),
+            );
+        }
+    }
+    for (i, code) in spec.allow.iter().enumerate() {
+        if VRule::from_code(code).is_none() {
+            push(
+                out,
+                VRule::References,
+                vec![Key("allow"), Index(i)],
+                format!("unknown rule code '{code}' in allow list (rules are V1..V7)"),
+            );
+        }
+    }
+}
+
+/// V2 — agreement sanity: bounds within `[0, 1]` and ordered, no
+/// self-agreements, no duplicate issuer/holder pairs.
+fn agreement_sanity(spec: &DeploymentSpec, out: &mut Vec<Finding>) {
+    for (i, a) in spec.agreements.iter().enumerate() {
+        if a.issuer == a.holder {
+            push(
+                out,
+                VRule::Agreements,
+                vec![Key("agreements"), Index(i)],
+                format!("'{}' cannot issue an agreement to itself", a.issuer),
+            );
+        }
+        let mut bounds_ok = true;
+        for (key, x) in [("lb", a.lb), ("ub", a.ub)] {
+            if !(x.is_finite() && (0.0..=1.0).contains(&x)) {
+                push(
+                    out,
+                    VRule::Agreements,
+                    vec![Key("agreements"), Index(i), Key(key)],
+                    format!("{key} must be a fraction within [0, 1], got {x}"),
+                );
+                bounds_ok = false;
+            }
+        }
+        if bounds_ok && a.lb > a.ub {
+            push(
+                out,
+                VRule::Agreements,
+                vec![Key("agreements"), Index(i), Key("lb")],
+                format!(
+                    "lb {} exceeds ub {}: the guarantee is larger than the best-effort cap",
+                    a.lb, a.ub
+                ),
+            );
+        }
+        if let Some(j) = spec
+            .agreements
+            .iter()
+            .take(i)
+            .position(|b| b.issuer == a.issuer && b.holder == a.holder)
+        {
+            push(
+                out,
+                VRule::Agreements,
+                vec![Key("agreements"), Index(i)],
+                format!(
+                    "duplicate agreement {} -> {} (first declared at agreements[{j}])",
+                    a.issuer, a.holder
+                ),
+            );
+        }
+    }
+}
+
+/// V2 — scalar sanity for specs that never went through the JSON decoder
+/// (`Cluster::launch` verifies Rust-built specs too): capacities,
+/// duration, and phase pairs must be finite and non-negative.
+fn scalar_sanity(spec: &DeploymentSpec, out: &mut Vec<Finding>) {
+    for (i, p) in spec.principals.iter().enumerate() {
+        if !finite_nonneg(p.capacity) {
+            push(
+                out,
+                VRule::Agreements,
+                vec![Key("principals"), Index(i), Key("capacity")],
+                format!("capacity must be a finite, non-negative rate, got {}", p.capacity),
+            );
+        }
+    }
+    if !finite_nonneg(spec.duration) {
+        push(
+            out,
+            VRule::Agreements,
+            vec![Key("duration")],
+            format!("duration must be a finite, non-negative number of seconds, got {}", spec.duration),
+        );
+    }
+    for (ci, c) in spec.clients.iter().enumerate() {
+        for (pi, &(d, r)) in c.phases.iter().enumerate() {
+            if !finite_nonneg(d) || !finite_nonneg(r) {
+                push(
+                    out,
+                    VRule::Agreements,
+                    vec![Key("clients"), Index(ci), Key("phases"), Index(pi)],
+                    format!("phase [duration, rate] must be finite and non-negative, got [{d}, {r}]"),
+                );
+            }
+        }
+    }
+}
+
+/// V3, direct half — an issuer's guaranteed fractions must fit within its
+/// whole capacity: Σ lb over its direct agreements ≤ 1.
+fn solvency_direct(spec: &DeploymentSpec, out: &mut Vec<Finding>) {
+    for p in &spec.principals {
+        let mut sum = 0.0;
+        let mut last = None;
+        for (i, a) in spec.agreements.iter().enumerate() {
+            if a.issuer == p.name && a.lb.is_finite() && a.lb > 0.0 {
+                sum += a.lb;
+                last = Some(i);
+            }
+        }
+        if sum > 1.0 + TOL {
+            if let Some(i) = last {
+                push(
+                    out,
+                    VRule::Solvency,
+                    vec![Key("agreements"), Index(i), Key("lb")],
+                    format!(
+                        "issuer '{}' guarantees sum(lb) = {sum:.3} across its direct \
+                         agreements; guarantees may not exceed its whole capacity (1.0)",
+                        p.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// V3, backing half — every issuer's currency needs real value behind it:
+/// own capacity or transitive in-flow along the agreement graph, via the
+/// same simple-path closure the scheduler uses. Mandatory (`lb > 0`)
+/// tickets specifically need *mandatory* backing.
+fn solvency_backing(spec: &DeploymentSpec, graph: &AgreementGraph, out: &mut Vec<Finding>) {
+    let flows = graph.flows();
+    let v = graph.capacities();
+    for (pi, p) in spec.principals.iter().enumerate() {
+        let Some(first) = spec.agreements.iter().position(|a| a.issuer == p.name) else {
+            continue;
+        };
+        let id = PrincipalId(pi);
+        let mandatory_value = flows.currency_mandatory_value(&v, id);
+        let optional_in: f64 = (0..spec.principals.len())
+            .map(|j| flows.oi(&v, PrincipalId(j), id))
+            .sum();
+        let issues_mandatory =
+            spec.agreements.iter().any(|a| a.issuer == p.name && a.lb > 0.0);
+        let at = vec![Key("agreements"), Index(first), Key("issuer")];
+        if issues_mandatory && mandatory_value <= TOL {
+            push(
+                out,
+                VRule::Solvency,
+                at,
+                format!(
+                    "issuer '{}' has no capacity and no transitive mandatory currency \
+                     backing: its guaranteed (lb > 0) tickets are unbacked",
+                    p.name
+                ),
+            );
+        } else if mandatory_value + optional_in <= TOL {
+            push(
+                out,
+                VRule::Solvency,
+                at,
+                format!(
+                    "issuer '{}' has no capacity and no currency backing along any \
+                     agreement path: its tickets are worthless",
+                    p.name
+                ),
+            );
+        }
+    }
+}
+
+/// V5 — the redirector tree must be well-formed, and worst-case
+/// coordination staleness must fit within one scheduling window.
+fn tree_and_timing(spec: &DeploymentSpec, out: &mut Vec<Finding>) {
+    let tree = &spec.redirector_tree;
+    let n = tree.len();
+    if n == 0 {
+        push(
+            out,
+            VRule::Timing,
+            vec![Key("redirector_tree")],
+            "redirector_tree must have at least one node".to_string(),
+        );
+        return;
+    }
+    let roots: Vec<usize> =
+        (0..n).filter(|&i| tree.get(i).is_some_and(Option::is_none)).collect();
+    let mut shape_ok = true;
+    if roots.len() != 1 {
+        push(
+            out,
+            VRule::Timing,
+            vec![Key("redirector_tree")],
+            format!(
+                "redirector_tree must have exactly one root (null parent), found {}",
+                roots.len()
+            ),
+        );
+        shape_ok = false;
+    }
+    for (i, parent) in tree.iter().enumerate() {
+        let Some(p) = parent else { continue };
+        if *p >= n {
+            push(
+                out,
+                VRule::Timing,
+                vec![Key("redirector_tree"), Index(i)],
+                format!("parent index {p} out of range for a {n}-node tree"),
+            );
+            shape_ok = false;
+        } else if *p == i {
+            push(
+                out,
+                VRule::Timing,
+                vec![Key("redirector_tree"), Index(i)],
+                format!("node {i} is its own parent"),
+            );
+            shape_ok = false;
+        }
+    }
+
+    let mut depth = vec![usize::MAX; n];
+    if shape_ok {
+        // Parents are in range and there is exactly one root: any node the
+        // BFS cannot reach sits on a parent cycle.
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, parent) in tree.iter().enumerate() {
+            if let Some(p) = parent {
+                children[*p].push(i);
+            }
+        }
+        let mut queue: Vec<usize> = roots.clone();
+        for &r in &roots {
+            depth[r] = 0;
+        }
+        let mut head = 0;
+        while let Some(&node) = queue.get(head) {
+            head += 1;
+            for &c in &children[node] {
+                if depth[c] == usize::MAX {
+                    depth[c] = depth[node] + 1;
+                    queue.push(c);
+                }
+            }
+        }
+        for (i, d) in depth.iter().enumerate() {
+            if *d == usize::MAX {
+                push(
+                    out,
+                    VRule::Timing,
+                    vec![Key("redirector_tree"), Index(i)],
+                    format!("node {i} is unreachable from the root: its parent chain forms a cycle"),
+                );
+                shape_ok = false;
+            }
+        }
+    }
+
+    for (key, x) in
+        [("tree_edge_delay", spec.tree_edge_delay), ("extra_tree_lag", spec.extra_tree_lag)]
+    {
+        if !finite_nonneg(x) {
+            push(
+                out,
+                VRule::Timing,
+                vec![Key(key)],
+                format!("{key} must be a finite, non-negative number of seconds, got {x}"),
+            );
+            shape_ok = false;
+        }
+    }
+    if !(spec.window_secs.is_finite() && spec.window_secs > 0.0) {
+        push(
+            out,
+            VRule::Timing,
+            vec![Key("window_secs")],
+            format!("window_secs must be a positive number of seconds, got {}", spec.window_secs),
+        );
+        return;
+    }
+    if shape_ok {
+        let max_depth = depth.iter().copied().filter(|&d| d != usize::MAX).max().unwrap_or(0);
+        let staleness =
+            2.0 * max_depth as f64 * spec.tree_edge_delay + spec.extra_tree_lag;
+        if staleness > spec.window_secs + TOL {
+            push(
+                out,
+                VRule::Timing,
+                vec![Key("tree_edge_delay")],
+                format!(
+                    "worst-case coordination staleness {staleness:.3}s (2 x depth {max_depth} \
+                     x {}s edge delay + {}s extra lag) exceeds the {}s scheduling window: the \
+                     one-window-staleness contract cannot hold (allow V5 to model WAN lag \
+                     deliberately)",
+                    spec.tree_edge_delay, spec.extra_tree_lag, spec.window_secs
+                ),
+            );
+        }
+    }
+}
+
+/// V6 — locality caps and provider prices are per-principal vectors: the
+/// length must match the principal list exactly, entries finite and
+/// non-negative.
+fn policy_shape(spec: &DeploymentSpec, out: &mut Vec<Finding>) {
+    let n = spec.principals.len();
+    let (key, xs) = match &spec.policy {
+        PolicySpec::Community => return,
+        PolicySpec::CommunityWithLocality { caps } => ("caps", caps),
+        PolicySpec::Provider { prices } => ("prices", prices),
+    };
+    if xs.len() != n {
+        push(
+            out,
+            VRule::PolicyShape,
+            vec![Key("policy"), Key(key)],
+            format!(
+                "policy {key} has {} entries for {n} principals; one entry per principal, \
+                 in declaration order",
+                xs.len()
+            ),
+        );
+    }
+    for (j, x) in xs.iter().enumerate() {
+        if !finite_nonneg(*x) {
+            push(
+                out,
+                VRule::PolicyShape,
+                vec![Key("policy"), Key(key), Index(j)],
+                format!("policy {key} entries must be finite, non-negative numbers, got {x}"),
+            );
+        }
+    }
+}
+
+/// Bounded elementary-cycle search state (V4).
+struct CycleSearch<'a> {
+    spec: &'a DeploymentSpec,
+    /// `adj[i]` lists `(holder, agreement index)` edges issued by `i`.
+    adj: Vec<Vec<(usize, usize)>>,
+    found: usize,
+    steps: usize,
+    truncated: bool,
+}
+
+impl CycleSearch<'_> {
+    /// Explores simple paths from `start` through nodes `> start` only, so
+    /// each elementary cycle is reported exactly once (anchored at its
+    /// minimum-index node).
+    fn dfs(
+        &mut self,
+        start: usize,
+        at: usize,
+        path: &mut Vec<usize>,
+        on_path: &mut [bool],
+        out: &mut Vec<Finding>,
+    ) {
+        if self.steps >= MAX_CYCLE_STEPS {
+            self.truncated = true;
+            return;
+        }
+        self.steps += 1;
+        let edges = self.adj.get(at).cloned().unwrap_or_default();
+        for (next, ai) in edges {
+            if next == start {
+                self.report(path, ai, out);
+            } else if next > start && !on_path[next] {
+                on_path[next] = true;
+                path.push(next);
+                self.dfs(start, next, path, on_path, out);
+                path.pop();
+                on_path[next] = false;
+            }
+        }
+    }
+
+    fn report(&mut self, path: &[usize], closing_agreement: usize, out: &mut Vec<Finding>) {
+        if self.found >= MAX_CYCLES {
+            self.truncated = true;
+            return;
+        }
+        self.found += 1;
+        let name = |i: usize| {
+            self.spec.principals.get(i).map_or("?", |p| p.name.as_str())
+        };
+        let mut names: Vec<&str> = path.iter().map(|&i| name(i)).collect();
+        if let Some(&first) = path.first() {
+            names.push(name(first));
+        }
+        push(
+            out,
+            VRule::Cycles,
+            vec![Key("agreements"), Index(closing_agreement)],
+            format!(
+                "currency cycle: {} — legal (transitive flows follow simple paths only, so \
+                 value does not amplify around the loop), but worth knowing about",
+                names.join(" -> ")
+            ),
+        );
+    }
+}
+
+/// V4 — report every elementary currency cycle with its full path.
+fn cycles(spec: &DeploymentSpec, out: &mut Vec<Finding>) {
+    let n = spec.principals.len();
+    let index = |name: &str| spec.principals.iter().position(|p| p.name == name);
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (ai, a) in spec.agreements.iter().enumerate() {
+        if let (Some(i), Some(j)) = (index(&a.issuer), index(&a.holder)) {
+            if let Some(row) = adj.get_mut(i) {
+                row.push((j, ai));
+            }
+        }
+    }
+    let mut search = CycleSearch { spec, adj, found: 0, steps: 0, truncated: false };
+    for s in 0..n {
+        let mut path = vec![s];
+        let mut on_path = vec![false; n];
+        on_path[s] = true;
+        search.dfs(s, s, &mut path, &mut on_path, out);
+    }
+    if search.truncated {
+        push(
+            out,
+            VRule::Cycles,
+            vec![Key("agreements")],
+            format!("cycle report truncated after {MAX_CYCLES} cycles; the graph is densely cyclic"),
+        );
+    }
+}
+
+/// V7 — worst-case offered load per principal (each client's peak phase
+/// rate, summed over its clients) vs its entitled mandatory + optional
+/// share. Excess demand is legal — the scheduler defers or drops it — but
+/// usually a misconfiguration.
+fn load(spec: &DeploymentSpec, graph: &AgreementGraph, out: &mut Vec<Finding>) {
+    let levels = graph.access_levels();
+    for (pi, p) in spec.principals.iter().enumerate() {
+        let mut demand = 0.0;
+        let mut first_client = None;
+        for (ci, c) in spec.clients.iter().enumerate() {
+            if c.principal == p.name {
+                if first_client.is_none() {
+                    first_client = Some(ci);
+                }
+                demand += c.phases.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
+            }
+        }
+        let Some(ci) = first_client else { continue };
+        let id = PrincipalId(pi);
+        let entitled = levels.mandatory(id) + levels.optional(id);
+        if demand > entitled * (1.0 + TOL) + TOL {
+            push(
+                out,
+                VRule::Load,
+                vec![Key("clients"), Index(ci)],
+                format!(
+                    "worst-case offered load for '{}' is {demand:.1} req/s but its entitled \
+                     mandatory+optional share is {entitled:.1} req/s: the excess will be \
+                     deferred or dropped",
+                    p.name
+                ),
+            );
+        }
+    }
+}

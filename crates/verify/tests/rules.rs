@@ -1,0 +1,190 @@
+//! Fixture-driven verifier tests: every rule has a trigger fixture under
+//! `examples/specs/` (also gated in `tier1.sh`) and a non-trigger, and
+//! diagnostics must point at the exact `line:col` of the offending value.
+
+use covenant_core::spec::DeploymentSpec;
+use covenant_verify::{
+    check_text, has_errors, resolve, verify_spec, Diagnostic, RuleMeta, Severity, VRule,
+};
+
+const VALID: &str = include_str!("../../../examples/specs/valid.json");
+const V1: &str = include_str!("../../../examples/specs/v1_unknown_holder.json");
+const V2: &str = include_str!("../../../examples/specs/v2_inverted_bounds.json");
+const V3: &str = include_str!("../../../examples/specs/v3_oversubscribed.json");
+const V4: &str = include_str!("../../../examples/specs/v4_mutual_cycle.json");
+const V5: &str = include_str!("../../../examples/specs/v5_stale_tree.json");
+const V6: &str = include_str!("../../../examples/specs/v6_short_prices.json");
+const V7: &str = include_str!("../../../examples/specs/v7_overload.json");
+
+fn check(text: &str) -> Vec<Diagnostic> {
+    check_text("spec.json", text).expect("fixture parses and decodes")
+}
+
+/// 1-based (line, col) of `token` on the first line containing `line_pat`.
+fn pos_of(text: &str, line_pat: &str, token: &str) -> (u32, u32) {
+    for (i, l) in text.lines().enumerate() {
+        if l.contains(line_pat) {
+            if let Some(c) = l.find(token) {
+                return ((i + 1) as u32, (c + 1) as u32);
+            }
+        }
+    }
+    panic!("{line_pat:?} / {token:?} not found in fixture");
+}
+
+#[test]
+fn valid_fixture_passes_clean() {
+    assert_eq!(check(VALID), Vec::new());
+}
+
+#[test]
+fn every_bad_fixture_fires_exactly_its_rule() {
+    for (text, expected) in
+        [(V1, "V1"), (V2, "V2"), (V3, "V3"), (V4, "V4"), (V5, "V5"), (V6, "V6"), (V7, "V7")]
+    {
+        let diags = check(text);
+        assert!(!diags.is_empty(), "{expected} fixture must fire");
+        for d in &diags {
+            assert_eq!(d.rule.code(), expected, "unexpected rule in {expected} fixture: {d}");
+            assert!(d.line > 0 && d.col > 0, "{expected} diagnostic must be positioned: {d}");
+            assert_eq!(d.path, "spec.json");
+        }
+    }
+}
+
+#[test]
+fn diagnostics_point_at_the_offending_token() {
+    let cases = [
+        // The unknown holder: the string value "Z".
+        (V1, "\"holder\": \"Z\"", "\"Z\""),
+        // The inverted bound: the lb number itself.
+        (V2, "\"lb\": 0.9", "0.9"),
+        // Oversubscription anchors at the last contributing lb.
+        (V3, "\"lb\": 0.6", "0.6"),
+        // The staleness overrun anchors at the edge delay.
+        (V5, "\"tree_edge_delay\"", "0.05"),
+        // The short vector: the prices array.
+        (V6, "\"prices\"", "[1.0]"),
+        // Overload anchors at the principal's first client object.
+        (V7, "\"principal\": \"A\"", "{"),
+    ];
+    for (text, line_pat, token) in cases {
+        let (line, col) = pos_of(text, line_pat, token);
+        let diags = check(text);
+        let d = diags.first().expect("fixture fires");
+        assert_eq!((d.line, d.col), (line, col), "misplaced diagnostic: {d}");
+    }
+}
+
+#[test]
+fn warning_rules_do_not_count_as_errors() {
+    for warn in [V4, V7] {
+        let diags = check(warn);
+        assert!(!diags.is_empty());
+        assert!(!has_errors(&diags));
+        assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+    }
+    for err in [V1, V2, V3, V5, V6] {
+        assert!(has_errors(&check(err)));
+    }
+}
+
+#[test]
+fn cycle_report_carries_the_full_path() {
+    let diags = check(V4);
+    let messages: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    assert!(
+        messages.iter().any(|m| m.contains("A -> B -> A")),
+        "cycle path missing: {messages:?}"
+    );
+}
+
+#[test]
+fn allow_field_suppresses_a_rule_per_spec() {
+    let allowed = V4.replace("\"duration\": 1.0", "\"duration\": 1.0, \"allow\": [\"V4\"]");
+    assert_eq!(check(&allowed), Vec::new());
+    // Unknown codes in the allow list are themselves a V1 finding.
+    let bogus = V4.replace("\"duration\": 1.0", "\"duration\": 1.0, \"allow\": [\"V9\"]");
+    let diags = check(&bogus);
+    assert!(diags.iter().any(|d| d.rule == VRule::References), "{diags:?}");
+}
+
+#[test]
+fn inline_triggers_for_structural_variants() {
+    // Duplicate principal names (V1), self-agreement and duplicate pair
+    // (V2), two roots / out-of-range parent / parent cycle (V5).
+    let dup_name = r#"{
+        "principals": [{"name": "S", "capacity": 1.0}, {"name": "S"}],
+        "agreements": [], "clients": [], "duration": 1.0
+    }"#;
+    assert!(check(dup_name).iter().any(|d| d.rule == VRule::References));
+
+    let self_deal = r#"{
+        "principals": [{"name": "S", "capacity": 1.0}],
+        "agreements": [{"issuer": "S", "holder": "S", "lb": 0.1, "ub": 0.2}],
+        "clients": [], "duration": 1.0
+    }"#;
+    assert!(check(self_deal).iter().any(|d| d.rule == VRule::Agreements));
+
+    let dup_pair = r#"{
+        "principals": [{"name": "S", "capacity": 1.0}, {"name": "A"}],
+        "agreements": [
+            {"issuer": "S", "holder": "A", "lb": 0.1, "ub": 0.2},
+            {"issuer": "S", "holder": "A", "lb": 0.2, "ub": 0.3}
+        ],
+        "clients": [], "duration": 1.0
+    }"#;
+    assert!(check(dup_pair).iter().any(|d| d.rule == VRule::Agreements));
+
+    for tree in ["[null, null]", "[null, 9]", "[null, 2, 1]"] {
+        let bad_tree = format!(
+            r#"{{
+                "principals": [{{"name": "S", "capacity": 1.0}}],
+                "agreements": [], "clients": [], "duration": 1.0,
+                "redirector_tree": {tree}
+            }}"#
+        );
+        let diags = check(&bad_tree);
+        assert!(
+            diags.iter().any(|d| d.rule == VRule::Timing),
+            "tree {tree} must fire V5: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn unbacked_issuer_fires_and_backed_reseller_does_not() {
+    // A zero-capacity issuer guaranteeing lb > 0 with no in-flow: V3.
+    let unbacked = r#"{
+        "principals": [{"name": "ghost"}, {"name": "A", "capacity": 10.0}],
+        "agreements": [{"issuer": "ghost", "holder": "A", "lb": 0.5, "ub": 1.0}],
+        "clients": [], "duration": 1.0
+    }"#;
+    let diags = check(unbacked);
+    assert!(diags.iter().any(|d| d.rule == VRule::Solvency), "{diags:?}");
+    // The valid fixture's `resale` principal is the non-trigger: zero
+    // capacity, but transitively backed by S via lb 0.3 — no finding
+    // (checked by valid_fixture_passes_clean).
+}
+
+#[test]
+fn struct_level_findings_resolve_without_source() {
+    // Specs built in Rust never had JSON positions; findings still carry
+    // the JSON path in the message and line 0 / col 0.
+    let mut spec = DeploymentSpec::from_json(VALID).expect("valid decodes");
+    spec.principals[0].capacity = f64::NAN;
+    let findings = verify_spec(&spec);
+    assert!(!findings.is_empty());
+    let diags = resolve(&findings, None, "inline");
+    let d = diags.first().expect("finding");
+    assert_eq!((d.line, d.col), (0, 0));
+    assert!(d.message.contains("principals[0].capacity"), "{d}");
+}
+
+#[test]
+fn finding_paths_render_json_style() {
+    let spec = DeploymentSpec::from_json(V3).expect("decodes");
+    let findings = verify_spec(&spec);
+    let paths: Vec<String> = findings.iter().map(|f| f.path()).collect();
+    assert!(paths.iter().any(|p| p == "agreements[1].lb"), "{paths:?}");
+}

@@ -18,7 +18,10 @@
 //! boundary), and a child that loses its parent keeps serving admissions
 //! from its last delivered total while reconnecting — the
 //! one-window-staleness semantics the differential test encodes, stretched
-//! only as far as the outage itself.
+//! only as far as the outage itself. A child that *restarts* (fresh
+//! process, round counter reset to the beginning) is rebased onto its
+//! pre-crash round sequence when it rejoins, so its new demand is not
+//! mistaken for stale data.
 
 use crate::clock::WireClock;
 use crate::frame::{Frame, MAX_PAYLOAD};
@@ -29,7 +32,7 @@ use covenant_reactor::{
     connect_nonblocking, take_socket_error, Epoll, Event, Interest, Io, RecvBuf, SendBuf, Slab,
     WakeFd, WakeHandle,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -179,8 +182,17 @@ struct ChildConn {
 struct RoundState {
     /// The own-publish round currently being combined.
     target: Option<OwnPublish>,
-    /// Last-good subtree aggregate per child id: (round, values).
+    /// Last-good subtree aggregate per child id: (round, values), with the
+    /// round already rebased by `child_base`.
     child_latest: HashMap<u32, (u64, Vec<f64>)>,
+    /// Per-child offset added to reported rounds. A child process that
+    /// restarts resets its round counter to the beginning; without the
+    /// rebase every one of its fresh `Up` frames would compare as older
+    /// than its pre-crash last-good value and be dropped as stale.
+    child_base: HashMap<u32, u64>,
+    /// Children whose next `Up` re-derives the rebase (they just said
+    /// `Hello`, so their counter may have reset).
+    rejoining: HashSet<u32>,
     /// Live-mode deadline after which the target round is forced.
     force_at: Option<Instant>,
     /// Latest emitted `Up` (round, subtree total, t) for reconnect resync.
@@ -546,6 +558,9 @@ impl Runtime {
                 if let Some(conn) = self.children.get_mut(key) {
                     conn.hello = Some(node);
                 }
+                // The peer may be a restarted process whose round counter
+                // begins again from zero; its next Up re-derives the rebase.
+                self.round.rejoining.insert(node);
                 true
             }
             Frame::Up { node, epoch, round, values, .. } => {
@@ -558,14 +573,29 @@ impl Runtime {
                 if !id_ok {
                     return false; // Up before Hello, or forged id
                 }
+                let base = self.round.child_base.get(&node).copied().unwrap_or(0);
+                let mut eff = round.saturating_add(base);
+                if self.round.rejoining.remove(&node) {
+                    // First Up after a (re)connect: if the effective round
+                    // does not advance past the stored last-good round, the
+                    // child restarted and reset its counter — rebase so this
+                    // frame lands immediately after the pre-crash round.
+                    if let Some((prev, _)) = self.round.child_latest.get(&node) {
+                        if eff <= *prev {
+                            let rebased = prev.saturating_add(1).saturating_sub(round);
+                            self.round.child_base.insert(node, rebased);
+                            eff = round.saturating_add(rebased);
+                        }
+                    }
+                }
                 let newer = self
                     .round
                     .child_latest
                     .get(&node)
-                    .map(|(r, _)| round > *r)
+                    .map(|(r, _)| eff > *r)
                     .unwrap_or(true);
                 if newer {
-                    self.round.child_latest.insert(node, (round, values));
+                    self.round.child_latest.insert(node, (eff, values));
                 }
                 true
             }

@@ -10,7 +10,7 @@ use covenant_agreements::AgreementGraph;
 use covenant_coord::{AdmissionControl, Coordinator};
 use covenant_sched::SchedulerConfig;
 use covenant_tree::CoordTransport;
-use covenant_wire::{spawn_local, StampMode, WireNode};
+use covenant_wire::{spawn_local, StampMode, WireNode, WireNodeConfig};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -131,6 +131,71 @@ fn killing_a_leaf_degrades_to_last_good_values() {
         transports[0].stats().rounds_forced() > before_forced,
         "rounds past the kill must have been forced on the timeout path"
     );
+}
+
+#[test]
+fn restarted_child_rejoins_with_fresh_demand() {
+    let window = Duration::from_millis(25);
+    let epoch = 4;
+    let mut nodes = spawn_local(&[None, Some(0), Some(0)], epoch, StampMode::Live, window)
+        .expect("spawn loopback tree");
+    let transports: Vec<_> = nodes.iter().map(|n| n.transport()).collect();
+    let clock = transports[0].clock();
+    let root_addr = nodes[0].listen_addr();
+
+    // Healthy rounds first, so the root's last-good round for leaf 2
+    // climbs well past the round counter a restarted process begins from
+    // — and past the whole post-restart publish budget below, so without
+    // rebasing the restarted child could never catch up in this test.
+    for r in 0..12u64 {
+        for (i, tp) in transports.iter().enumerate() {
+            tp.publish_at(i, vec![(i + 1) as f64], clock.now());
+        }
+        wait_for("healthy rounds", Duration::from_secs(5), || {
+            transports[0].completed_rounds() > r
+        });
+    }
+    assert_eq!(transports[0].read_at(0, clock.now()), Some(vec![6.0]));
+
+    // Kill leaf 2, then restart it as a brand-new runtime: same node id
+    // and epoch, but a round counter reset to the beginning — exactly what
+    // a respawned cluster process looks like to its parent.
+    drop(nodes.remove(2));
+    let restarted = WireNode::start(WireNodeConfig {
+        node: 2,
+        nodes: 3,
+        parent: Some(root_addr),
+        children: Vec::new(),
+        epoch,
+        mode: StampMode::Live,
+        window,
+        bind: "127.0.0.1:0".parse().expect("loopback bind"),
+    })
+    .expect("restart leaf 2");
+    let t2 = restarted.transport();
+
+    // Everyone publishes fresh demand. Without round rebasing on rejoin
+    // the root rejects the restarted child's Up frames as stale (rounds
+    // 1, 2, … all below the pre-crash last-good round 12), so inside this
+    // 8-publish budget the global total would stay pinned at crash-era
+    // values; with rebasing the first post-restart Up already counts.
+    let mut combined = false;
+    for _ in 0..8 {
+        for (i, tp) in transports.iter().take(2).enumerate() {
+            tp.publish_at(i, vec![(i + 1) as f64 * 10.0], clock.now());
+        }
+        t2.publish_at(2, vec![100.0], clock.now());
+        std::thread::sleep(window);
+        if transports[0].read_at(0, clock.now()) == Some(vec![130.0]) {
+            combined = true;
+            break;
+        }
+    }
+    assert!(combined, "root never combined the restarted child's fresh demand");
+    // The rejoined child hears global totals again too (Down cascade).
+    wait_for("restarted child closes rounds", Duration::from_secs(5), || {
+        t2.completed_rounds() >= 1
+    });
 }
 
 /// One server at 100 req/s; A entitled to [0.2, 1.0], B to [0.8, 1.0] —

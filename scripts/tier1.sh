@@ -20,6 +20,21 @@ cargo test -q --offline --workspace
 echo "==> covenant-lint --deny all (workspace invariants, R1-R5)"
 cargo run -q --offline -p covenant-lint -- --deny all
 
+echo "==> covenant check (spec verifier gate over examples/specs)"
+COVENANT=target/release/covenant
+$COVENANT check examples/specs/valid.json
+for bad in examples/specs/v*_*.json; do
+  # v3_oversubscribed.json -> its rule id V3 must appear in the output,
+  # and with --deny all even warning-severity rules must fail the check.
+  rule="V$(basename "$bad" | sed 's/^v\([0-9]\).*/\1/')"
+  if out=$($COVENANT check "$bad" --deny all 2>&1); then
+    echo "verifier gate: $bad unexpectedly passed"; exit 1
+  fi
+  if ! grep -q "\[$rule\]" <<<"$out"; then
+    echo "verifier gate: $bad did not report $rule:"; echo "$out"; exit 1
+  fi
+done
+
 echo "==> cargo clippy -D warnings (workspace)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -26,5 +26,6 @@ pub use covenant_reactor as reactor;
 pub use covenant_sched as sched;
 pub use covenant_sim as sim;
 pub use covenant_tree as tree;
+pub use covenant_verify as verify;
 pub use covenant_wire as wire;
 pub use covenant_workload as workload;

@@ -3,6 +3,11 @@
 //!
 //! ```text
 //! covenant example-spec                 # print a starter deployment spec
+//! covenant check deployment.json [--json] [--deny all|V1,...] [--list-rules]
+//!                                      # static agreement-contract verifier:
+//!                                      # rules V1-V7 with file:line:col
+//!                                      # diagnostics; exits non-zero on
+//!                                      # errors or denied warnings
 //! covenant levels deployment.json      # entitlement table for a spec
 //! covenant run deployment.json [--csv | --json]
 //!                                      # simulate a spec; report rates as a
@@ -32,7 +37,8 @@ fn main() -> ExitCode {
             println!("{EXAMPLE_SPEC}");
             ExitCode::SUCCESS
         }
-        Some("levels") => with_spec(args.get(1), |spec| {
+        Some("check") => check_cmd(&args),
+        Some("levels") => with_spec(args.get(1), false, |spec| {
             let g = spec.build_graph()?;
             let lv = g.access_levels();
             println!(
@@ -51,7 +57,7 @@ fn main() -> ExitCode {
             }
             Ok(())
         }),
-        Some("run") => with_spec(args.get(1), |spec| {
+        Some("run") => with_spec(args.get(1), true, |spec| {
             let csv = args.iter().any(|a| a == "--csv");
             let json = args.iter().any(|a| a == "--json");
             let cfg = spec.build_sim()?;
@@ -123,7 +129,7 @@ fn main() -> ExitCode {
             );
             Ok(())
         }),
-        Some("cluster") => with_spec(args.get(1), |spec| {
+        Some("cluster") => with_spec(args.get(1), true, |spec| {
             let secs = args
                 .get(2)
                 .and_then(|a| a.parse::<f64>().ok())
@@ -176,15 +182,87 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: covenant <example-spec | levels <spec.json> | run <spec.json> [--csv | --json] | figures | cluster <spec.json> [secs]>"
+                "usage: covenant <example-spec | check <spec.json> [--json] [--deny all|V1,...] [--list-rules] | levels <spec.json> | run <spec.json> [--csv | --json] | figures | cluster <spec.json> [secs]>"
             );
             ExitCode::FAILURE
         }
     }
 }
 
+/// `covenant check`: run the static verifier over a spec file and report
+/// `file:line:col` diagnostics. Exits non-zero on error-severity findings
+/// or on any finding whose rule appears in `--deny`.
+fn check_cmd(args: &[String]) -> ExitCode {
+    use covenant::verify::{check_text, has_errors, to_json, RuleMeta, VRule};
+    if args.iter().any(|a| a == "--list-rules") {
+        for r in VRule::registry() {
+            println!("{:<4}{:<9}{}", r.code(), r.severity().to_string(), r.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let deny_val = args.iter().position(|a| a == "--deny").map(|i| i + 1);
+    let deny: Vec<VRule> = match deny_val.map(|i| args.get(i)) {
+        None => Vec::new(),
+        Some(None) => {
+            eprintln!("--deny needs an argument: `all` or a comma-separated rule list");
+            return ExitCode::FAILURE;
+        }
+        Some(Some(spec)) => match VRule::parse_deny(spec) {
+            Some(rules) => rules,
+            None => {
+                eprintln!("unknown rule in --deny {spec}; see --list-rules");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let path = args
+        .iter()
+        .enumerate()
+        .skip(1)
+        .find(|(i, a)| !a.starts_with("--") && Some(*i) != deny_val)
+        .map(|(_, a)| a.clone());
+    let Some(path) = path else {
+        eprintln!("usage: covenant check <spec.json> [--json] [--deny all|V1,...] [--list-rules]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let diags = match check_text(&path, &text) {
+        Ok(diags) => diags,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json_out = args.iter().any(|a| a == "--json");
+    if json_out {
+        println!("{}", to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+    }
+    if has_errors(&diags) || diags.iter().any(|d| deny.contains(&d.rule)) {
+        return ExitCode::FAILURE;
+    }
+    if !json_out {
+        if diags.is_empty() {
+            println!("{path}: OK");
+        } else {
+            println!("{path}: OK with {} warning(s)", diags.len());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn with_spec(
     path: Option<&String>,
+    verify: bool,
     f: impl FnOnce(&DeploymentSpec) -> Result<(), Box<dyn std::error::Error>>,
 ) -> ExitCode {
     let Some(path) = path else {
@@ -193,6 +271,17 @@ fn with_spec(
     };
     let run = || -> Result<(), Box<dyn std::error::Error>> {
         let json = std::fs::read_to_string(path)?;
+        if verify {
+            let diags = covenant::verify::check_text(path, &json)?;
+            for d in &diags {
+                eprintln!("{d}");
+            }
+            if covenant::verify::has_errors(&diags) {
+                return Err("spec failed verification; see diagnostics above (suppress a \
+                            rule deliberately via the spec's \"allow\" list)"
+                    .into());
+            }
+        }
         let spec = DeploymentSpec::from_json(&json)?;
         f(&spec)
     };
