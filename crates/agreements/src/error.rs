@@ -35,6 +35,14 @@ pub enum AgreementError {
     },
     /// A physical capacity was negative or non-finite.
     InvalidCapacity(f64),
+    /// A renegotiation targeted an issuer→holder pair with no existing
+    /// agreement.
+    UnknownAgreement {
+        /// Issuer index.
+        issuer: usize,
+        /// Holder index.
+        holder: usize,
+    },
 }
 
 impl fmt::Display for AgreementError {
@@ -56,6 +64,9 @@ impl fmt::Display for AgreementError {
             }
             AgreementError::InvalidCapacity(v) => {
                 write!(f, "capacity must be finite and non-negative, got {v}")
+            }
+            AgreementError::UnknownAgreement { issuer, holder } => {
+                write!(f, "no agreement from {issuer} to {holder} to renegotiate")
             }
         }
     }

@@ -141,6 +141,48 @@ impl AgreementGraph {
         Ok(())
     }
 
+    /// Renegotiates the `[lb, ub]` bounds of an existing agreement (the
+    /// dynamic-reinterpretation hook, §2.2: the change re-flows through
+    /// the whole graph on the next [`Self::access_levels`] call).
+    ///
+    /// Validated like [`Self::add_agreement`]: the bounds must be a sane
+    /// fraction pair and the issuer must stay solvent across its *other*
+    /// agreements plus the new `lb`. A missing issuer→holder edge is
+    /// reported as [`AgreementError::UnknownAgreement`].
+    pub fn set_agreement(
+        &mut self,
+        issuer: PrincipalId,
+        holder: PrincipalId,
+        lb: f64,
+        ub: f64,
+    ) -> Result<(), AgreementError> {
+        let (lbf, ubf) = match (Fraction::new(lb), Fraction::new(ub)) {
+            (Some(l), Some(u)) if l <= u => (l, u),
+            _ => return Err(AgreementError::InvalidBounds { lb, ub }),
+        };
+        let Some(idx) = self
+            .agreements
+            .iter()
+            .position(|a| a.issuer == issuer && a.holder == holder)
+        else {
+            return Err(AgreementError::UnknownAgreement { issuer: issuer.0, holder: holder.0 });
+        };
+        let total_lb: f64 = self
+            .agreements
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| *i != idx && a.issuer == issuer)
+            .map(|(_, a)| a.lb.get())
+            .sum::<f64>()
+            + lbf.get();
+        if total_lb > 1.0 + 1e-9 {
+            return Err(AgreementError::OverCommitted { issuer: issuer.0, total_lb });
+        }
+        self.agreements[idx].lb = lbf;
+        self.agreements[idx].ub = ubf;
+        Ok(())
+    }
+
     /// Number of principals.
     #[inline]
     pub fn len(&self) -> usize {

@@ -1,0 +1,61 @@
+//! CI smoke check for the shared-link scenario pipeline.
+//!
+//! Loads the shipped `examples/scenarios/flash_crowd.json` (a bottlenecked
+//! two-redirector deployment whose second link saturates during the
+//! crowd), runs it twice on the streaming engine, and fails (nonzero exit)
+//! if the run lost its replay determinism, carried no link transfers, or
+//! the event heap stopped being concurrency-bounded — the link model must
+//! queue backlog in link state, never as O(backlog) heap entries. Wired
+//! into `scripts/tier1.sh`.
+//!
+//! `COVENANT_NET_SMOKE_MAX_QUEUE` overrides the peak-event-queue ceiling.
+
+use covenant_core::{sim_counters, ScenarioSpec};
+use covenant_sim::Simulation;
+use std::path::PathBuf;
+
+fn main() {
+    let max_queue: usize = std::env::var("COVENANT_NET_SMOKE_MAX_QUEUE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8192);
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("examples/scenarios/flash_crowd.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let sc = ScenarioSpec::from_json(&text).expect("shipped scenario parses");
+
+    let a = Simulation::new(sc.build_sim().expect("shipped scenario builds")).run();
+    let b = Simulation::new(sc.build_sim().expect("shipped scenario builds")).run();
+    if !a.outcome_eq(&b) {
+        eprintln!("FAIL: flash_crowd.json replayed with a different outcome under the same seed");
+        std::process::exit(1);
+    }
+
+    let net = sim_counters(&a).net.expect("scenario declares links");
+    println!(
+        "net smoke: {} transfers, {:.2} MB, peak {} concurrent, mean transfer {:.1} ms, \
+         peak event queue {} (ceiling {})",
+        net.transfers,
+        net.bytes / 1.0e6,
+        net.peak_concurrent,
+        net.mean_transfer_secs * 1000.0,
+        a.peak_event_queue,
+        max_queue
+    );
+    if net.transfers == 0 {
+        eprintln!("FAIL: no reply transfers crossed the shared links");
+        std::process::exit(1);
+    }
+    if a.peak_event_queue > max_queue {
+        eprintln!(
+            "FAIL: peak event queue {} exceeds {max_queue}: the link backlog is leaking \
+             into the event heap",
+            a.peak_event_queue
+        );
+        std::process::exit(1);
+    }
+    println!("net smoke OK");
+}

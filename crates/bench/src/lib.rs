@@ -109,6 +109,11 @@ mod perfjson {
         repo_root_file("BENCH_sim.json")
     }
 
+    /// Repo-root path of the machine-readable link-model perf log.
+    pub fn net_bench_json_path() -> PathBuf {
+        repo_root_file("BENCH_net.json")
+    }
+
     fn repo_root_file(name: &str) -> PathBuf {
         PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join(name)
     }
@@ -127,6 +132,12 @@ mod perfjson {
     /// one-section-per-line format as [`emit_bench_section`]).
     pub fn emit_sim_bench_section(section: &str, body_json: &str) -> io::Result<()> {
         emit_section_at(&sim_bench_json_path(), section, body_json)
+    }
+
+    /// Writes or replaces one top-level section of `BENCH_net.json` (same
+    /// one-section-per-line format as [`emit_bench_section`]).
+    pub fn emit_net_bench_section(section: &str, body_json: &str) -> io::Result<()> {
+        emit_section_at(&net_bench_json_path(), section, body_json)
     }
 
     pub(super) fn emit_section_at(
@@ -160,7 +171,8 @@ mod perfjson {
 }
 
 pub use perfjson::{
-    bench_json_path, emit_bench_section, emit_sim_bench_section, sim_bench_json_path,
+    bench_json_path, emit_bench_section, emit_net_bench_section, emit_sim_bench_section,
+    net_bench_json_path, sim_bench_json_path,
 };
 
 mod sweep {

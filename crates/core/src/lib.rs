@@ -19,11 +19,14 @@
 
 pub mod json;
 pub mod report;
+pub mod scenario;
 pub mod scenarios;
 pub mod spec;
 
 pub use report::{
-    live_counters_json, live_counters_sharded_json, sim_counters_json, PhaseRates, ScenarioOutcome,
+    counters_report_json, live_counters_json, live_counters_sharded_json, run_report_json,
+    sim_counters, sim_counters_json, PhaseRates, ScenarioOutcome,
 };
+pub use scenario::{LinkSpec, NetSpec, ScenarioSpec, TimelineEvent};
 pub use scenarios::FigureScenario;
 pub use spec::{DeploymentSpec, SpecError};

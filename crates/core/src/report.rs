@@ -1,7 +1,7 @@
 //! Scenario result summarization and export.
 
 use covenant_agreements::PrincipalId;
-use covenant_enforce::EnforcementCounters;
+use covenant_enforce::{CountersReport, EnforcementCounters, EngineTotals, NetTotals, SolverTotals};
 use covenant_sim::SimReport;
 use serde::Serialize;
 
@@ -29,32 +29,179 @@ impl PhaseRates {
     }
 }
 
+/// The single JSON encoder behind every stack's counters payload. Section
+/// key order is fixed so each legacy emitter's exact key sequence is
+/// reproduced: engine prefix (`events_processed`, `peak_event_queue`,
+/// `events_per_sec`), admission (`admitted`, `deferred`, `parked`), the
+/// solver profile, engine suffix (`tree_messages`,
+/// `pairwise_messages_equivalent`, `dropped_server`), the net section
+/// (`net_*`), admission's `shed`, and finally the sharding section
+/// (`shards`, `reactor_wakes`, `batched_verdicts`, `per_shard`). Sections
+/// a stack did not populate are simply absent — no nulls, no placeholder
+/// keys — so dashboards keyed on one stack's shape keep working.
+pub fn counters_report_json(r: &CountersReport) -> crate::json::Value {
+    use crate::json::Value;
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    if let Some(e) = &r.engine {
+        fields.push(("events_processed".into(), (e.events_processed as f64).into()));
+        fields.push(("peak_event_queue".into(), e.peak_event_queue.into()));
+        fields.push(("events_per_sec".into(), e.events_per_sec.into()));
+    }
+    if let Some(a) = &r.admission {
+        fields.push(("admitted".into(), (a.admitted as f64).into()));
+        fields.push(("deferred".into(), (a.deferred as f64).into()));
+        fields.push(("parked".into(), (a.parked as f64).into()));
+    }
+    let s = &r.solver;
+    fields.push(("plan_cache_hits".into(), (s.plan_cache_hits as f64).into()));
+    fields.push(("plan_cache_misses".into(), (s.plan_cache_misses as f64).into()));
+    fields.push(("plan_cache_evictions".into(), (s.plan_cache_evictions as f64).into()));
+    fields.push(("lp_solves".into(), (s.lp_solves as f64).into()));
+    fields.push(("lp_pivots".into(), (s.lp_pivots as f64).into()));
+    fields.push(("lp_warm_hits".into(), (s.lp_warm_hits as f64).into()));
+    fields.push(("lp_cold_fallbacks".into(), (s.lp_cold_fallbacks as f64).into()));
+    if let Some(e) = &r.engine {
+        fields.push(("tree_messages".into(), (e.tree_messages as f64).into()));
+        fields.push((
+            "pairwise_messages_equivalent".into(),
+            (e.pairwise_messages_equivalent as f64).into(),
+        ));
+        fields.push(("dropped_server".into(), (e.dropped_server as f64).into()));
+    }
+    if let Some(n) = &r.net {
+        fields.push(("net_transfers".into(), (n.transfers as f64).into()));
+        fields.push(("net_bytes".into(), n.bytes.into()));
+        fields.push(("net_peak_concurrent".into(), n.peak_concurrent.into()));
+        fields.push(("net_mean_transfer_secs".into(), n.mean_transfer_secs.into()));
+    }
+    if let Some(a) = &r.admission {
+        fields.push(("shed".into(), (a.shed as f64).into()));
+    }
+    if let Some(sh) = &r.sharding {
+        fields.push(("shards".into(), (sh.per_shard.len() as f64).into()));
+        fields.push(("reactor_wakes".into(), (sh.reactor_wakes as f64).into()));
+        fields.push(("batched_verdicts".into(), (sh.batched_verdicts as f64).into()));
+        fields.push((
+            "per_shard".into(),
+            Value::Arr(
+                sh.per_shard
+                    .iter()
+                    .map(|s| {
+                        Value::Obj(vec![
+                            ("admitted".into(), (s.counters.admitted as f64).into()),
+                            ("deferred".into(), (s.counters.deferred as f64).into()),
+                            ("parked".into(), (s.counters.parked as f64).into()),
+                            ("lp_solves".into(), (s.counters.lp_solves as f64).into()),
+                            ("reactor_wakes".into(), (s.reactor_wakes as f64).into()),
+                            ("batched_verdicts".into(), (s.batched_verdicts as f64).into()),
+                            ("shed".into(), (s.shed as f64).into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Value::Obj(fields)
+}
+
+/// The simulator's [`CountersReport`]: solver and engine sections from the
+/// report's counters, plus a net section when the run carried replies over
+/// shared links.
+pub fn sim_counters(report: &SimReport) -> CountersReport {
+    let net = if report.link_bytes.is_empty() {
+        None
+    } else {
+        let transfers: u64 = report.transfer.iter().map(|t| t.count).sum();
+        let total: f64 = report.transfer.iter().map(|t| t.total).sum();
+        Some(NetTotals {
+            transfers,
+            bytes: report.link_bytes.iter().sum(),
+            peak_concurrent: report.link_active_peak.iter().copied().max().unwrap_or(0),
+            mean_transfer_secs: if transfers > 0 { total / transfers as f64 } else { 0.0 },
+        })
+    };
+    CountersReport {
+        solver: SolverTotals {
+            plan_cache_hits: report.plan_cache_hits,
+            plan_cache_misses: report.plan_cache_misses,
+            plan_cache_evictions: report.plan_cache_evictions,
+            lp_solves: report.lp_solves,
+            lp_pivots: report.lp_pivots,
+            lp_warm_hits: report.lp_warm_hits,
+            lp_cold_fallbacks: report.lp_cold_fallbacks,
+        },
+        admission: None,
+        engine: Some(EngineTotals {
+            events_processed: report.events_processed,
+            peak_event_queue: report.peak_event_queue,
+            events_per_sec: report.events_per_sec(),
+            tree_messages: report.tree_messages,
+            pairwise_messages_equivalent: report.pairwise_messages_equivalent,
+            dropped_server: report.dropped_server,
+        }),
+        net,
+        sharding: None,
+    }
+}
+
+/// The `covenant run --json` / `covenant sim --json` document: the run
+/// duration, each principal's outcome (offered requests, settled service
+/// rate over the final 80% of the run, deferrals, mean response time), and
+/// the full [`counters_report_json`] payload. With `deterministic` set the
+/// wall-clock `events_per_sec` figure is zeroed — every other field derives
+/// from simulation time, so replaying the same spec and seed then yields
+/// byte-identical text (the scenario determinism gate relies on this).
+pub fn run_report_json(
+    names: &[String],
+    duration: f64,
+    report: &SimReport,
+    deterministic: bool,
+) -> crate::json::Value {
+    use crate::json::Value;
+    let principals = Value::Arr(
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let id = PrincipalId(i);
+                Value::Obj(vec![
+                    ("name".into(), name.as_str().into()),
+                    ("offered".into(), (report.offered[i] as f64).into()),
+                    (
+                        "served_per_sec".into(),
+                        report.rates.mean_rate_secs(id, duration * 0.2, duration).into(),
+                    ),
+                    ("deferred".into(), (report.deferred[i] as f64).into()),
+                    (
+                        "mean_response_ms".into(),
+                        (report.response[i].mean().unwrap_or(0.0) * 1000.0).into(),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let mut counters = sim_counters(report);
+    if deterministic {
+        if let Some(e) = counters.engine.as_mut() {
+            e.events_per_sec = 0.0;
+        }
+    }
+    Value::Obj(vec![
+        ("duration_s".into(), duration.into()),
+        ("principals".into(), principals),
+        ("counters".into(), counters_report_json(&counters)),
+    ])
+}
+
 /// Engine and coordination counters of a simulator report as a JSON
 /// object: event-loop performance profile (`events_processed`,
 /// `peak_event_queue`, wall-clock `events_per_sec`), plan-cache
 /// effectiveness, LP solver work (warm-basis reuse vs cold restarts,
-/// pivot counts), and message/drop accounting. Shared by the CLI's
+/// pivot counts), message/drop accounting, and — when the run modeled
+/// shared links — the `net_*` transfer profile. Shared by the CLI's
 /// `run --json` output and any tooling that tracks engine health.
 pub fn sim_counters_json(report: &SimReport) -> crate::json::Value {
-    use crate::json::Value;
-    Value::Obj(vec![
-        ("events_processed".into(), (report.events_processed as f64).into()),
-        ("peak_event_queue".into(), report.peak_event_queue.into()),
-        ("events_per_sec".into(), report.events_per_sec().into()),
-        ("plan_cache_hits".into(), (report.plan_cache_hits as f64).into()),
-        ("plan_cache_misses".into(), (report.plan_cache_misses as f64).into()),
-        ("plan_cache_evictions".into(), (report.plan_cache_evictions as f64).into()),
-        ("lp_solves".into(), (report.lp_solves as f64).into()),
-        ("lp_pivots".into(), (report.lp_pivots as f64).into()),
-        ("lp_warm_hits".into(), (report.lp_warm_hits as f64).into()),
-        ("lp_cold_fallbacks".into(), (report.lp_cold_fallbacks as f64).into()),
-        ("tree_messages".into(), (report.tree_messages as f64).into()),
-        (
-            "pairwise_messages_equivalent".into(),
-            (report.pairwise_messages_equivalent as f64).into(),
-        ),
-        ("dropped_server".into(), (report.dropped_server as f64).into()),
-    ])
+    counters_report_json(&sim_counters(report))
 }
 
 /// Live-deployment counterpart of [`sim_counters_json`]: one enforcement
@@ -66,20 +213,7 @@ pub fn sim_counters_json(report: &SimReport) -> crate::json::Value {
 /// shared shape lets the same tooling watch either a simulation or a live
 /// control plane.
 pub fn live_counters_json(counters: &EnforcementCounters, shed: u64) -> crate::json::Value {
-    use crate::json::Value;
-    Value::Obj(vec![
-        ("admitted".into(), (counters.admitted as f64).into()),
-        ("deferred".into(), (counters.deferred as f64).into()),
-        ("parked".into(), (counters.parked as f64).into()),
-        ("plan_cache_hits".into(), (counters.plan_cache_hits as f64).into()),
-        ("plan_cache_misses".into(), (counters.plan_cache_misses as f64).into()),
-        ("plan_cache_evictions".into(), (counters.plan_cache_evictions as f64).into()),
-        ("lp_solves".into(), (counters.lp_solves as f64).into()),
-        ("lp_pivots".into(), (counters.lp_pivots as f64).into()),
-        ("lp_warm_hits".into(), (counters.lp_warm_hits as f64).into()),
-        ("lp_cold_fallbacks".into(), (counters.lp_cold_fallbacks as f64).into()),
-        ("shed".into(), (shed as f64).into()),
-    ])
+    counters_report_json(&CountersReport::live(counters, shed))
 }
 
 /// Sharded-data-plane counterpart of [`live_counters_json`]: merges the
@@ -93,53 +227,7 @@ pub fn live_counters_json(counters: &EnforcementCounters, shed: u64) -> crate::j
 /// shards like the rest, so this payload carries exactly the
 /// [`live_counters_json`] keys plus the sharding extras.
 pub fn live_counters_sharded_json(shards: &[covenant_enforce::ShardSnapshot]) -> crate::json::Value {
-    use crate::json::Value;
-    let mut total = EnforcementCounters::default();
-    let mut wakes = 0u64;
-    let mut verdicts = 0u64;
-    let mut shed = 0u64;
-    for s in shards {
-        let c = &s.counters;
-        total.admitted += c.admitted;
-        total.deferred += c.deferred;
-        total.parked += c.parked;
-        total.plan_cache_hits += c.plan_cache_hits;
-        total.plan_cache_misses += c.plan_cache_misses;
-        total.plan_cache_evictions += c.plan_cache_evictions;
-        total.lp_solves += c.lp_solves;
-        total.lp_pivots += c.lp_pivots;
-        total.lp_warm_hits += c.lp_warm_hits;
-        total.lp_cold_fallbacks += c.lp_cold_fallbacks;
-        wakes += s.reactor_wakes;
-        verdicts += s.batched_verdicts;
-        shed += s.shed;
-    }
-    let Value::Obj(mut fields) = live_counters_json(&total, shed) else {
-        unreachable!("live_counters_json returns an object");
-    };
-    fields.push(("shards".into(), (shards.len() as f64).into()));
-    fields.push(("reactor_wakes".into(), (wakes as f64).into()));
-    fields.push(("batched_verdicts".into(), (verdicts as f64).into()));
-    fields.push((
-        "per_shard".into(),
-        Value::Arr(
-            shards
-                .iter()
-                .map(|s| {
-                    Value::Obj(vec![
-                        ("admitted".into(), (s.counters.admitted as f64).into()),
-                        ("deferred".into(), (s.counters.deferred as f64).into()),
-                        ("parked".into(), (s.counters.parked as f64).into()),
-                        ("lp_solves".into(), (s.counters.lp_solves as f64).into()),
-                        ("reactor_wakes".into(), (s.reactor_wakes as f64).into()),
-                        ("batched_verdicts".into(), (s.batched_verdicts as f64).into()),
-                        ("shed".into(), (s.shed as f64).into()),
-                    ])
-                })
-                .collect(),
-        ),
-    ));
-    Value::Obj(fields)
+    counters_report_json(&CountersReport::sharded(shards))
 }
 
 /// The outcome of one figure scenario.
@@ -352,6 +440,81 @@ mod tests {
         assert_eq!(parsed["per_shard"][1]["admitted"].as_f64().unwrap(), 60.0);
         assert_eq!(parsed["per_shard"][1]["reactor_wakes"].as_f64().unwrap(), 20.0);
         assert_eq!(parsed["per_shard"][0]["shed"].as_f64().unwrap(), 4.0);
+    }
+
+    /// The object's key sequence (payload schema, order-sensitive).
+    fn keys(v: &crate::json::Value) -> Vec<String> {
+        match v {
+            crate::json::Value::Obj(fields) => fields.iter().map(|(k, _)| k.clone()).collect(),
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    const SOLVER_KEYS: [&str; 7] = [
+        "plan_cache_hits",
+        "plan_cache_misses",
+        "plan_cache_evictions",
+        "lp_solves",
+        "lp_pivots",
+        "lp_warm_hits",
+        "lp_cold_fallbacks",
+    ];
+
+    #[test]
+    fn counters_schemas_agree_across_stacks() {
+        use covenant_enforce::ShardSnapshot;
+        let o = outcome();
+        let sim = keys(&sim_counters_json(&o.report));
+        let live = keys(&live_counters_json(&EnforcementCounters::default(), 0));
+        let sharded = keys(&live_counters_sharded_json(&[ShardSnapshot::default()]));
+        // The solver section appears verbatim — same keys, same order — in
+        // every stack's payload (single encoder, schemas cannot drift).
+        for stack in [&sim, &live, &sharded] {
+            let at = stack
+                .iter()
+                .position(|k| k == SOLVER_KEYS[0])
+                .expect("solver section present");
+            assert_eq!(&stack[at..at + SOLVER_KEYS.len()], &SOLVER_KEYS);
+        }
+        // The sharded payload is the live payload plus sharding extras.
+        assert_eq!(&sharded[..live.len()], &live[..]);
+        assert_eq!(&sharded[live.len()..], ["shards", "reactor_wakes", "batched_verdicts", "per_shard"]);
+        // Each wrapper still emits its exact legacy key set.
+        let mut want_live = vec!["admitted", "deferred", "parked"];
+        want_live.extend(SOLVER_KEYS);
+        want_live.push("shed");
+        assert_eq!(live, want_live);
+        let mut want_sim = vec!["events_processed", "peak_event_queue", "events_per_sec"];
+        want_sim.extend(SOLVER_KEYS);
+        want_sim.extend(["tree_messages", "pairwise_messages_equivalent", "dropped_server"]);
+        assert_eq!(sim, want_sim);
+    }
+
+    #[test]
+    fn sim_counters_gain_net_section_under_link_model() {
+        use covenant_sim::{LinkDiscipline, NetModelCfg};
+        let mut g = AgreementGraph::new();
+        let s = g.add_principal("S", 50.0);
+        let a = g.add_principal("A", 0.0);
+        g.add_agreement(s, a, 0.5, 1.0).unwrap();
+        let cfg = SimConfig::new(g, 5.0)
+            .client(ClientMachine::uniform(0, a, PhasedLoad::constant(30.0, 5.0)), 0)
+            .with_net(NetModelCfg::uniform(1, 1.0e6, LinkDiscipline::Fifo));
+        let report = Simulation::new(cfg).run();
+        let v = sim_counters_json(&report);
+        let parsed = crate::json::Value::parse(&v.to_pretty()).unwrap();
+        assert!(parsed["net_transfers"].as_f64().unwrap() > 0.0);
+        assert!(parsed["net_bytes"].as_f64().unwrap() > 0.0);
+        assert!(parsed["net_peak_concurrent"].as_usize().unwrap() >= 1);
+        assert!(parsed["net_mean_transfer_secs"].as_f64().unwrap() > 0.0);
+        // The net section slots in before `shed` would go, after the
+        // engine suffix — the no-net schema is untouched otherwise.
+        let ks = keys(&v);
+        let mut want = vec!["events_processed", "peak_event_queue", "events_per_sec"];
+        want.extend(SOLVER_KEYS);
+        want.extend(["tree_messages", "pairwise_messages_equivalent", "dropped_server"]);
+        want.extend(["net_transfers", "net_bytes", "net_peak_concurrent", "net_mean_transfer_secs"]);
+        assert_eq!(ks, want);
     }
 
     #[test]

@@ -154,6 +154,9 @@ pub enum SpecError {
     BadRedirector(usize),
     /// JSON parse or shape failure.
     Json(crate::json::JsonError),
+    /// A scenario-level constraint failed (timeline references, link
+    /// shape) while materializing a [`crate::scenario::ScenarioSpec`].
+    Scenario(String),
 }
 
 impl fmt::Display for SpecError {
@@ -164,6 +167,7 @@ impl fmt::Display for SpecError {
             SpecError::Tree(e) => write!(f, "invalid redirector tree: {e}"),
             SpecError::BadRedirector(i) => write!(f, "redirector index {i} out of range"),
             SpecError::Json(e) => write!(f, "invalid spec JSON: {e}"),
+            SpecError::Scenario(m) => write!(f, "invalid scenario: {m}"),
         }
     }
 }
@@ -255,39 +259,44 @@ impl DeploymentSpec {
     }
 }
 
-mod decode {
+pub(crate) mod decode {
     //! JSON → spec mapping (replaces the serde derive path so the
     //! workspace builds offline). Field defaults mirror the `#[serde]`
-    //! attributes on the spec types.
+    //! attributes on the spec types. `pub(crate)` so the scenario
+    //! superset decoder reuses the deployment mapping and helpers.
 
     use super::*;
     use crate::json::{JsonError, Value};
 
     pub fn deployment(text: &str) -> Result<DeploymentSpec, JsonError> {
         let v = Value::parse(text)?;
+        deployment_value(&v)
+    }
+
+    pub fn deployment_value(v: &Value) -> Result<DeploymentSpec, JsonError> {
         if !matches!(v, Value::Obj(_)) {
             return Err(JsonError::msg("spec must be a JSON object"));
         }
         Ok(DeploymentSpec {
-            principals: list(&v, "principals", principal)?,
-            agreements: list(&v, "agreements", agreement)?,
+            principals: list(v, "principals", principal)?,
+            agreements: list(v, "agreements", agreement)?,
             redirector_tree: match v.get("redirector_tree") {
                 None => default_tree(),
                 Some(t) => tree(t)?,
             },
-            tree_edge_delay: opt_f64(&v, "tree_edge_delay", 0.0)?,
-            extra_tree_lag: opt_f64(&v, "extra_tree_lag", 0.0)?,
+            tree_edge_delay: opt_f64(v, "tree_edge_delay", 0.0)?,
+            extra_tree_lag: opt_f64(v, "extra_tree_lag", 0.0)?,
             policy: match v.get("policy") {
                 None => PolicySpec::default(),
                 Some(p) => policy(p)?,
             },
-            window_secs: opt_f64(&v, "window_secs", default_window())?,
+            window_secs: opt_f64(v, "window_secs", default_window())?,
             queue_mode: match v.get("queue_mode") {
                 None => QueueModeSpec::default(),
                 Some(q) => queue_mode(q)?,
             },
-            clients: list(&v, "clients", client)?,
-            duration: req_f64(&v, "duration")?,
+            clients: list(v, "clients", client)?,
+            duration: req_f64(v, "duration")?,
             allow: match v.get("allow") {
                 None => Vec::new(),
                 Some(a) => str_array(a, "allow")?,
@@ -386,7 +395,7 @@ mod decode {
         })
     }
 
-    fn list<T>(
+    pub fn list<T>(
         v: &Value,
         key: &str,
         item: fn(&Value) -> Result<T, JsonError>,
@@ -399,7 +408,7 @@ mod decode {
             .collect()
     }
 
-    fn str_array(v: &Value, what: &str) -> Result<Vec<String>, JsonError> {
+    pub fn str_array(v: &Value, what: &str) -> Result<Vec<String>, JsonError> {
         v.as_array()
             .ok_or_else(|| JsonError::msg(format!("'{what}' must be an array of strings")))?
             .iter()
@@ -411,7 +420,7 @@ mod decode {
             .collect()
     }
 
-    fn f64_array(v: &Value, what: &str) -> Result<Vec<f64>, JsonError> {
+    pub fn f64_array(v: &Value, what: &str) -> Result<Vec<f64>, JsonError> {
         v.as_array()
             .ok_or_else(|| JsonError::msg(format!("{what} must be an array of numbers")))?
             .iter()
@@ -422,7 +431,7 @@ mod decode {
     /// Every scalar the spec carries is a duration, rate, capacity, or
     /// fraction — NaN, infinities, and negatives would flow straight into
     /// the scheduler's credit arithmetic, so they are rejected here.
-    fn finite_nonneg(x: f64, what: &str) -> Result<f64, JsonError> {
+    pub fn finite_nonneg(x: f64, what: &str) -> Result<f64, JsonError> {
         if x.is_finite() && x >= 0.0 {
             Ok(x)
         } else {
@@ -432,14 +441,14 @@ mod decode {
         }
     }
 
-    fn req_f64(v: &Value, key: &str) -> Result<f64, JsonError> {
+    pub fn req_f64(v: &Value, key: &str) -> Result<f64, JsonError> {
         v.get(key)
             .and_then(Value::as_f64)
             .ok_or_else(|| JsonError::msg(format!("'{key}' must be a number")))
             .and_then(|x| finite_nonneg(x, &format!("'{key}'")))
     }
 
-    fn opt_f64(v: &Value, key: &str, default: f64) -> Result<f64, JsonError> {
+    pub fn opt_f64(v: &Value, key: &str, default: f64) -> Result<f64, JsonError> {
         match v.get(key) {
             None => Ok(default),
             Some(n) => n
@@ -449,7 +458,7 @@ mod decode {
         }
     }
 
-    fn req_str(v: &Value, key: &str) -> Result<String, JsonError> {
+    pub fn req_str(v: &Value, key: &str) -> Result<String, JsonError> {
         v.get(key)
             .and_then(Value::as_str)
             .map(str::to_string)
@@ -457,7 +466,7 @@ mod decode {
     }
 }
 
-mod encode {
+pub(crate) mod encode {
     //! Spec → JSON mapping, shape-compatible with [`decode`].
 
     use super::*;

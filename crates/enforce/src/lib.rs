@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 mod boundary;
+mod counters;
 mod credit;
 mod enforcement;
 mod estimator;
@@ -32,6 +33,9 @@ mod reinject;
 mod shard;
 
 pub use boundary::next_aligned_boundary;
+pub use counters::{
+    AdmissionTotals, CountersReport, EngineTotals, NetTotals, ShardingTotals, SolverTotals,
+};
 pub use credit::{Admission, CreditGate};
 pub use enforcement::{
     ArrivalOutcome, CoordinationView, DelayedCoordination, EnforcementCore, EnforcementCounters,

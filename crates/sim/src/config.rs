@@ -58,6 +58,25 @@ pub struct CapacityChange {
     pub capacity: f64,
 }
 
+/// A scheduled mid-run agreement renegotiation: the `[lb, ub]` bounds of
+/// an existing issuer→holder agreement change at a window boundary and the
+/// graph re-flows (the same dynamic-reinterpretation hook capacity changes
+/// use, §2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgreementChange {
+    /// Simulation time at which the change takes effect (applied at the
+    /// next window boundary).
+    pub at: f64,
+    /// Issuer of the renegotiated agreement.
+    pub issuer: PrincipalId,
+    /// Holder of the renegotiated agreement.
+    pub holder: PrincipalId,
+    /// New mandatory fraction.
+    pub lb: f64,
+    /// New upper bound.
+    pub ub: f64,
+}
+
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -90,6 +109,8 @@ pub struct SimConfig {
     pub bucket_secs: f64,
     /// Mid-run capacity changes, applied at window boundaries.
     pub capacity_changes: Vec<CapacityChange>,
+    /// Mid-run agreement renegotiations, applied at window boundaries.
+    pub agreement_changes: Vec<AgreementChange>,
     /// Failure injection: at each `(time, redirector)` the redirector
     /// crashes and restarts with empty state — credits, demand estimates,
     /// parked queues, and its delayed view of the tree are all lost.
@@ -103,6 +124,10 @@ pub struct SimConfig {
     /// redirector→server), seconds. Deferred retries pay a full extra
     /// round trip on top of `retry_delay`.
     pub network_latency: f64,
+    /// Shared-rate reply-path links, one per redirector. `None` keeps the
+    /// degenerate fixed-delay model (replies land `2 × network_latency`
+    /// after server completion, no contention).
+    pub net: Option<crate::link::NetModelCfg>,
     /// Let redirectors memoize the last solved window (see
     /// `covenant_sched::SchedulerConfig::plan_cache`). On by default; turn
     /// off to force an LP solve every window (plans are identical either
@@ -134,9 +159,11 @@ impl SimConfig {
             conservative_fraction: 0.5,
             bucket_secs: 1.0,
             capacity_changes: Vec::new(),
+            agreement_changes: Vec::new(),
             redirector_restarts: Vec::new(),
             redirector_locality: None,
             network_latency: 0.0,
+            net: None,
             plan_cache: true,
             record_decisions: false,
         }
@@ -199,6 +226,26 @@ impl SimConfig {
     /// Schedules a mid-run capacity change.
     pub fn with_capacity_change(mut self, at: f64, principal: PrincipalId, capacity: f64) -> Self {
         self.capacity_changes.push(CapacityChange { at, principal, capacity });
+        self
+    }
+
+    /// Schedules a mid-run agreement renegotiation.
+    pub fn with_agreement_change(
+        mut self,
+        at: f64,
+        issuer: PrincipalId,
+        holder: PrincipalId,
+        lb: f64,
+        ub: f64,
+    ) -> Self {
+        self.agreement_changes.push(AgreementChange { at, issuer, holder, lb, ub });
+        self
+    }
+
+    /// Installs the shared-rate reply-path network model.
+    pub fn with_net(mut self, net: crate::link::NetModelCfg) -> Self {
+        assert_eq!(net.links.len(), self.n_redirectors(), "one link per redirector");
+        self.net = Some(net);
         self
     }
 

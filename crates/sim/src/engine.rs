@@ -23,6 +23,7 @@
 
 use crate::config::{QueueMode, RequestCost, SimConfig};
 use crate::events::{Event, EventQueue};
+use crate::link::{Link, LinkStart};
 use crate::metrics::{RateSeries, ResponseStats};
 use crate::redirector::{ArrivalOutcome, SimRedirector};
 use crate::server::{Accept, Server};
@@ -41,6 +42,9 @@ use std::time::Instant;
 struct RequestMeta {
     client: usize,
     first_arrival: f64,
+    /// Reply bytes this request puts on its redirector's link (only read
+    /// under a network model; 0.0 otherwise).
+    bytes: f64,
 }
 
 /// Dense free-list slab for in-flight request metadata.
@@ -77,6 +81,10 @@ impl MetaSlab {
             self.free.push(slot);
         }
         meta
+    }
+
+    fn get(&self, id: u64) -> Option<RequestMeta> {
+        self.slots.get(id as usize).copied().flatten()
     }
 }
 
@@ -121,13 +129,17 @@ impl ClientGen {
         }
         match self.stream.next() {
             Some(a) if a.time <= duration => {
-                let cost = match &self.cost {
-                    RequestCost::Unit => 1.0,
-                    RequestCost::Fixed(x) => *x,
+                // Sized clients carry their sampled reply bytes so the
+                // link model transfers the exact 200 B–500 KB draw, not
+                // the unit-floored cost; other cost models leave 0.0 and
+                // the engine derives bytes from cost × unit_bytes.
+                let (cost, bytes) = match &self.cost {
+                    RequestCost::Unit => (1.0, 0.0),
+                    RequestCost::Fixed(x) => (*x, 0.0),
                     RequestCost::SizeDistributed { sizes, mean_bytes, .. } => {
                         let rng = self.size_rng.as_mut().expect("rng for sized client");
                         let bytes = sizes.sample(rng);
-                        sizes.cost_units(bytes, *mean_bytes)
+                        (sizes.cost_units(bytes, *mean_bytes), bytes as f64)
                     }
                 };
                 // The id is assigned from the slab when the event pops.
@@ -144,7 +156,13 @@ impl ClientGen {
                     a.time + latency,
                     ci,
                     index,
-                    Event::Arrival { request: req, redirector: self.redirector, client: ci, retries: 0 },
+                    Event::Arrival {
+                        request: req,
+                        redirector: self.redirector,
+                        client: ci,
+                        retries: 0,
+                        bytes,
+                    },
                 );
             }
             _ => self.done = true,
@@ -216,6 +234,13 @@ pub struct SimReport {
     /// Windows the warm solver restarted cold or handed to the dense
     /// tableau, summed over all redirectors.
     pub lp_cold_fallbacks: u64,
+    /// Per-link reply transfer-time statistics (seconds a reply spent
+    /// crossing its redirector's link). Empty without a network model.
+    pub transfer: Vec<ResponseStats>,
+    /// Total reply bytes each link carried. Empty without a network model.
+    pub link_bytes: Vec<f64>,
+    /// Peak concurrent transfers per link. Empty without a network model.
+    pub link_active_peak: Vec<usize>,
     /// Discrete events the engine processed (arrivals, ticks, completions,
     /// retries) — identical for both execution paths.
     pub events_processed: u64,
@@ -264,6 +289,9 @@ impl SimReport {
             && self.pairwise_messages_equivalent == other.pairwise_messages_equivalent
             && self.plan_cache_hits == other.plan_cache_hits
             && self.plan_cache_misses == other.plan_cache_misses
+            && self.transfer == other.transfer
+            && self.link_bytes == other.link_bytes
+            && self.link_active_peak == other.link_active_peak
             && self.events_processed == other.events_processed
             && self.decisions == other.decisions
     }
@@ -284,6 +312,18 @@ struct RunState {
     /// Redirector restarts sorted by time; consumed via `restart_cursor`.
     restarts: Vec<(f64, usize)>,
     restart_cursor: usize,
+    /// Agreement renegotiations sorted by time; consumed via `agmt_cursor`.
+    agmt_changes: Vec<crate::config::AgreementChange>,
+    agmt_cursor: usize,
+    /// Reply-path links, one per redirector; empty without a net model.
+    links: Vec<Link>,
+    /// Bytes one cost unit puts on a link when the request carries no
+    /// sampled size.
+    unit_bytes: f64,
+    /// Per-link transfer-time stats.
+    transfer: Vec<ResponseStats>,
+    /// Reused fair-share delivery buffer.
+    wake_buf: Vec<(Request, f64)>,
     live_graph: covenant_agreements::AgreementGraph,
     rates: RateSeries,
     response: Vec<ResponseStats>,
@@ -350,6 +390,18 @@ impl Simulation {
         changes.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
         let mut restarts = cfg.redirector_restarts.clone();
         restarts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        let mut agmt_changes = cfg.agreement_changes.clone();
+        agmt_changes.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
+
+        let (links, unit_bytes) = match &cfg.net {
+            Some(net) => {
+                assert_eq!(net.links.len(), n_redirectors, "one link per redirector");
+                assert!(net.unit_bytes.is_finite() && net.unit_bytes > 0.0);
+                (net.links.iter().map(Link::new).collect(), net.unit_bytes)
+            }
+            None => (Vec::new(), 0.0),
+        };
+        let n_links = links.len();
 
         // A self-redirect costs the client one full round trip on top of
         // its think/retry delay.
@@ -365,6 +417,12 @@ impl Simulation {
             change_cursor: 0,
             restarts,
             restart_cursor: 0,
+            agmt_changes,
+            agmt_cursor: 0,
+            links,
+            unit_bytes,
+            transfer: vec![ResponseStats::default(); n_links],
+            wake_buf: Vec::new(),
             live_graph: cfg.graph.clone(),
             rates: RateSeries::new(n, cfg.bucket_secs),
             response: vec![ResponseStats::default(); n],
@@ -396,6 +454,16 @@ impl Simulation {
                 .set_capacity(c.principal, c.capacity)
                 .expect("valid capacity change");
             st.servers[c.principal.0].set_capacity(c.capacity);
+            changed = true;
+        }
+        // Agreement renegotiations ride the same dynamic-reinterpretation
+        // hook: rewrite the live graph's bounds, then re-flow once below.
+        while st.agmt_cursor < st.agmt_changes.len() && st.agmt_changes[st.agmt_cursor].at <= now {
+            let c = &st.agmt_changes[st.agmt_cursor];
+            st.agmt_cursor += 1;
+            st.live_graph
+                .set_agreement(c.issuer, c.holder, c.lb, c.ub)
+                .expect("valid agreement renegotiation");
             changed = true;
         }
         if changed {
@@ -452,6 +520,9 @@ impl Simulation {
             lp_pivots: st.redirectors.iter().map(|r| r.lp_stats().1).sum(),
             lp_warm_hits: st.redirectors.iter().map(|r| r.warm_stats().0).sum(),
             lp_cold_fallbacks: st.redirectors.iter().map(|r| r.warm_stats().1).sum(),
+            transfer: st.transfer,
+            link_bytes: st.links.iter().map(|l| l.bytes).collect(),
+            link_active_peak: st.links.iter().map(|l| l.active_peak).collect(),
             events_processed,
             peak_event_queue,
             wall_secs,
@@ -501,7 +572,7 @@ impl Simulation {
             }
             events_processed += 1;
             match event {
-                Event::Arrival { mut request, redirector, client, retries } => {
+                Event::Arrival { mut request, redirector, client, retries, bytes } => {
                     if retries == 0 {
                         // This client's next arrival takes the vacated
                         // pending slot (before any early-out below).
@@ -520,9 +591,13 @@ impl Simulation {
                         }
                         st.offered[request.principal.0] += 1;
                         st.outstanding[client] += 1;
-                        request.id = RequestId(
-                            meta.insert(RequestMeta { client, first_arrival: request.arrival }),
-                        );
+                        let bytes =
+                            if bytes > 0.0 { bytes } else { request.cost * st.unit_bytes };
+                        request.id = RequestId(meta.insert(RequestMeta {
+                            client,
+                            first_arrival: request.arrival,
+                            bytes,
+                        }));
                     }
                     let outcome = st.redirectors[redirector].on_arrival(request);
                     if let Some(trace) = st.decisions.as_mut() {
@@ -560,6 +635,7 @@ impl Simulation {
                                         redirector,
                                         client,
                                         retries: retries + 1,
+                                        bytes,
                                     },
                                 );
                             } else {
@@ -613,11 +689,50 @@ impl Simulation {
                 Event::Completion { server } => {
                     let req = st.servers[server].complete();
                     st.rates.record(req.principal, now, req.cost);
-                    if let Some(m) = meta.remove(req.id.0) {
-                        // The response crosses two hops back to the client.
-                        st.response[req.principal.0].record(now + 2.0 * st.hop - m.first_arrival);
+                    if st.links.is_empty() {
+                        if let Some(m) = meta.remove(req.id.0) {
+                            // The response crosses two hops back to the client.
+                            st.response[req.principal.0]
+                                .record(now + 2.0 * st.hop - m.first_arrival);
+                            st.outstanding[m.client] = st.outstanding[m.client].saturating_sub(1);
+                        }
+                    } else if let Some(m) = meta.get(req.id.0) {
+                        // The reply now contends for the client's
+                        // redirector link; metadata is retained until the
+                        // transfer delivers.
+                        let link = cfg.clients[m.client].redirector;
+                        match st.links[link].start(now, m.bytes, req) {
+                            LinkStart::Deliver(at) => events
+                                .push(at, Event::ReplyDelivered { request: req, link, entered: now }),
+                            LinkStart::Wake(at, version) => {
+                                events.push(at, Event::LinkWake { link, version });
+                            }
+                        }
+                    }
+                }
+                Event::ReplyDelivered { request, link, entered } => {
+                    st.transfer[link].record(now - entered);
+                    st.links[link].note_delivered();
+                    if let Some(m) = meta.remove(request.id.0) {
+                        st.response[request.principal.0]
+                            .record(now + 2.0 * st.hop - m.first_arrival);
                         st.outstanding[m.client] = st.outstanding[m.client].saturating_sub(1);
                     }
+                }
+                Event::LinkWake { link, version } => {
+                    let mut buf = std::mem::take(&mut st.wake_buf);
+                    if let Some((at, v)) = st.links[link].on_wake(now, version, &mut buf) {
+                        events.push(at, Event::LinkWake { link, version: v });
+                    }
+                    for (req, entered) in buf.drain(..) {
+                        st.transfer[link].record(now - entered);
+                        if let Some(m) = meta.remove(req.id.0) {
+                            st.response[req.principal.0]
+                                .record(now + 2.0 * st.hop - m.first_arrival);
+                            st.outstanding[m.client] = st.outstanding[m.client].saturating_sub(1);
+                        }
+                    }
+                    st.wake_buf = buf;
                 }
             }
         }
@@ -669,13 +784,13 @@ impl Simulation {
                 if a.time > cfg.duration {
                     continue;
                 }
-                let cost = match &c.cost {
-                    RequestCost::Unit => 1.0,
-                    RequestCost::Fixed(x) => *x,
+                let (cost, bytes) = match &c.cost {
+                    RequestCost::Unit => (1.0, 0.0),
+                    RequestCost::Fixed(x) => (*x, 0.0),
                     RequestCost::SizeDistributed { sizes, mean_bytes, .. } => {
                         let rng = size_rng.as_mut().expect("rng for sized client");
                         let bytes = sizes.sample(rng);
-                        sizes.cost_units(bytes, *mean_bytes)
+                        (sizes.cost_units(bytes, *mean_bytes), bytes as f64)
                     }
                 };
                 let req =
@@ -683,7 +798,13 @@ impl Simulation {
                 next_id += 1;
                 events.push(
                     a.time + cfg.network_latency,
-                    Event::Arrival { request: req, redirector: c.redirector, client: ci, retries: 0 },
+                    Event::Arrival {
+                        request: req,
+                        redirector: c.redirector,
+                        client: ci,
+                        retries: 0,
+                        bytes,
+                    },
                 );
             }
         }
@@ -697,7 +818,7 @@ impl Simulation {
             }
             events_processed += 1;
             match event {
-                Event::Arrival { request, redirector, client, retries } => {
+                Event::Arrival { request, redirector, client, retries, bytes } => {
                     if retries == 0 {
                         if let Some(limit) = st.client_limit[client] {
                             if st.outstanding[client] >= limit {
@@ -707,9 +828,11 @@ impl Simulation {
                         }
                         st.offered[request.principal.0] += 1;
                         st.outstanding[client] += 1;
+                        let bytes =
+                            if bytes > 0.0 { bytes } else { request.cost * st.unit_bytes };
                         meta.insert(
                             request.id.0,
-                            RequestMeta { client, first_arrival: request.arrival },
+                            RequestMeta { client, first_arrival: request.arrival, bytes },
                         );
                     }
                     let outcome = st.redirectors[redirector].on_arrival(request);
@@ -748,6 +871,7 @@ impl Simulation {
                                         redirector,
                                         client,
                                         retries: retries + 1,
+                                        bytes,
                                     },
                                 );
                             } else {
@@ -795,9 +919,44 @@ impl Simulation {
                 Event::Completion { server } => {
                     let req = st.servers[server].complete();
                     st.rates.record(req.principal, now, req.cost);
-                    if let Some(m) = meta.remove(&req.id.0) {
-                        st.response[req.principal.0].record(now + 2.0 * st.hop - m.first_arrival);
+                    if st.links.is_empty() {
+                        if let Some(m) = meta.remove(&req.id.0) {
+                            st.response[req.principal.0]
+                                .record(now + 2.0 * st.hop - m.first_arrival);
+                            st.outstanding[m.client] = st.outstanding[m.client].saturating_sub(1);
+                        }
+                    } else if let Some(m) = meta.get(&req.id.0).copied() {
+                        let link = cfg.clients[m.client].redirector;
+                        match st.links[link].start(now, m.bytes, req) {
+                            LinkStart::Deliver(at) => events
+                                .push(at, Event::ReplyDelivered { request: req, link, entered: now }),
+                            LinkStart::Wake(at, version) => {
+                                events.push(at, Event::LinkWake { link, version });
+                            }
+                        }
+                    }
+                }
+                Event::ReplyDelivered { request, link, entered } => {
+                    st.transfer[link].record(now - entered);
+                    st.links[link].note_delivered();
+                    if let Some(m) = meta.remove(&request.id.0) {
+                        st.response[request.principal.0]
+                            .record(now + 2.0 * st.hop - m.first_arrival);
                         st.outstanding[m.client] = st.outstanding[m.client].saturating_sub(1);
+                    }
+                }
+                Event::LinkWake { link, version } => {
+                    let mut buf = Vec::new();
+                    if let Some((at, v)) = st.links[link].on_wake(now, version, &mut buf) {
+                        events.push(at, Event::LinkWake { link, version: v });
+                    }
+                    for (req, entered) in buf {
+                        st.transfer[link].record(now - entered);
+                        if let Some(m) = meta.remove(&req.id.0) {
+                            st.response[req.principal.0]
+                                .record(now + 2.0 * st.hop - m.first_arrival);
+                            st.outstanding[m.client] = st.outstanding[m.client].saturating_sub(1);
+                        }
                     }
                 }
             }
@@ -1211,6 +1370,180 @@ mod tests {
         assert!(
             report.peak_event_queue < 32,
             "peak queue {} not bounded by concurrency",
+            report.peak_event_queue
+        );
+    }
+
+    /// A congested FIFO bottleneck queues replies: transfer times blow up
+    /// relative to an uncongested link carrying the same traffic.
+    #[test]
+    fn link_congestion_raises_transfer_times() {
+        use crate::link::{LinkDiscipline, NetModelCfg};
+        let run = |rate: f64| {
+            let a = PrincipalId(1);
+            let cfg = SimConfig::new(small_system(), 20.0)
+                .client(ClientMachine::uniform(0, a, PhasedLoad::constant(50.0, 20.0)), 0)
+                .with_net(NetModelCfg::uniform(1, rate, LinkDiscipline::Fifo));
+            Simulation::new(cfg).run()
+        };
+        // 50 req/s × 6144 B = 307 KB/s of reply traffic.
+        let fast = run(2.0e6); // 15% utilized: no queueing
+        let slow = run(3.4e5); // 90% utilized: heavy queueing
+        let fast_mean = fast.transfer[0].mean().expect("transfers recorded");
+        let slow_mean = slow.transfer[0].mean().expect("transfers recorded");
+        assert!(fast_mean < 0.01, "uncongested transfer {fast_mean}");
+        assert!(
+            slow_mean > 3.0 * fast_mean,
+            "congestion not visible: {fast_mean} vs {slow_mean}"
+        );
+        // Throughput in requests is unaffected (the link delays replies,
+        // it does not drop them).
+        assert_eq!(fast.completed(1), slow.completed(1));
+        assert!(slow.link_bytes[0] > 5.0e6, "bytes {}", slow.link_bytes[0]);
+    }
+
+    /// With rate → ∞ the link model degenerates to the fixed-delay path:
+    /// same rates, (near-)same response times.
+    #[test]
+    fn infinite_rate_link_degenerates_to_fixed_delay() {
+        use crate::link::{LinkDiscipline, NetModelCfg};
+        let a = PrincipalId(1);
+        let mk = || {
+            SimConfig::new(small_system(), 20.0)
+                .with_network_latency(0.01)
+                .client(ClientMachine::uniform(0, a, PhasedLoad::constant(60.0, 20.0)), 0)
+        };
+        let fixed = Simulation::new(mk()).run();
+        for disc in [LinkDiscipline::Fifo, LinkDiscipline::FairShare] {
+            let netted =
+                Simulation::new(mk().with_net(NetModelCfg::uniform(1, 1.0e12, disc))).run();
+            assert_eq!(fixed.completed(1), netted.completed(1));
+            let r0 = fixed.response[1].mean().unwrap();
+            let r1 = netted.response[1].mean().unwrap();
+            assert!((r0 - r1).abs() < 1e-4, "{disc:?}: {r0} vs {r1}");
+        }
+    }
+
+    /// Under a shared fair-share bottleneck, small replies are not stuck
+    /// behind queued elephants: their transfer times stay below FIFO's for
+    /// the same heavy-tailed traffic.
+    #[test]
+    fn fair_share_shields_small_transfers() {
+        use crate::link::{LinkDiscipline, NetModelCfg};
+        let a = PrincipalId(1);
+        let run = |disc: LinkDiscipline| {
+            let cfg = SimConfig::new(small_system(), 30.0)
+                .sized_client(
+                    ClientMachine::uniform(0, a, PhasedLoad::constant(40.0, 30.0)),
+                    0,
+                    covenant_workload::ReplySizes::default(),
+                    6144.0,
+                    11,
+                )
+                .with_net(NetModelCfg::uniform(1, 3.5e5, disc));
+            Simulation::new(cfg).run()
+        };
+        let fifo = run(LinkDiscipline::Fifo);
+        let fair = run(LinkDiscipline::FairShare);
+        // Same byte volume crossed the same-rate link either way (the
+        // delivery count may differ by a few in-flight tails at cutoff).
+        assert!((fifo.link_bytes[0] - fair.link_bytes[0]).abs() < 1.0);
+        assert!(fifo.transfer[0].count.abs_diff(fair.transfer[0].count) < 10);
+        // Heavy-tailed sizes punish FIFO (every reply waits behind queued
+        // elephants, mean wait ∝ E[S²]); processor sharing is insensitive
+        // to the size distribution, so its mean sojourn stays lower.
+        let fifo_mean = fifo.transfer[0].mean().expect("transfers");
+        let fair_mean = fair.transfer[0].mean().expect("transfers");
+        assert!(
+            fifo_mean > fair_mean,
+            "PS should beat FIFO on heavy tails: {fifo_mean} vs {fair_mean}"
+        );
+        // The elephants themselves drain slower under PS than FIFO.
+        assert!(fair.transfer[0].max >= fifo.transfer[0].max * 0.5);
+    }
+
+    /// A mid-run renegotiation re-flows the agreement graph: shrinking B's
+    /// mandatory share hands the freed capacity to the optional pool.
+    #[test]
+    fn agreement_renegotiation_reflows_midrun() {
+        let a = PrincipalId(1);
+        let b = PrincipalId(2);
+        let cfg = SimConfig::new(small_system(), 40.0)
+            .client(ClientMachine::uniform(0, a, PhasedLoad::constant(200.0, 40.0)), 0)
+            .client(ClientMachine::uniform(1, b, PhasedLoad::constant(200.0, 40.0)), 0)
+            .with_agreement_change(20.0, PrincipalId(0), b, 0.2, 1.0);
+        let report = Simulation::new(cfg).run();
+        // Before: B's mandatory 80 dominates. After [0.8,1] → [0.2,1]:
+        // mandatory floors are 20/20 and the 60-unit leftover splits
+        // θ-fair, so both settle near 50.
+        let b_before = report.rates.mean_rate_secs(b, 8.0, 19.0);
+        let b_after = report.rates.mean_rate_secs(b, 25.0, 39.0);
+        let a_after = report.rates.mean_rate_secs(a, 25.0, 39.0);
+        assert!((b_before - 80.0).abs() < 8.0, "before {b_before}");
+        assert!(b_after < 62.0, "B kept its old share: {b_after}");
+        assert!(a_after > 38.0, "A never gained: {a_after}");
+    }
+
+    /// Streaming/reference agreement holds with the full network model in
+    /// play: mixed disciplines, sized clients, a renegotiation, retries.
+    #[test]
+    fn streaming_matches_reference_with_net() {
+        use crate::link::{LinkCfg, LinkDiscipline, NetModelCfg};
+        let a = PrincipalId(1);
+        let b = PrincipalId(2);
+        let mk = || {
+            SimConfig::new(small_system(), 25.0)
+                .with_tree(Topology::star(2, 0.0), 0.0)
+                .with_network_latency(0.005)
+                .client(ClientMachine::uniform(0, a, PhasedLoad::constant(140.0, 25.0)), 0)
+                .sized_client(
+                    ClientMachine::uniform(1, b, PhasedLoad::constant(120.0, 25.0)),
+                    1,
+                    covenant_workload::ReplySizes::default(),
+                    6144.0,
+                    13,
+                )
+                .with_agreement_change(12.0, PrincipalId(0), b, 0.4, 1.0)
+                .with_net(NetModelCfg {
+                    links: vec![
+                        LinkCfg { rate_bytes_per_sec: 4.0e5, discipline: LinkDiscipline::Fifo },
+                        LinkCfg {
+                            rate_bytes_per_sec: 4.0e5,
+                            discipline: LinkDiscipline::FairShare,
+                        },
+                    ],
+                    unit_bytes: 6144.0,
+                })
+        };
+        let streamed = Simulation::new(mk()).run();
+        let reference = Simulation::new(mk()).run_reference();
+        assert!(
+            streamed.outcome_eq(&reference),
+            "streamed {streamed:?}\nreference {reference:?}"
+        );
+        assert!(streamed.transfer[0].count > 100, "fifo transfers");
+        assert!(streamed.transfer[1].count > 100, "fair-share transfers");
+    }
+
+    /// The streaming heap stays bounded by concurrency under a congested
+    /// fair-share bottleneck (wake events are version-guarded, not
+    /// accumulated).
+    #[test]
+    fn bottleneck_keeps_event_queue_bounded() {
+        use crate::link::{LinkDiscipline, NetModelCfg};
+        let a = PrincipalId(1);
+        let cfg = SimConfig::new(small_system(), 20.0)
+            .closed_loop_client(
+                ClientMachine::uniform(0, a, PhasedLoad::constant(400.0, 20.0)),
+                0,
+                8,
+            )
+            .with_net(NetModelCfg::uniform(1, 3.0e5, LinkDiscipline::FairShare));
+        let report = Simulation::new(cfg).run();
+        assert!(report.events_processed > 3_000, "events {}", report.events_processed);
+        assert!(
+            report.peak_event_queue < 64,
+            "peak queue {} not bounded under the bottleneck",
             report.peak_event_queue
         );
     }

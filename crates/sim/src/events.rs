@@ -35,6 +35,10 @@ pub enum Event {
         client: usize,
         /// How many times this request has been retried already.
         retries: u32,
+        /// Reply bytes this request will put on the link (0.0 = derive
+        /// from cost × the net model's `unit_bytes`; only read under a
+        /// network model).
+        bytes: f64,
     },
     /// A redirector's scheduling window rolls over.
     WindowTick {
@@ -45,6 +49,25 @@ pub enum Event {
     Completion {
         /// Server index (principal id of the owner).
         server: usize,
+    },
+    /// A FIFO link finished transferring one reply (scheduled the moment
+    /// the transfer started — FIFO completion times never move).
+    ReplyDelivered {
+        /// The request whose reply landed.
+        request: Request,
+        /// The link it crossed.
+        link: usize,
+        /// When the transfer entered the link (for transfer-time stats).
+        entered: f64,
+    },
+    /// A fair-share link's earliest departure may be due. Carries the link
+    /// state version it was scheduled against; the link ignores stale
+    /// versions (a newer arrival or departure re-scheduled the wake).
+    LinkWake {
+        /// The link to wake.
+        link: usize,
+        /// State version at scheduling time.
+        version: u64,
     },
 }
 
@@ -204,6 +227,7 @@ mod tests {
                 redirector: 0,
                 client: 2,
                 retries: 0,
+                bytes: 0.0,
             },
         );
         q.push_tick(1.0, 5, Event::WindowTick { redirector: 0 });
@@ -216,6 +240,7 @@ mod tests {
                 redirector: 0,
                 client: 1,
                 retries: 0,
+                bytes: 0.0,
             },
         );
         let order: Vec<&'static str> = std::iter::from_fn(|| q.pop())
@@ -223,7 +248,7 @@ mod tests {
                 Event::WindowTick { .. } => "tick",
                 Event::Arrival { client: 1, .. } => "arrival-c1",
                 Event::Arrival { .. } => "arrival-c2",
-                Event::Completion { .. } => "runtime",
+                _ => "runtime",
             })
             .collect();
         assert_eq!(order, vec!["tick", "arrival-c1", "arrival-c2", "runtime"]);

@@ -30,13 +30,15 @@
 mod config;
 mod engine;
 pub mod events;
+mod link;
 mod metrics;
 mod redirector;
 mod server;
 
-pub use config::{CapacityChange, QueueMode, RequestCost, SimClient, SimConfig};
+pub use config::{AgreementChange, CapacityChange, QueueMode, RequestCost, SimClient, SimConfig};
 pub use events::{Event, EventQueue};
 pub use engine::{ArrivalDecision, SimReport, Simulation};
+pub use link::{LinkCfg, LinkDiscipline, NetModelCfg};
 pub use metrics::{RateSeries, ResponseStats};
 pub use redirector::{ArrivalOutcome, SimRedirector};
 pub use server::Server;

@@ -92,7 +92,13 @@ proptest! {
                 t as f64,
                 client as usize,
                 i as u64,
-                Event::Arrival { request: req, redirector: 0, client: client as usize, retries: 0 },
+                Event::Arrival {
+                    request: req,
+                    redirector: 0,
+                    client: client as usize,
+                    retries: 0,
+                    bytes: 0.0,
+                },
             );
         }
         for &t in &runtime {
@@ -104,7 +110,7 @@ proptest! {
             let class = match e {
                 Event::WindowTick { .. } => 0,
                 Event::Arrival { .. } => 1,
-                Event::Completion { .. } => 2,
+                _ => 2,
             };
             popped.push((time, class));
         }

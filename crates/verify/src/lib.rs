@@ -36,6 +36,16 @@
 //!   principal (max over phases, summed across its clients) fits the
 //!   principal's entitled mandatory + optional share; excess is legal but
 //!   will be deferred or dropped.
+//! - **V8 `link-sanity`** — a scenario's `net` section declares exactly
+//!   one link per redirector, every rate is finite and positive, and the
+//!   byte scale and hop latency are sane.
+//! - **V9 `timeline-order`** — scenario timeline events are sorted by
+//!   time (non-decreasing `at`) and none is scheduled past the run's
+//!   duration (it would never fire).
+//! - **V10 `renegotiation`** — every `renegotiate` timeline event targets
+//!   a declared agreement, and replaying the renegotiations in order
+//!   leaves an agreement set that still passes the V2 bounds and V3
+//!   direct-solvency contracts.
 //!
 //! Suppress a rule for one spec by listing its code in the spec's
 //! `"allow"` field. Findings are structural ([`Finding`], a JSON path
@@ -51,6 +61,7 @@ mod rules;
 pub use covenant_lint::{to_json, Diag, RuleMeta, Severity};
 
 use covenant_core::json::Spanned;
+use covenant_core::scenario::ScenarioSpec;
 use covenant_core::spec::DeploymentSpec;
 use covenant_core::SpecError;
 use std::fmt;
@@ -72,11 +83,18 @@ pub enum VRule {
     PolicyShape,
     /// V7: worst-case client load vs entitled share.
     Load,
+    /// V8: scenario link sanity (count vs tree, positive finite rates).
+    LinkSanity,
+    /// V9: scenario timeline ordering (events non-decreasing in time,
+    /// within the run).
+    TimelineOrder,
+    /// V10: renegotiated agreements re-pass the V2/V3 contracts.
+    Renegotiation,
 }
 
 impl VRule {
     /// All rules.
-    pub const ALL: [VRule; 7] = [
+    pub const ALL: [VRule; 10] = [
         VRule::References,
         VRule::Agreements,
         VRule::Solvency,
@@ -84,6 +102,9 @@ impl VRule {
         VRule::Timing,
         VRule::PolicyShape,
         VRule::Load,
+        VRule::LinkSanity,
+        VRule::TimelineOrder,
+        VRule::Renegotiation,
     ];
 }
 
@@ -97,6 +118,9 @@ impl RuleMeta for VRule {
             VRule::Timing => "V5",
             VRule::PolicyShape => "V6",
             VRule::Load => "V7",
+            VRule::LinkSanity => "V8",
+            VRule::TimelineOrder => "V9",
+            VRule::Renegotiation => "V10",
         }
     }
 
@@ -122,6 +146,9 @@ impl RuleMeta for VRule {
             VRule::Timing => "timing sanity: tree well-formedness and staleness vs the window",
             VRule::PolicyShape => "policy caps/prices vector shape vs the principal list",
             VRule::Load => "worst-case client demand vs entitled mandatory+optional share",
+            VRule::LinkSanity => "scenario link sanity: one positive finite rate per redirector",
+            VRule::TimelineOrder => "scenario timeline ordering: events sorted by time, within the run",
+            VRule::Renegotiation => "renegotiated agreements re-pass bounds and solvency (V2/V3)",
         }
     }
 }
@@ -200,6 +227,14 @@ pub fn verify_spec(spec: &DeploymentSpec) -> Vec<Finding> {
     rules::run(spec)
 }
 
+/// Statically verifies a scenario: the embedded deployment's rules
+/// (V1–V7) plus the scenario rules (V8 link sanity, V9 timeline order,
+/// V10 renegotiation contracts). The deployment's `allow` list suppresses
+/// scenario rules too.
+pub fn verify_scenario(spec: &ScenarioSpec) -> Vec<Finding> {
+    rules::run_scenario(spec)
+}
+
 /// Positions structural findings against the spanned parse of the source
 /// text. Without a source (`None` — the spec was built in Rust), the
 /// diagnostics carry line 0 / col 0 and lean on the JSON path embedded in
@@ -238,14 +273,15 @@ fn locate(root: &Spanned, steps: &[Step]) -> (u32, u32) {
     at.pos()
 }
 
-/// The full `covenant check` pipeline: positioned parse, spec decode,
-/// verification, and position resolution. `label` is the path printed in
-/// diagnostics. Parse and decode failures are themselves load-time
+/// The full `covenant check` pipeline: positioned parse, scenario decode
+/// (plain deployment specs are scenarios with no extras), verification of
+/// all rules V1–V10, and position resolution. `label` is the path printed
+/// in diagnostics. Parse and decode failures are themselves load-time
 /// errors and surface as `Err`.
 pub fn check_text(label: &str, text: &str) -> Result<Vec<Diagnostic>, SpecError> {
     let spanned = Spanned::parse(text).map_err(SpecError::Json)?;
-    let spec = DeploymentSpec::from_json(text)?;
-    let findings = verify_spec(&spec);
+    let spec = ScenarioSpec::from_json(text)?;
+    let findings = verify_scenario(&spec);
     Ok(resolve(&findings, Some(&spanned), label))
 }
 

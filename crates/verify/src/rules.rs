@@ -8,6 +8,7 @@
 
 use crate::{Finding, RuleMeta, Step, VRule};
 use covenant_agreements::{AgreementGraph, PrincipalId};
+use covenant_core::scenario::{ScenarioSpec, TimelineEvent};
 use covenant_core::spec::{DeploymentSpec, PolicySpec};
 use Step::{Index, Key};
 
@@ -21,6 +22,21 @@ const MAX_CYCLES: usize = 16;
 const MAX_CYCLE_STEPS: usize = 100_000;
 
 pub(crate) fn run(spec: &DeploymentSpec) -> Vec<Finding> {
+    let mut out = run_unfiltered(spec);
+    filter_allowed(spec, &mut out);
+    out
+}
+
+pub(crate) fn run_scenario(sc: &ScenarioSpec) -> Vec<Finding> {
+    let mut out = run_unfiltered(&sc.deployment);
+    link_sanity(sc, &mut out);
+    timeline_order(sc, &mut out);
+    renegotiation(sc, &mut out);
+    filter_allowed(&sc.deployment, &mut out);
+    out
+}
+
+fn run_unfiltered(spec: &DeploymentSpec) -> Vec<Finding> {
     let mut out = Vec::new();
     references(spec, &mut out);
     agreement_sanity(spec, &mut out);
@@ -33,10 +49,13 @@ pub(crate) fn run(spec: &DeploymentSpec) -> Vec<Finding> {
         cycles(spec, &mut out);
         load(spec, &graph, &mut out);
     }
+    out
+}
+
+fn filter_allowed(spec: &DeploymentSpec, out: &mut Vec<Finding>) {
     let allowed =
         |code: &str| spec.allow.iter().any(|a| a.trim().eq_ignore_ascii_case(code));
     out.retain(|f| !allowed(f.rule.code()));
-    out
 }
 
 fn push(out: &mut Vec<Finding>, rule: VRule, at: Vec<Step>, message: String) {
@@ -102,7 +121,7 @@ fn references(spec: &DeploymentSpec, out: &mut Vec<Finding>) {
                 out,
                 VRule::References,
                 vec![Key("allow"), Index(i)],
-                format!("unknown rule code '{code}' in allow list (rules are V1..V7)"),
+                format!("unknown rule code '{code}' in allow list (rules are V1..V10)"),
             );
         }
     }
@@ -529,6 +548,159 @@ fn cycles(spec: &DeploymentSpec, out: &mut Vec<Finding>) {
             vec![Key("agreements")],
             format!("cycle report truncated after {MAX_CYCLES} cycles; the graph is densely cyclic"),
         );
+    }
+}
+
+/// V8 — scenario link sanity: one link per redirector, every rate finite
+/// and positive, byte scale positive, hop latency finite and non-negative.
+fn link_sanity(sc: &ScenarioSpec, out: &mut Vec<Finding>) {
+    let Some(net) = &sc.net else { return };
+    let n = sc.deployment.redirector_tree.len();
+    if net.links.len() != n {
+        push(
+            out,
+            VRule::LinkSanity,
+            vec![Key("net"), Key("links")],
+            format!(
+                "net declares {} links for a {n}-redirector tree; one link per redirector",
+                net.links.len()
+            ),
+        );
+    }
+    for (i, l) in net.links.iter().enumerate() {
+        if !(l.rate_bytes_per_sec.is_finite() && l.rate_bytes_per_sec > 0.0) {
+            push(
+                out,
+                VRule::LinkSanity,
+                vec![Key("net"), Key("links"), Index(i), Key("rate_bytes_per_sec")],
+                format!(
+                    "link rate must be a finite, positive number of bytes/second, got {}",
+                    l.rate_bytes_per_sec
+                ),
+            );
+        }
+    }
+    if !(net.unit_bytes.is_finite() && net.unit_bytes > 0.0) {
+        push(
+            out,
+            VRule::LinkSanity,
+            vec![Key("net"), Key("unit_bytes")],
+            format!("unit_bytes must be a finite, positive byte count, got {}", net.unit_bytes),
+        );
+    }
+    if !finite_nonneg(net.hop_latency) {
+        push(
+            out,
+            VRule::LinkSanity,
+            vec![Key("net"), Key("hop_latency")],
+            format!(
+                "hop_latency must be a finite, non-negative number of seconds, got {}",
+                net.hop_latency
+            ),
+        );
+    }
+}
+
+/// V9 — scenario timeline ordering: events sorted by `at` (non-decreasing)
+/// and none scheduled past the run's duration.
+fn timeline_order(sc: &ScenarioSpec, out: &mut Vec<Finding>) {
+    for (i, ev) in sc.timeline.iter().enumerate() {
+        if i > 0 {
+            let prev = sc.timeline[i - 1].at();
+            if ev.at() < prev {
+                push(
+                    out,
+                    VRule::TimelineOrder,
+                    vec![Key("timeline"), Index(i), Key("at")],
+                    format!(
+                        "timeline must be sorted by time: event {i} ({}) at {}s precedes \
+                         event {} at {prev}s",
+                        ev.kind(),
+                        ev.at(),
+                        i - 1
+                    ),
+                );
+            }
+        }
+        if ev.at() > sc.deployment.duration {
+            push(
+                out,
+                VRule::TimelineOrder,
+                vec![Key("timeline"), Index(i), Key("at")],
+                format!(
+                    "event {i} ({}) is scheduled at {}s but the run ends at {}s: it never fires",
+                    ev.kind(),
+                    ev.at(),
+                    sc.deployment.duration
+                ),
+            );
+        }
+    }
+}
+
+/// V10 — renegotiated agreements must re-pass the V2 bounds and V3
+/// direct-solvency contracts. Renegotiations are replayed in timeline
+/// order onto a copy of the agreement list, so each check sees the
+/// agreement set as it will stand when the event fires.
+fn renegotiation(sc: &ScenarioSpec, out: &mut Vec<Finding>) {
+    let mut agreements = sc.deployment.agreements.clone();
+    for (i, ev) in sc.timeline.iter().enumerate() {
+        let TimelineEvent::Renegotiate { issuer, holder, lb, ub, .. } = ev else {
+            continue;
+        };
+        let Some(slot) =
+            agreements.iter().position(|a| &a.issuer == issuer && &a.holder == holder)
+        else {
+            push(
+                out,
+                VRule::Renegotiation,
+                vec![Key("timeline"), Index(i)],
+                format!("no declared agreement {issuer} -> {holder} to renegotiate"),
+            );
+            continue;
+        };
+        let mut bounds_ok = true;
+        for (key, x) in [("lb", *lb), ("ub", *ub)] {
+            if !(x.is_finite() && (0.0..=1.0).contains(&x)) {
+                push(
+                    out,
+                    VRule::Renegotiation,
+                    vec![Key("timeline"), Index(i), Key(key)],
+                    format!("renegotiated {key} must be a fraction within [0, 1], got {x}"),
+                );
+                bounds_ok = false;
+            }
+        }
+        if bounds_ok && lb > ub {
+            push(
+                out,
+                VRule::Renegotiation,
+                vec![Key("timeline"), Index(i), Key("lb")],
+                format!("renegotiated lb {lb} exceeds ub {ub}"),
+            );
+            bounds_ok = false;
+        }
+        if !bounds_ok {
+            continue;
+        }
+        agreements[slot].lb = *lb;
+        agreements[slot].ub = *ub;
+        let total_lb: f64 = agreements
+            .iter()
+            .filter(|a| &a.issuer == issuer && a.lb.is_finite() && a.lb > 0.0)
+            .map(|a| a.lb)
+            .sum();
+        if total_lb > 1.0 + TOL {
+            push(
+                out,
+                VRule::Renegotiation,
+                vec![Key("timeline"), Index(i), Key("lb")],
+                format!(
+                    "after this renegotiation issuer '{issuer}' guarantees sum(lb) = \
+                     {total_lb:.3} across its agreements, exceeding its whole capacity (1.0)"
+                ),
+            );
+        }
     }
 }
 

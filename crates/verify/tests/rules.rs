@@ -15,6 +15,9 @@ const V4: &str = include_str!("../../../examples/specs/v4_mutual_cycle.json");
 const V5: &str = include_str!("../../../examples/specs/v5_stale_tree.json");
 const V6: &str = include_str!("../../../examples/specs/v6_short_prices.json");
 const V7: &str = include_str!("../../../examples/specs/v7_overload.json");
+const V8: &str = include_str!("../../../examples/specs/v8_bad_link_rate.json");
+const V9: &str = include_str!("../../../examples/specs/v9_unordered_timeline.json");
+const V10: &str = include_str!("../../../examples/specs/v10_insolvent_renegotiation.json");
 
 fn check(text: &str) -> Vec<Diagnostic> {
     check_text("spec.json", text).expect("fixture parses and decodes")
@@ -39,9 +42,18 @@ fn valid_fixture_passes_clean() {
 
 #[test]
 fn every_bad_fixture_fires_exactly_its_rule() {
-    for (text, expected) in
-        [(V1, "V1"), (V2, "V2"), (V3, "V3"), (V4, "V4"), (V5, "V5"), (V6, "V6"), (V7, "V7")]
-    {
+    for (text, expected) in [
+        (V1, "V1"),
+        (V2, "V2"),
+        (V3, "V3"),
+        (V4, "V4"),
+        (V5, "V5"),
+        (V6, "V6"),
+        (V7, "V7"),
+        (V8, "V8"),
+        (V9, "V9"),
+        (V10, "V10"),
+    ] {
         let diags = check(text);
         assert!(!diags.is_empty(), "{expected} fixture must fire");
         for d in &diags {
@@ -57,6 +69,12 @@ fn diagnostics_point_at_the_offending_token() {
     let cases = [
         // The unknown holder: the string value "Z".
         (V1, "\"holder\": \"Z\"", "\"Z\""),
+        // The dead link: the zero rate itself.
+        (V8, "\"rate_bytes_per_sec\": 0.0", "0.0"),
+        // The out-of-order event: its `at` value.
+        (V9, "\"at\": 3.0", "3.0"),
+        // The insolvent renegotiation: the new lb.
+        (V10, "\"lb\": 0.8", "0.8"),
         // The inverted bound: the lb number itself.
         (V2, "\"lb\": 0.9", "0.9"),
         // Oversubscription anchors at the last contributing lb.
@@ -100,11 +118,46 @@ fn cycle_report_carries_the_full_path() {
 }
 
 #[test]
+fn scenario_rule_variants_fire() {
+    use covenant_core::ScenarioSpec;
+    use covenant_verify::verify_scenario;
+    let fires = |text: &str, rule: VRule| {
+        let sc = ScenarioSpec::from_json(text).expect("scenario parses");
+        let findings = verify_scenario(&sc);
+        assert!(findings.iter().any(|f| f.rule == rule), "{rule:?} must fire: {findings:?}");
+    };
+    // V8: link count vs the redirector tree.
+    let short = V8.replace("\"rate_bytes_per_sec\": 0.0", "\"rate_bytes_per_sec\": 1.0e6")
+        .replace("\"duration\": 2.0", "\"duration\": 2.0, \"redirector_tree\": [null, 0]");
+    fires(&short, VRule::LinkSanity);
+    // V9: an event scheduled past the end of the run never fires.
+    let late = V9.replace("\"at\": 3.0", "\"at\": 30.0");
+    fires(&late, VRule::TimelineOrder);
+    // V10: renegotiating an agreement that does not exist.
+    let missing = V10.replace("\"holder\": \"A\", \"lb\": 0.8", "\"holder\": \"S\", \"lb\": 0.8");
+    fires(&missing, VRule::Renegotiation);
+    // V10: renegotiated bounds outside [0, 1].
+    let inverted = V10.replace(
+        "\"lb\": 0.8, \"ub\": 1.0}",
+        "\"lb\": 0.9, \"ub\": 0.5}",
+    );
+    fires(&inverted, VRule::Renegotiation);
+    // A well-ordered, solvent scenario passes all three clean.
+    let good = V10.replace("\"lb\": 0.8", "\"lb\": 0.6");
+    let sc = ScenarioSpec::from_json(&good).unwrap();
+    assert_eq!(verify_scenario(&sc), Vec::new());
+    // The allow list suppresses scenario rules like any other.
+    let allowed = V9.replace("\"duration\": 10.0", "\"duration\": 10.0, \"allow\": [\"V9\"]");
+    let sc = ScenarioSpec::from_json(&allowed).unwrap();
+    assert_eq!(verify_scenario(&sc), Vec::new());
+}
+
+#[test]
 fn allow_field_suppresses_a_rule_per_spec() {
     let allowed = V4.replace("\"duration\": 1.0", "\"duration\": 1.0, \"allow\": [\"V4\"]");
     assert_eq!(check(&allowed), Vec::new());
     // Unknown codes in the allow list are themselves a V1 finding.
-    let bogus = V4.replace("\"duration\": 1.0", "\"duration\": 1.0, \"allow\": [\"V9\"]");
+    let bogus = V4.replace("\"duration\": 1.0", "\"duration\": 1.0, \"allow\": [\"V99\"]");
     let diags = check(&bogus);
     assert!(diags.iter().any(|d| d.rule == VRule::References), "{diags:?}");
 }

@@ -26,7 +26,7 @@ $COVENANT check examples/specs/valid.json
 for bad in examples/specs/v*_*.json; do
   # v3_oversubscribed.json -> its rule id V3 must appear in the output,
   # and with --deny all even warning-severity rules must fail the check.
-  rule="V$(basename "$bad" | sed 's/^v\([0-9]\).*/\1/')"
+  rule="V$(basename "$bad" | sed 's/^v\([0-9]*\).*/\1/')"
   if out=$($COVENANT check "$bad" --deny all 2>&1); then
     echo "verifier gate: $bad unexpectedly passed"; exit 1
   fi
@@ -34,6 +34,17 @@ for bad in examples/specs/v*_*.json; do
     echo "verifier gate: $bad did not report $rule:"; echo "$out"; exit 1
   fi
 done
+
+echo "==> scenario library gate (check --deny all + replay determinism)"
+for scenario in examples/scenarios/*.json; do
+  $COVENANT check "$scenario" --deny all
+done
+$COVENANT sim examples/scenarios/flash_crowd.json --json > /tmp/covenant_det_a.json
+$COVENANT sim examples/scenarios/flash_crowd.json --json > /tmp/covenant_det_b.json
+if ! cmp -s /tmp/covenant_det_a.json /tmp/covenant_det_b.json; then
+  echo "determinism gate: flash_crowd.json --json output differs between replays"; exit 1
+fi
+rm -f /tmp/covenant_det_a.json /tmp/covenant_det_b.json
 
 echo "==> cargo clippy -D warnings (workspace)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
@@ -43,6 +54,9 @@ cargo bench --no-run --offline -p covenant-bench
 
 echo "==> sim smoke (release engine throughput + heap bound)"
 cargo run -q --offline --release -p covenant-bench --bin sim_smoke
+
+echo "==> net smoke (shared-link scenario: replay determinism + bounded heap)"
+cargo run -q --offline --release -p covenant-bench --bin net_smoke
 
 echo "==> live smoke (loopback L7 + L4 control plane end-to-end)"
 cargo run -q --offline --release -p covenant-bench --bin live_smoke

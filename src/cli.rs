@@ -1,0 +1,130 @@
+//! Shared option parsing for the `covenant` subcommands.
+//!
+//! Every spec-taking subcommand (`check`, `levels`, `run`, `sim`,
+//! `cluster`) accepts the same surface: one positional spec path plus the
+//! common flags parsed here — `--json` (machine-readable output), `--csv`
+//! (time-series output where meaningful), and `--deny all|V1,…`
+//! (escalate verifier findings to hard failures, exactly as `check`
+//! interprets it). The parser is strict: an unknown `--flag` is an error,
+//! never silently ignored.
+//!
+//! The old ad-hoc simulation overrides survive as deprecated aliases:
+//! `--duration <secs>` and `--seed <n>` rewrite the corresponding
+//! `ScenarioSpec` fields after parsing, with a warning pointing at the
+//! scenario file as the durable home for both.
+
+use covenant::verify::{RuleMeta, VRule};
+
+/// Parsed command line for one subcommand invocation.
+#[derive(Debug, Default)]
+pub struct Options {
+    /// First free (non-flag) argument: the spec path.
+    pub path: Option<String>,
+    /// Remaining free arguments (e.g. the optional `cluster` run time).
+    pub rest: Vec<String>,
+    /// `--json`: emit a machine-readable report instead of tables.
+    pub json: bool,
+    /// `--csv`: emit the per-second rate series as CSV.
+    pub csv: bool,
+    /// `--list-rules`: print the verifier rule registry and exit.
+    pub list_rules: bool,
+    /// `--deny`: findings from these rules fail the command.
+    pub deny: Vec<VRule>,
+    /// Deprecated `--duration` alias onto the spec's `duration` field.
+    pub duration: Option<f64>,
+    /// Deprecated `--seed` alias onto the scenario's `seed` field.
+    pub seed: Option<u64>,
+}
+
+impl Options {
+    /// The spec path, or a per-command usage error.
+    pub fn require_path(&self, usage: &str) -> Result<&str, String> {
+        self.path.as_deref().ok_or_else(|| format!("missing spec path\nusage: {usage}"))
+    }
+}
+
+/// Parses every argument after the subcommand name.
+pub fn parse(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => o.json = true,
+            "--csv" => o.csv = true,
+            "--list-rules" => o.list_rules = true,
+            "--deny" => {
+                let spec = it.next().ok_or(
+                    "--deny needs an argument: `all` or a comma-separated rule list",
+                )?;
+                o.deny = VRule::parse_deny(spec)
+                    .ok_or_else(|| format!("unknown rule in --deny {spec}; see --list-rules"))?;
+            }
+            "--duration" => {
+                let v = it.next().ok_or("--duration needs a number of seconds")?;
+                eprintln!(
+                    "warning: --duration is deprecated; set \"duration\" in the spec file"
+                );
+                o.duration =
+                    Some(v.parse().map_err(|_| format!("--duration needs a number, got {v}"))?);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a non-negative integer")?;
+                eprintln!("warning: --seed is deprecated; set \"seed\" in the scenario file");
+                o.seed = Some(
+                    v.parse()
+                        .map_err(|_| format!("--seed needs a non-negative integer, got {v}"))?,
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag}"));
+            }
+            free => {
+                if o.path.is_none() {
+                    o.path = Some(free.to_string());
+                } else {
+                    o.rest.push(free.to_string());
+                }
+            }
+        }
+    }
+    Ok(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn positional_and_flags_mix_in_any_order() {
+        let o = parse(&args(&["--json", "spec.json", "--deny", "V1,V9", "3"])).unwrap();
+        assert_eq!(o.path.as_deref(), Some("spec.json"));
+        assert_eq!(o.rest, vec!["3".to_string()]);
+        assert!(o.json && !o.csv);
+        assert_eq!(o.deny, vec![VRule::References, VRule::TimelineOrder]);
+    }
+
+    #[test]
+    fn deny_all_expands_to_every_rule() {
+        let o = parse(&args(&["spec.json", "--deny", "all"])).unwrap();
+        assert_eq!(o.deny.len(), VRule::registry().len());
+    }
+
+    #[test]
+    fn unknown_flags_and_bad_deny_are_errors() {
+        assert!(parse(&args(&["--jsno"])).is_err());
+        assert!(parse(&args(&["--deny"])).is_err());
+        assert!(parse(&args(&["--deny", "V99"])).is_err());
+    }
+
+    #[test]
+    fn deprecated_aliases_parse_with_values() {
+        let o = parse(&args(&["s.json", "--duration", "12.5", "--seed", "9"])).unwrap();
+        assert_eq!(o.duration, Some(12.5));
+        assert_eq!(o.seed, Some(9));
+        assert!(parse(&args(&["--duration", "soon"])).is_err());
+    }
+}

@@ -1,30 +1,44 @@
-//! `covenant` CLI: run agreement-enforcement deployments from JSON specs
-//! and regenerate the paper's experiments.
+//! `covenant` CLI: run agreement-enforcement deployments and scenarios
+//! from JSON specs and regenerate the paper's experiments.
 //!
 //! ```text
 //! covenant example-spec                 # print a starter deployment spec
-//! covenant check deployment.json [--json] [--deny all|V1,...] [--list-rules]
+//! covenant check spec.json [--json] [--deny all|V1,...] [--list-rules]
 //!                                      # static agreement-contract verifier:
-//!                                      # rules V1-V7 with file:line:col
+//!                                      # rules V1-V10 with file:line:col
 //!                                      # diagnostics; exits non-zero on
 //!                                      # errors or denied warnings
-//! covenant levels deployment.json      # entitlement table for a spec
-//! covenant run deployment.json [--csv | --json]
-//!                                      # simulate a spec; report rates as a
-//!                                      # table, CSV series, or a JSON report
-//!                                      # with engine counters
+//! covenant levels spec.json            # entitlement table for a spec
+//! covenant run spec.json [--csv | --json] [--deny ...]
+//!                                      # simulate the deployment (fixed-delay
+//!                                      # network, static load); report rates
+//!                                      # as a table, CSV series, or JSON
+//! covenant sim scenario.json [--csv | --json] [--deny ...]
+//!                                      # simulate the full scenario: shared
+//!                                      # links, timeline dynamics, seeded
+//!                                      # reply sizes; --json output is
+//!                                      # replay-deterministic
 //! covenant figures                     # reproduce Figures 1 and 6-10
-//! covenant cluster deployment.json [secs]
+//! covenant cluster spec.json [secs] [--deny ...]
 //!                                      # launch the spec's combining tree as
 //!                                      # real OS processes, run for `secs`
 //!                                      # (default 5), scrape every node's
 //!                                      # /metrics endpoint, and tear down
 //! ```
+//!
+//! All spec-taking subcommands share one flag surface (see `cli`):
+//! `--json`, `--csv`, and `--deny` mean the same thing everywhere, and
+//! every spec is verified before it runs. `run` treats a scenario file as
+//! its embedded deployment (net and timeline ignored); `sim` materializes
+//! everything.
 
+mod cli;
+
+use cli::Options;
 use covenant::agreements::PrincipalId;
 use covenant::core::scenarios;
-use covenant::core::DeploymentSpec;
-use covenant::sim::Simulation;
+use covenant::core::{DeploymentSpec, ScenarioSpec};
+use covenant::sim::{SimReport, Simulation};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -32,13 +46,21 @@ fn main() -> ExitCode {
     // never return; the CLI path continues below otherwise.
     covenant::cluster::maybe_run_node();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let cmd = args.first().map(String::as_str);
+    let opts = match cli::parse(args.get(1..).unwrap_or(&[])) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd {
         Some("example-spec") => {
             println!("{EXAMPLE_SPEC}");
             ExitCode::SUCCESS
         }
-        Some("check") => check_cmd(&args),
-        Some("levels") => with_spec(args.get(1), false, |spec| {
+        Some("check") => check_cmd(&opts),
+        Some("levels") => with_spec(&opts, false, |spec| {
             let g = spec.build_graph()?;
             let lv = g.access_levels();
             println!(
@@ -57,81 +79,22 @@ fn main() -> ExitCode {
             }
             Ok(())
         }),
-        Some("run") => with_spec(args.get(1), true, |spec| {
-            let csv = args.iter().any(|a| a == "--csv");
-            let json = args.iter().any(|a| a == "--json");
+        Some("run") => with_spec(&opts, true, |spec| {
+            let mut spec = spec.clone();
+            if let Some(d) = opts.duration {
+                spec.duration = d;
+            }
             let cfg = spec.build_sim()?;
             let names: Vec<String> = spec.principals.iter().map(|p| p.name.clone()).collect();
-            let duration = cfg.duration;
             let report = Simulation::new(cfg).run();
-            if csv {
-                println!("time_s,principal,rate_req_s");
-                for (i, name) in names.iter().enumerate() {
-                    for (t, r) in report.rates.series(PrincipalId(i)) {
-                        println!("{t},{name},{r}");
-                    }
-                }
-                return Ok(());
-            }
-            if json {
-                use covenant::core::json::Value;
-                let principals = Value::Arr(
-                    names
-                        .iter()
-                        .enumerate()
-                        .map(|(i, name)| {
-                            let id = PrincipalId(i);
-                            Value::Obj(vec![
-                                ("name".into(), name.as_str().into()),
-                                ("offered".into(), (report.offered[i] as f64).into()),
-                                (
-                                    "served_per_sec".into(),
-                                    report
-                                        .rates
-                                        .mean_rate_secs(id, duration * 0.2, duration)
-                                        .into(),
-                                ),
-                                ("deferred".into(), (report.deferred[i] as f64).into()),
-                                (
-                                    "mean_response_ms".into(),
-                                    (report.response[i].mean().unwrap_or(0.0) * 1000.0).into(),
-                                ),
-                            ])
-                        })
-                        .collect(),
-                );
-                let doc = Value::Obj(vec![
-                    ("duration_s".into(), duration.into()),
-                    ("principals".into(), principals),
-                    ("counters".into(), covenant::core::sim_counters_json(&report)),
-                ]);
-                println!("{}", doc.to_pretty());
-                return Ok(());
-            }
-            println!(
-                "{:<16}{:>12}{:>12}{:>12}{:>14}",
-                "principal", "offered", "served/s", "deferred", "mean resp ms"
-            );
-            for (i, name) in names.iter().enumerate() {
-                let id = PrincipalId(i);
-                println!(
-                    "{:<16}{:>12}{:>12.1}{:>12}{:>14.1}",
-                    name,
-                    report.offered[i],
-                    report.rates.mean_rate_secs(id, duration * 0.2, duration),
-                    report.deferred[i],
-                    report.response[i].mean().unwrap_or(0.0) * 1000.0
-                );
-            }
-            println!(
-                "\nserver drops: {}; tree messages: {} (pairwise equivalent {})",
-                report.dropped_server, report.tree_messages, report.pairwise_messages_equivalent
-            );
+            print_report(&opts, &names, spec.duration, &report, false);
             Ok(())
         }),
-        Some("cluster") => with_spec(args.get(1), true, |spec| {
-            let secs = args
-                .get(2)
+        Some("sim") => sim_cmd(&opts),
+        Some("cluster") => with_spec(&opts, true, |spec| {
+            let secs = opts
+                .rest
+                .first()
                 .and_then(|a| a.parse::<f64>().ok())
                 .unwrap_or(5.0)
                 .clamp(0.5, 600.0);
@@ -182,7 +145,9 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: covenant <example-spec | check <spec.json> [--json] [--deny all|V1,...] [--list-rules] | levels <spec.json> | run <spec.json> [--csv | --json] | figures | cluster <spec.json> [secs]>"
+                "usage: covenant <example-spec | check <spec.json> [--json] [--deny all|V1,...] \
+                 [--list-rules] | levels <spec.json> | run <spec.json> [--csv | --json] | \
+                 sim <scenario.json> [--csv | --json] | figures | cluster <spec.json> [secs]>"
             );
             ExitCode::FAILURE
         }
@@ -192,65 +157,41 @@ fn main() -> ExitCode {
 /// `covenant check`: run the static verifier over a spec file and report
 /// `file:line:col` diagnostics. Exits non-zero on error-severity findings
 /// or on any finding whose rule appears in `--deny`.
-fn check_cmd(args: &[String]) -> ExitCode {
-    use covenant::verify::{check_text, has_errors, to_json, RuleMeta, VRule};
-    if args.iter().any(|a| a == "--list-rules") {
+fn check_cmd(opts: &Options) -> ExitCode {
+    use covenant::verify::{has_errors, to_json, RuleMeta, VRule};
+    if opts.list_rules {
         for r in VRule::registry() {
             println!("{:<4}{:<9}{}", r.code(), r.severity().to_string(), r.describe());
         }
         return ExitCode::SUCCESS;
     }
-    let deny_val = args.iter().position(|a| a == "--deny").map(|i| i + 1);
-    let deny: Vec<VRule> = match deny_val.map(|i| args.get(i)) {
-        None => Vec::new(),
-        Some(None) => {
-            eprintln!("--deny needs an argument: `all` or a comma-separated rule list");
-            return ExitCode::FAILURE;
-        }
-        Some(Some(spec)) => match VRule::parse_deny(spec) {
-            Some(rules) => rules,
-            None => {
-                eprintln!("unknown rule in --deny {spec}; see --list-rules");
-                return ExitCode::FAILURE;
-            }
-        },
-    };
-    let path = args
-        .iter()
-        .enumerate()
-        .skip(1)
-        .find(|(i, a)| !a.starts_with("--") && Some(*i) != deny_val)
-        .map(|(_, a)| a.clone());
-    let Some(path) = path else {
-        eprintln!("usage: covenant check <spec.json> [--json] [--deny all|V1,...] [--list-rules]");
-        return ExitCode::FAILURE;
-    };
-    let text = match std::fs::read_to_string(&path) {
-        Ok(text) => text,
+    let path = match opts
+        .require_path("covenant check <spec.json> [--json] [--deny all|V1,...] [--list-rules]")
+    {
+        Ok(path) => path,
         Err(e) => {
-            eprintln!("{path}: {e}");
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    let diags = match check_text(&path, &text) {
+    let diags = match read_and_check(path) {
         Ok(diags) => diags,
         Err(e) => {
-            eprintln!("{path}: {e}");
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    let json_out = args.iter().any(|a| a == "--json");
-    if json_out {
+    if opts.json {
         println!("{}", to_json(&diags));
     } else {
         for d in &diags {
             println!("{d}");
         }
     }
-    if has_errors(&diags) || diags.iter().any(|d| deny.contains(&d.rule)) {
+    if has_errors(&diags) || diags.iter().any(|d| opts.deny.contains(&d.rule)) {
         return ExitCode::FAILURE;
     }
-    if !json_out {
+    if !opts.json {
         if diags.is_empty() {
             println!("{path}: OK");
         } else {
@@ -260,37 +201,140 @@ fn check_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `covenant sim`: materialize a full scenario — shared links, timeline
+/// dynamics, seeded reply sizes — and run it on the streaming engine.
+fn sim_cmd(opts: &Options) -> ExitCode {
+    let run = || -> Result<(), Box<dyn std::error::Error>> {
+        let path =
+            opts.require_path("covenant sim <scenario.json> [--csv | --json] [--deny ...]")?;
+        let text = verify_gate(path, opts)?;
+        let mut sc = ScenarioSpec::from_json(&text)?;
+        if let Some(d) = opts.duration {
+            sc.deployment.duration = d;
+        }
+        if let Some(s) = opts.seed {
+            sc.seed = s;
+        }
+        let cfg = sc.build_sim()?;
+        let names: Vec<String> =
+            sc.deployment.principals.iter().map(|p| p.name.clone()).collect();
+        let report = Simulation::new(cfg).run();
+        print_report(opts, &names, sc.deployment.duration, &report, true);
+        Ok(())
+    };
+    exit_of(run())
+}
+
 fn with_spec(
-    path: Option<&String>,
+    opts: &Options,
     verify: bool,
     f: impl FnOnce(&DeploymentSpec) -> Result<(), Box<dyn std::error::Error>>,
 ) -> ExitCode {
-    let Some(path) = path else {
-        eprintln!("missing spec path");
-        return ExitCode::FAILURE;
-    };
     let run = || -> Result<(), Box<dyn std::error::Error>> {
-        let json = std::fs::read_to_string(path)?;
-        if verify {
-            let diags = covenant::verify::check_text(path, &json)?;
-            for d in &diags {
-                eprintln!("{d}");
-            }
-            if covenant::verify::has_errors(&diags) {
-                return Err("spec failed verification; see diagnostics above (suppress a \
-                            rule deliberately via the spec's \"allow\" list)"
-                    .into());
-            }
-        }
-        let spec = DeploymentSpec::from_json(&json)?;
+        let path = opts.require_path("covenant <subcommand> <spec.json> [flags]")?;
+        let text = if verify {
+            verify_gate(path, opts)?
+        } else {
+            std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+        };
+        let spec = DeploymentSpec::from_json(&text)?;
         f(&spec)
     };
-    match run() {
+    exit_of(run())
+}
+
+fn exit_of(r: Result<(), Box<dyn std::error::Error>>) -> ExitCode {
+    match r {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+fn read_and_check(path: &str) -> Result<Vec<covenant::verify::Diagnostic>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    covenant::verify::check_text(path, &text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Reads the spec, verifies it (rules V1–V10 over the full scenario), and
+/// fails on error-severity findings or anything in `--deny`.
+fn verify_gate(path: &str, opts: &Options) -> Result<String, Box<dyn std::error::Error>> {
+    use covenant::verify::RuleMeta;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let diags = covenant::verify::check_text(path, &text)?;
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    if covenant::verify::has_errors(&diags) {
+        return Err("spec failed verification; see diagnostics above (suppress a \
+                    rule deliberately via the spec's \"allow\" list)"
+            .into());
+    }
+    if let Some(d) = diags.iter().find(|d| opts.deny.contains(&d.rule)) {
+        return Err(format!(
+            "spec failed verification: {} finding denied by --deny (suppress it \
+             deliberately via the spec's \"allow\" list)",
+            d.rule.code()
+        )
+        .into());
+    }
+    Ok(text)
+}
+
+/// One report printer behind `run` and `sim`: rate table by default, CSV
+/// series with `--csv`, the shared JSON document with `--json`
+/// (deterministic — wall-clock throughput zeroed — for `sim`).
+fn print_report(
+    opts: &Options,
+    names: &[String],
+    duration: f64,
+    report: &SimReport,
+    deterministic: bool,
+) {
+    if opts.csv {
+        println!("time_s,principal,rate_req_s");
+        for (i, name) in names.iter().enumerate() {
+            for (t, r) in report.rates.series(PrincipalId(i)) {
+                println!("{t},{name},{r}");
+            }
+        }
+        return;
+    }
+    if opts.json {
+        let doc = covenant::core::run_report_json(names, duration, report, deterministic);
+        println!("{}", doc.to_pretty());
+        return;
+    }
+    println!(
+        "{:<16}{:>12}{:>12}{:>12}{:>14}",
+        "principal", "offered", "served/s", "deferred", "mean resp ms"
+    );
+    for (i, name) in names.iter().enumerate() {
+        let id = PrincipalId(i);
+        println!(
+            "{:<16}{:>12}{:>12.1}{:>12}{:>14.1}",
+            name,
+            report.offered[i],
+            report.rates.mean_rate_secs(id, duration * 0.2, duration),
+            report.deferred[i],
+            report.response[i].mean().unwrap_or(0.0) * 1000.0
+        );
+    }
+    println!(
+        "\nserver drops: {}; tree messages: {} (pairwise equivalent {})",
+        report.dropped_server, report.tree_messages, report.pairwise_messages_equivalent
+    );
+    if let Some(net) = covenant::core::sim_counters(report).net {
+        println!(
+            "net: {} transfers, {:.2} MB over shared links, peak {} concurrent, \
+             mean transfer {:.1} ms",
+            net.transfers,
+            net.bytes / 1.0e6,
+            net.peak_concurrent,
+            net.mean_transfer_secs * 1000.0
+        );
     }
 }
 

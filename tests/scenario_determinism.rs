@@ -1,0 +1,86 @@
+//! Tier-1 gates over the shipped scenario library (`examples/scenarios/`):
+//! every scenario must verify clean under the strictest setting, and must
+//! be replay-deterministic — two runs with the declared seed produce
+//! byte-identical report JSON (the same document `covenant sim --json`
+//! prints).
+
+use covenant::core::{run_report_json, ScenarioSpec};
+use covenant::sim::Simulation;
+use std::path::PathBuf;
+
+fn shipped_scenarios() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 6,
+        "scenario library must ship at least 6 scenarios, found {}",
+        paths.len()
+    );
+    paths
+}
+
+#[test]
+fn every_shipped_scenario_replays_byte_identically() {
+    for path in shipped_scenarios() {
+        let text = std::fs::read_to_string(&path).expect("scenario readable");
+        let sc = ScenarioSpec::from_json(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let names: Vec<String> =
+            sc.deployment.principals.iter().map(|p| p.name.clone()).collect();
+        let render = || {
+            let report = Simulation::new(sc.build_sim().expect("scenario builds")).run();
+            run_report_json(&names, sc.deployment.duration, &report, true).to_pretty()
+        };
+        let (a, b) = (render(), render());
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "{} is not replay-deterministic", path.display());
+    }
+}
+
+#[test]
+fn every_shipped_scenario_verifies_clean_under_deny_all() {
+    for path in shipped_scenarios() {
+        let text = std::fs::read_to_string(&path).expect("scenario readable");
+        let name = path.display().to_string();
+        let diags = covenant::verify::check_text(&name, &text)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            diags.is_empty(),
+            "{name} must pass `covenant check --deny all` with zero findings: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn shipped_scenarios_exercise_links_and_every_dynamic() {
+    let mut kinds: Vec<String> = Vec::new();
+    let mut with_net = 0usize;
+    for path in shipped_scenarios() {
+        let text = std::fs::read_to_string(&path).expect("scenario readable");
+        let sc = ScenarioSpec::from_json(&text).expect("scenario parses");
+        if sc.net.is_some() {
+            with_net += 1;
+        }
+        kinds.extend(sc.timeline.iter().map(|ev| ev.kind().to_string()));
+    }
+    assert!(with_net >= 5, "the library must exercise the link model broadly");
+    for required in [
+        "flash_crowd",
+        "diurnal",
+        "renegotiate",
+        "server_fail",
+        "server_recover",
+        "inflate",
+        "restart_redirector",
+    ] {
+        assert!(
+            kinds.iter().any(|k| k == required),
+            "no shipped scenario uses timeline kind {required}"
+        );
+    }
+}
